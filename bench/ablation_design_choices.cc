@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Ablation studies of SUIT's design choices (beyond the paper's
+ * tables, but each grounded in a claim the paper makes):
+ *
+ *  A. Operating strategies side by side, including the Sec. 6.8
+ *     "dynamic" hybrid (emulate isolated traps, switch on bursts).
+ *  B. Thrashing prevention on/off (Sec. 4.3: without the stretched
+ *     deadline, gaps just above p_dl cause constant curve bouncing).
+ *  C. Static IMUL hardening vs trapping IMUL (Sec. 4.2: IMUL recurs
+ *     every ~560 instructions in IMUL-heavy code, so trapping it
+ *     would pin the CPU to the conservative curve forever).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/params.hh"
+#include "sim/evaluation.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace suit;
+
+void
+strategyAblation()
+{
+    std::printf("A. Operating strategies (CPU C, -97 mV, efficiency "
+                "delta)\n\n");
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+
+    util::TablePrinter t({"Workload", "e", "f", "fV", "e+fV (hybrid)"});
+    for (const char *name :
+         {"557.xz", "538.imagick", "502.gcc", "527.cam4",
+          "520.omnetpp", "Nginx"}) {
+        std::vector<std::string> row = {name};
+        for (core::StrategyKind strategy :
+             {core::StrategyKind::Emulation,
+              core::StrategyKind::Frequency,
+              core::StrategyKind::CombinedFv,
+              core::StrategyKind::Hybrid}) {
+            sim::EvalConfig cfg;
+            cfg.cpu = &cpu;
+            cfg.offsetMv = -97.0;
+            cfg.strategy = strategy;
+            cfg.params = core::optimalParams(cpu);
+            const auto r =
+                sim::runWorkload(cfg, trace::profileByName(name));
+            row.push_back(
+                util::sformat("%+.1f%%", 100 * r.efficiencyDelta()));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\nThe hybrid tracks fV on bursty workloads and "
+                "emulation-friendly behaviour on sparse ones —\nthe "
+                "dynamic policy Sec. 6.8 proposes.\n\n");
+}
+
+void
+thrashAblation()
+{
+    std::printf("B. Thrashing prevention (fV on CPU C, -97 mV)\n\n");
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+
+    util::TablePrinter t({"Workload", "Metric", "p_df = 1 (off)",
+                          "p_df = 14 (Table 7)"});
+    for (const char *name : {"502.gcc", "527.cam4", "520.omnetpp"}) {
+        sim::DomainResult results[2];
+        int idx = 0;
+        for (double df : {1.0, 14.0}) {
+            sim::EvalConfig cfg;
+            cfg.cpu = &cpu;
+            cfg.offsetMv = -97.0;
+            cfg.params = core::optimalParams(cpu);
+            cfg.params.deadlineFactor = df;
+            results[idx++] =
+                sim::runWorkload(cfg, trace::profileByName(name));
+        }
+        t.addRow({name, "eff",
+                  util::sformat("%+.2f%%",
+                                100 * results[0].efficiencyDelta()),
+                  util::sformat("%+.2f%%",
+                                100 * results[1].efficiencyDelta())});
+        t.addRow({"", "perf",
+                  util::sformat("%+.2f%%",
+                                100 * results[0].perfDelta()),
+                  util::sformat("%+.2f%%",
+                                100 * results[1].perfDelta())});
+        t.addRow({"", "switches",
+                  util::sformat("%llu",
+                                static_cast<unsigned long long>(
+                                    results[0].pstateSwitches)),
+                  util::sformat("%llu",
+                                static_cast<unsigned long long>(
+                                    results[1].pstateSwitches))});
+        t.addSeparator();
+    }
+    t.print();
+    std::printf("\nWithout the stretched deadline the simulator "
+                "bounces between curves (more switches, more\nstall "
+                "time) exactly as Sec. 4.3 warns.\n\n");
+}
+
+void
+imulAblation()
+{
+    std::printf("C. IMUL: static hardening vs trapping (x264-like "
+                "workload, CPU C, -97 mV)\n\n");
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const core::StrategyParams params = core::optimalParams(cpu);
+
+    // (1) SUIT as designed: IMUL hardened (its latency overhead is
+    // folded into the rate), only the SIMD set traps.
+    sim::EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.params = params;
+    const auto hardened =
+        sim::runWorkload(cfg, trace::profileByName("525.x264"));
+
+    // (2) Counterfactual: a 3-cycle IMUL stays faultable and joins
+    // the trap set.  In x264 IMUL recurs about every 560
+    // instructions — model it as a continuous event stream.
+    trace::WorkloadProfile trapping =
+        trace::profileByName("525.x264");
+    trapping.name = "525.x264 (IMUL trapped)";
+    trapping.imulFraction = 0.0; // no hardening, no latency overhead
+    trapping.bursts.meanBurstEvents = 1e9; // one endless burst
+    trapping.bursts.meanWithinBurstGap = 560.0 * 10.0; // thinned 10:1
+    trapping.eventWeight = 10.0;
+    trapping.kindMix = {};
+    trapping.kindMix[static_cast<std::size_t>(
+        isa::FaultableKind::IMUL)] = 1.0;
+    const auto trapped = sim::runWorkload(cfg, trapping);
+
+    util::TablePrinter t({"Design", "Perf", "Power", "Eff", "onE",
+                          "traps"});
+    auto row = [&](const char *label, const sim::DomainResult &r) {
+        t.addRow({label, util::sformat("%+.2f%%", 100 * r.perfDelta()),
+                  util::sformat("%+.2f%%", 100 * r.powerDelta()),
+                  util::sformat("%+.2f%%", 100 * r.efficiencyDelta()),
+                  util::sformat("%.1f%%", 100 * r.efficientShare),
+                  util::sformat("%llu", static_cast<unsigned long long>(
+                                            r.traps))});
+    };
+    row("4-cycle IMUL (SUIT)", hardened);
+    row("3-cycle IMUL, trapped", trapped);
+    t.print();
+
+    std::printf("\nTrapping IMUL pins the domain to the conservative "
+                "curve (Sec. 4.2: \"SUIT would permanently\nrun on "
+                "the conservative DVFS curve, preventing any "
+                "potential efficiency gain\"); the one-cycle\nlatency "
+                "increase costs ~%.1f%% instead.\n",
+                100 * trace::imulLatencyOverhead(0.0099));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT reproduction — ablation of design choices\n\n");
+    strategyAblation();
+    thrashAblation();
+    imulAblation();
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ablation: SUIT-aware task placement on shared-domain CPUs
+ * (paper Sec. 7: scheduling "in conjunction with SUIT to minimize
+ * DVFS curve changes").
+ *
+ * Two sockets of CPU A (one shared DVFS domain each, 4 cores used),
+ * eight tasks: four quiet, four bursty.  Round-robin placement mixes
+ * them — every domain is dragged off the efficient curve by its
+ * bursty tenants.  The SUIT-aware placement segregates them: the
+ * quiet socket stays efficient, the bursty socket parks conservative
+ * where it belongs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/params.hh"
+#include "core/scheduler.hh"
+#include "sim/domain_sim.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace suit;
+
+struct FleetResult
+{
+    double perf = 0.0;  //!< mean perf delta over tasks
+    double power = 0.0; //!< mean power factor over sockets
+    double eff = 0.0;
+    std::vector<double> socketShareE;
+};
+
+FleetResult
+runPlacement(const core::Placement &placement,
+             const std::vector<const trace::WorkloadProfile *> &tasks,
+             const power::CpuModel &cpu)
+{
+    const trace::TraceGenerator gen(17);
+
+    FleetResult fr;
+    double perf_sum = 0.0;
+    std::size_t task_count = 0;
+    double power_sum = 0.0;
+    for (const auto &socket : placement) {
+        if (socket.empty())
+            continue;
+        std::vector<trace::Trace> traces;
+        traces.reserve(socket.size());
+        for (std::size_t idx : socket)
+            traces.push_back(gen.generate(
+                *tasks[idx], static_cast<int>(idx)));
+        std::vector<sim::CoreWork> work;
+        for (std::size_t i = 0; i < socket.size(); ++i)
+            work.push_back({&traces[i], tasks[socket[i]]});
+
+        sim::SimConfig cfg;
+        cfg.cpu = &cpu;
+        cfg.offsetMv = -97.0;
+        cfg.strategy = core::StrategyKind::CombinedFv;
+        cfg.params = core::optimalParams(cpu);
+        sim::DomainSimulator sim(cfg, std::move(work));
+        const sim::DomainResult r = sim.run();
+
+        for (const auto &c : r.cores)
+            perf_sum += c.perfDelta();
+        task_count += r.cores.size();
+        power_sum += r.powerFactor;
+        fr.socketShareE.push_back(r.efficientShare);
+    }
+    fr.perf = perf_sum / static_cast<double>(task_count);
+    fr.power =
+        power_sum / static_cast<double>(fr.socketShareE.size()) - 1.0;
+    fr.eff = (1.0 + fr.perf) / (1.0 + fr.power) - 1.0;
+    return fr;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT reproduction — ablation: SUIT-aware scheduling "
+                "on shared-domain sockets (2 x CPU A, 4 cores)\n\n");
+
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+
+    // Four quiet tasks, four bursty ones.  Server tenants run
+    // continuously, so every task is normalised to the same stream
+    // length (8e9 instructions) — otherwise short bursty tasks
+    // finish early and hand their socket back.
+    std::vector<trace::WorkloadProfile> owned;
+    for (const char *name :
+         {"557.xz", "523.xalancbmk", "505.mcf", "549.fotonik3d",
+          "527.cam4", "520.omnetpp", "Nginx", "544.nab"}) {
+        trace::WorkloadProfile p = trace::profileByName(name);
+        p.totalInstructions = 8'000'000'000ULL;
+        owned.push_back(std::move(p));
+    }
+    std::vector<const trace::WorkloadProfile *> tasks;
+    for (const auto &p : owned)
+        tasks.push_back(&p);
+
+    std::printf("Task disturbance metrics:\n");
+    for (const auto *t : tasks)
+        std::printf("  %-15s off-curve share %5.1f%%  (%6.0f "
+                    "bursts/s)\n",
+                    t->name.c_str(),
+                    100 * core::offCurveShare(*t),
+                    core::burstRatePerSecond(*t));
+    std::printf("\n");
+
+    const core::Placement naive =
+        core::placeRoundRobin(tasks.size(), 2, 4);
+    const core::Placement aware = core::placeSuitAware(tasks, 2, 4);
+
+    const FleetResult r_naive = runPlacement(naive, tasks, cpu);
+    const FleetResult r_aware = runPlacement(aware, tasks, cpu);
+
+    util::TablePrinter t({"Placement", "Perf", "Power", "Eff",
+                          "socket onE"});
+    auto row = [&](const char *name, const FleetResult &r) {
+        std::string shares;
+        for (double s : r.socketShareE)
+            shares += util::sformat("%.0f%% ", 100 * s);
+        t.addRow({name, util::sformat("%+.2f%%", 100 * r.perf),
+                  util::sformat("%+.2f%%", 100 * r.power),
+                  util::sformat("%+.2f%%", 100 * r.eff), shares});
+    };
+    row("round-robin (naive)", r_naive);
+    row("SUIT-aware (segregated)", r_aware);
+    t.print();
+
+    std::printf("\nSegregating bursty tasks lets the quiet socket "
+                "live on the efficient curve; interleaving\nthem "
+                "drags both sockets conservative — the scheduling "
+                "synergy Sec. 7 anticipates.\n");
+    return 0;
+}

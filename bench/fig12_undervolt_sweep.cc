@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Fig. 12: SPEC CPU2017 score increase, package power
+ * and mean frequency of the i9-9900K across undervolting offsets
+ * from 0 to -97 mV.
+ */
+
+#include <cstdio>
+
+#include "power/cpu_model.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace suit;
+
+    std::printf("SUIT reproduction — Fig. 12: undervolting sweep on "
+                "the i9-9900K (SPEC CPU2017)\n\n");
+
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const auto &response = cpu.undervolt();
+
+    util::TablePrinter t({"V_off (mV)", "Score", "Power (W)",
+                          "Mean freq (GHz)", "Eff"});
+    for (double off = 0.0; off >= -97.01; off -= 10.0) {
+        const double o = off < -97.0 ? -97.0 : off;
+        const power::UndervoltEffect e = response.at(o);
+        t.addRow({util::sformat("%.0f", o),
+                  util::sformat("%+.2f%%", 100 * e.scoreDelta),
+                  util::sformat("%.1f",
+                                cpu.basePowerW() *
+                                    (1.0 + e.powerDelta)),
+                  util::sformat("%.2f",
+                                cpu.baseFreqHz() * 1e-9 *
+                                    (1.0 + e.freqDelta)),
+                  util::sformat("%+.1f%%",
+                                100 * e.efficiencyDelta())});
+    }
+    // The exact evaluation points.
+    t.addSeparator();
+    for (double o : {-70.0, -97.0}) {
+        const power::UndervoltEffect e = response.at(o);
+        t.addRow({util::sformat("%.0f (eval)", o),
+                  util::sformat("%+.2f%%", 100 * e.scoreDelta),
+                  util::sformat("%.1f",
+                                cpu.basePowerW() *
+                                    (1.0 + e.powerDelta)),
+                  util::sformat("%.2f",
+                                cpu.baseFreqHz() * 1e-9 *
+                                    (1.0 + e.freqDelta)),
+                  util::sformat("%+.1f%%",
+                                100 * e.efficiencyDelta())});
+    }
+    t.print();
+
+    std::printf("\nPaper reference: at -97 mV the score rises 3.8%% "
+                "while package power falls from ~93 W to ~77 W\n"
+                "(-16%%), because the TDP-limited CPU converts the "
+                "saved power into sustained clocks.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Fig. 13: the stable frequency-voltage pairs of the
+ * i9-9900K, the SUIT efficient curves (-70 / -97 mV) and the safe
+ * voltage of the modified (4-cycle) IMUL.
+ */
+
+#include <cstdio>
+
+#include "power/guardband.hh"
+#include "power/pstate.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace suit;
+
+    std::printf("SUIT reproduction — Fig. 13: i9-9900K DVFS "
+                "curves\n\n");
+
+    const power::DvfsCurve cons = power::i9_9900kCurve();
+    const power::DvfsCurve eff70 =
+        cons.shifted(-70.0, "efficient -70");
+    const power::DvfsCurve eff97 =
+        cons.shifted(-97.0, "efficient -97");
+    const power::DvfsCurve imul = power::i9_9900kModifiedImulCurve();
+
+    util::TablePrinter t({"f (GHz)", "conservative (mV)", "-70 mV",
+                          "-97 mV", "modified IMUL", "IMUL slack"});
+    for (double ghz = 1.0; ghz <= 5.01; ghz += 0.5) {
+        const double f = ghz * 1e9;
+        t.addRow({util::sformat("%.1f", ghz),
+                  util::sformat("%.0f", cons.voltageAtMv(f)),
+                  util::sformat("%.0f", eff70.voltageAtMv(f)),
+                  util::sformat("%.0f", eff97.voltageAtMv(f)),
+                  util::sformat("%.0f", imul.voltageAtMv(f)),
+                  util::sformat("%.0f",
+                                cons.voltageAtMv(f) -
+                                    imul.voltageAtMv(f))});
+    }
+    t.print();
+
+    const power::GuardbandModel gb;
+    std::printf("\nDerived quantities (paper Secs. 5.5/5.6/6.9):\n");
+    std::printf("  V(4 GHz) = %.0f mV, V(5 GHz) = %.0f mV, gradient "
+                "4->5 GHz = %.0f mV/GHz\n",
+                cons.voltageAtMv(4e9), cons.voltageAtMv(5e9),
+                cons.gradientMvPerGhz(4.5e9));
+    std::printf("  aging guardband at 5 GHz: %.0f mV (%.0f%%)\n",
+                gb.agingBandMv(cons, 5e9),
+                100.0 * gb.agingBandMv(cons, 5e9) /
+                    cons.voltageAtMv(5e9));
+    std::printf("  4-cycle IMUL slack at 5 GHz: %.0f mV (the +33%% "
+                "latency buys up to 220 mV)\n",
+                cons.voltageAtMv(5e9) - imul.voltageAtMv(5e9));
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Regenerates Fig. 14 (and prints the Table 5 system): slowdown of
+ * SPEC-like workloads as the IMUL latency grows from 3 (stock) to
+ * 4 (SUIT) and beyond.  Expected shape: ~0.03 % geomean and ~1.6 %
+ * for the x264-like mix at 4 cycles (out-of-order execution hides
+ * the extra cycle), turning near-linear at 15/30 cycles.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/evaluation.hh"
+#include "uarch/o3_model.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace suit;
+using uarch::CoreConfig;
+using uarch::CoreStats;
+using uarch::ProgramMix;
+
+constexpr std::size_t kInstructions = 400'000;
+
+void
+printTable5()
+{
+    const CoreConfig cfg;
+    std::printf("Table 5 — simulated system configuration\n");
+    util::TablePrinter t({"Component", "Configuration"});
+    t.addRow({"CPU", "x86-64-like O3 model, 3 GHz, 8-wide"});
+    t.addRow({"Pipeline",
+              util::sformat("ROB %d, IQ %d, LSQ %d, redirect %d cy",
+                            cfg.robSize, cfg.iqSize, cfg.lsqSize,
+                            cfg.redirectPenalty)});
+    t.addRow({"Cache",
+              "64 kB L1I, 32 kB L1D, 2 MB LLC (LRU, 64 B lines)"});
+    t.addRow({"DRAM", util::sformat("DDR4-2400-like, %d cycles",
+                                    cfg.mem.dramLatency)});
+    t.addRow({"IMUL", "3 cycles stock, fully pipelined"});
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT reproduction — Fig. 14: slowdown vs. IMUL "
+                "latency\n");
+    std::printf("(paper Sec. 6.1: gem5 O3 + SPECcast slices; here: "
+                "the in-tree O3 timestamp model on synthetic SPEC-like "
+                "mixes)\n\n");
+
+    printTable5();
+
+    const std::vector<int> latencies = {3, 4, 5, 6, 15, 30};
+    const std::vector<ProgramMix> mixes = uarch::figure14Mixes();
+
+    // Baseline at the stock 3-cycle IMUL.
+    std::vector<double> base_cycles;
+    for (const ProgramMix &mix : mixes) {
+        base_cycles.push_back(static_cast<double>(
+            uarch::runMixAtImulLatency(mix, kInstructions, 3)
+                .cycles));
+    }
+
+    util::TablePrinter t({"IMUL latency", "geomean slowdown",
+                          "x264-like slowdown", "worst mix"});
+    for (int lat : latencies) {
+        std::vector<double> ratios;
+        double x264 = 0.0;
+        double worst = 0.0;
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            const CoreStats s = uarch::runMixAtImulLatency(
+                mixes[m], kInstructions, lat);
+            const double ratio =
+                static_cast<double>(s.cycles) / base_cycles[m];
+            ratios.push_back(ratio);
+            worst = std::max(worst, ratio - 1.0);
+            if (mixes[m].name == "x264-like")
+                x264 = ratio - 1.0;
+        }
+        const double gm = sim::gmeanDelta([&] {
+            std::vector<double> deltas;
+            for (double r : ratios)
+                deltas.push_back(r - 1.0);
+            return deltas;
+        }());
+        t.addRow({util::sformat("%d cycles%s", lat,
+                                lat == 3   ? " (stock)"
+                                : lat == 4 ? " (SUIT)"
+                                           : ""),
+                  util::sformat("%+.3f%%", 100.0 * gm),
+                  util::sformat("%+.3f%%", 100.0 * x264),
+                  util::sformat("%+.3f%%", 100.0 * worst)});
+    }
+    t.print();
+
+    std::printf(
+        "\nPaper reference: +1 cycle costs 0.03%% geomean (n=8) and "
+        "1.60%% for 525.x264 (0.99%% IMUL);\nsmall increments are "
+        "absorbed by out-of-order execution, large latencies scale "
+        "almost linearly.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates Figs. 8-11: the measured DVFS transition waveforms.
+ *  - Fig. 8:  i9-9900K core voltage settling after a request
+ *             (~350 us).
+ *  - Fig. 9:  i9-9900K frequency change (~22 us) with the core
+ *             stall and the late-APERF artifact.
+ *  - Fig. 10: Ryzen 7 7700X frequency change (~668 us), no stall.
+ *  - Fig. 11: Xeon Silver 4208 per-core p-state change: voltage
+ *             first (~335 us), then frequency (~31 us, 27 us stall).
+ */
+
+#include <cstdio>
+
+#include "power/transition.hh"
+#include "util/format.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using namespace suit;
+
+void
+printWave(const char *label, const std::vector<power::WaveformSample>
+                                 &wave,
+          bool freq)
+{
+    std::printf("%s\n%-12s %s\n", label, "t (us)",
+                freq ? "freq (GHz)" : "voltage (mV)");
+    for (std::size_t i = 0; i < wave.size(); i += freq ? 1 : 4) {
+        const auto &s = wave[i];
+        std::printf("%-12s %.3f\n",
+                    util::sformat("%+8.1f", s.timeUs).c_str(),
+                    freq ? s.value * 1e-9 : s.value);
+    }
+    std::printf("\n");
+}
+
+void
+delayStats(const char *label, const power::DelayDistribution &d,
+           util::Rng &rng)
+{
+    util::RunningStats s;
+    for (int i = 0; i < 5000; ++i)
+        s.add(util::ticksToMicroseconds(d.sample(rng)));
+    std::printf("%-34s mean %7.1f us  sigma %6.1f us  max %7.1f us\n",
+                label, s.mean(), s.stddev(), s.max());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT reproduction — Figs. 8-11: DVFS transition "
+                "delays\n\n");
+
+    util::Rng rng(2024);
+    const auto i9 = power::i9_9900kTransitionModel();
+    const auto amd = power::ryzen7700xTransitionModel();
+    const auto xeon = power::xeon4208TransitionModel();
+
+    std::printf("Sampled delay statistics (paper Sec. 5.2):\n");
+    delayStats("i9-9900K voltage change", i9.voltageChange, rng);
+    delayStats("i9-9900K frequency change", i9.freqChange, rng);
+    delayStats("7700X frequency change", amd.freqChange, rng);
+    delayStats("Xeon 4208 voltage change", xeon.voltageChange, rng);
+    delayStats("Xeon 4208 frequency change", xeon.freqChange, rng);
+    delayStats("Xeon 4208 frequency stall", xeon.freqChangeStall, rng);
+    std::printf("(paper: 350 / 22 / 668 / 335 / 31 / 27 us)\n\n");
+
+    printWave("Fig. 8 — i9-9900K voltage after resetting a -100 mV "
+              "offset at t=0:",
+              power::voltageStepWaveform(i9, 800.0, 900.0, rng, 25.0),
+              false);
+
+    printWave("Fig. 9 — i9-9900K frequency change 3.0 -> 2.6 GHz "
+              "(note the sample gap: the core stalls):",
+              power::frequencyStepWaveform(i9, 3.0e9, 2.6e9, rng, 3.0),
+              true);
+
+    printWave("Fig. 10 — 7700X frequency change 4.5 -> 2.0 GHz "
+              "(gradual, no stall):",
+              power::frequencyStepWaveform(amd, 4.5e9, 2.0e9, rng,
+                                           60.0),
+              true);
+
+    printWave("Fig. 11 — Xeon 4208 p-state change (voltage leads "
+              "frequency; stall at the end):",
+              power::frequencyStepWaveform(xeon, 3.0e9, 2.6e9, rng,
+                                           4.0),
+              true);
+
+    return 0;
+}

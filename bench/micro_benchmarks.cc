@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * software emulation payloads (what the OS runs on every trapped
+ * instruction), trace generation and the two simulators.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/params.hh"
+#include "emu/aes.hh"
+#include "emu/dispatcher.hh"
+#include "emu/simd_ops.hh"
+#include "sim/domain_sim.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+#include "uarch/o3_model.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace suit;
+
+void
+BM_EmulateVor(benchmark::State &state)
+{
+    util::Rng rng(1);
+    const emu::Vec256 a(rng.next(), rng.next(), rng.next(), rng.next());
+    const emu::Vec256 b(rng.next(), rng.next(), rng.next(), rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            emu::emulate({isa::FaultableKind::VOR, a, b, 0}));
+    }
+}
+BENCHMARK(BM_EmulateVor);
+
+void
+BM_EmulateClmul(benchmark::State &state)
+{
+    util::Rng rng(2);
+    const emu::Vec256 a(rng.next(), rng.next(), rng.next(), rng.next());
+    const emu::Vec256 b(rng.next(), rng.next(), rng.next(), rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            emu::emulate({isa::FaultableKind::VPCLMULQDQ, a, b, 0x11}));
+    }
+}
+BENCHMARK(BM_EmulateClmul);
+
+void
+BM_AesencReference(benchmark::State &state)
+{
+    emu::AesBlock s{}, k{};
+    for (int i = 0; i < 16; ++i) {
+        s[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i * 17);
+        k[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i * 31 + 5);
+    }
+    for (auto _ : state) {
+        s = emu::aesencRound(s, k);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_AesencReference);
+
+void
+BM_AesencBitsliced(benchmark::State &state)
+{
+    emu::AesBlock s{}, k{};
+    for (int i = 0; i < 16; ++i) {
+        s[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i * 17);
+        k[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i * 31 + 5);
+    }
+    for (auto _ : state) {
+        s = emu::aesencRoundBitsliced(s, k);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_AesencBitsliced);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &profile = trace::profileByName("502.gcc");
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const trace::Trace t =
+            trace::TraceGenerator(seed++).generate(profile);
+        benchmark::DoNotOptimize(t.eventCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(profile.totalInstructions));
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_DomainSimulation(benchmark::State &state)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const auto &profile = trace::profileByName("502.gcc");
+    const trace::Trace t = trace::TraceGenerator(3).generate(profile);
+
+    sim::SimConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.params = core::optimalParams(cpu);
+    for (auto _ : state) {
+        sim::DomainSimulator sim(cfg, {{&t, &profile}});
+        benchmark::DoNotOptimize(sim.run().traps);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(t.eventCount()));
+}
+BENCHMARK(BM_DomainSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_O3ModelRate(benchmark::State &state)
+{
+    const uarch::Program prog = uarch::ProgramGenerator(5).generate(
+        uarch::specIntLikeMix(), 100'000);
+    for (auto _ : state) {
+        uarch::O3Model core;
+        benchmark::DoNotOptimize(core.run(prog).cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(prog.insts.size()));
+}
+BENCHMARK(BM_O3ModelRate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

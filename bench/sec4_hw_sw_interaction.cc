@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Demonstrates the Fig. 3 hardware-software wiring end to end at
+ * cycle level on the SuitMachine (the analogue of the paper's gem5 +
+ * modified-Linux setup, Sec. 6.1): MSR programming, the precise #DO
+ * at dispatch, the OS strategy switching the DVFS curve, the
+ * deadline timer with touch semantics, and the resulting wall-clock
+ * energy balance vs a stock machine.
+ */
+
+#include <cstdio>
+
+#include "core/params.hh"
+#include "uarch/machine.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace suit;
+using namespace suit::uarch;
+
+Program
+burstyProgram(std::size_t count)
+{
+    ProgramMix mix = specIntLikeMix();
+    mix.weights[static_cast<std::size_t>(OpClass::SimdAlu)] = 0.0;
+    Program p = ProgramGenerator(21).generate(mix, count);
+    // Four SIMD bursts spread over the run.
+    for (std::size_t at = count / 5; at < count;
+         at += count / 5) {
+        for (std::size_t i = at; i < at + 60 && i < count; ++i) {
+            p.insts[i].op = OpClass::SimdAlu;
+            p.insts[i].faultable = isa::FaultableKind::VXOR;
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT reproduction — Sec. 4: hardware-software "
+                "interaction on the cycle-level machine\n\n");
+
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    SuitMachine::Config cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.strategy = core::StrategyKind::CombinedFv;
+    cfg.params = core::optimalParams(cpu);
+    SuitMachine machine(cfg);
+
+    const Program p = burstyProgram(20'000'000);
+    const MachineResult base = machine.runBaseline(p);
+    const MachineResult suit_run = machine.runSuit(p);
+
+    std::printf("MSR state after enabling SUIT:\n");
+    std::printf("  DVFS_CURVE      = %llu (efficient)\n",
+                static_cast<unsigned long long>(
+                    machine.msrs().read(os::MSR_SUIT_DVFS_CURVE)));
+    std::printf("  DISABLE_OPCODE  = 0x%03llx (= trap set: all of "
+                "Table 1 except the hardened IMUL)\n\n",
+                static_cast<unsigned long long>(
+                    machine.msrs().read(os::MSR_SUIT_DISABLE_OPCODE)));
+
+    util::TablePrinter t({"Run", "IMUL", "cycles", "wall time",
+                          "power", "energy", "traps", "onE"});
+    auto row = [&](const char *name, const char *imul,
+                   const MachineResult &r) {
+        t.addRow({name, imul,
+                  util::sformat("%.2fM", r.stats.cycles / 1e6),
+                  util::sformat("%.2f ms", 1e3 * r.seconds),
+                  util::sformat("%.3fx", r.powerFactor),
+                  util::sformat("%.3fx", r.energyFactorVs(base)),
+                  util::sformat("%llu", static_cast<unsigned long long>(
+                                            r.stats.traps)),
+                  util::sformat("%.1f%%", 100 * r.efficientShare)});
+    };
+    row("stock CPU", "3 cy", base);
+    row("SUIT", "4 cy", suit_run);
+    t.print();
+
+    std::printf(
+        "\nSequence exercised per burst: #DO at dispatch (pipeline "
+        "drained, no speculative execution of the\ndisabled opcode) "
+        "-> handler switches the curve via frequency, requests the "
+        "voltage -> instructions\nre-enabled, burst runs natively "
+        "touching the deadline timer -> timer expires -> back to the\n"
+        "efficient curve.  The energy column is the end-to-end "
+        "saving including the 4-cycle IMUL cost.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates the Sec. 6.9 security analysis as an executable
+ * experiment: a Plundervolt-style undervolting attack against AES
+ * and IMUL on (a) a baseline CPU and (b) a SUIT CPU, plus the
+ * margin bookkeeping behind the reductionist argument.
+ */
+
+#include <cstdio>
+
+#include "faults/attack.hh"
+#include "power/pstate.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace suit;
+
+    std::printf("SUIT reproduction — Sec. 6.9: security analysis\n\n");
+
+    const power::DvfsCurve curve = power::i9_9900kCurve();
+
+    faults::VminConfig base_cfg;
+    base_cfg.curve = &curve;
+    base_cfg.cores = 4;
+    const faults::VminModel baseline(base_cfg);
+
+    faults::VminConfig suit_cfg = base_cfg;
+    suit_cfg.hardenedImul = true; // the 4-cycle IMUL (Sec. 4.2)
+    const faults::VminModel suit_chip(suit_cfg);
+
+    std::printf("Attack campaigns (5000 victim invocations, DFA "
+                "needs 4 faulty outputs):\n\n");
+    util::TablePrinter t({"Target", "System", "Undervolt", "Faulty",
+                          "Traps", "Key recovery"});
+    for (auto target :
+         {isa::FaultableKind::AESENC, isa::FaultableKind::IMUL}) {
+        faults::AttackConfig cfg;
+        cfg.target = target;
+        cfg.undervoltMv =
+            target == isa::FaultableKind::IMUL ? 115.0 : 180.0;
+
+        const faults::AttackResult base =
+            faults::attackBaseline(baseline, cfg);
+        const faults::AttackResult prot =
+            faults::attackWithSuit(suit_chip, cfg);
+
+        auto row = [&](const char *sys,
+                       const faults::AttackResult &r) {
+            t.addRow({isa::toString(target), sys,
+                      util::sformat("-%.0f mV", cfg.undervoltMv),
+                      util::sformat(
+                          "%llu", static_cast<unsigned long long>(
+                                      r.faultyResults)),
+                      util::sformat(
+                          "%llu",
+                          static_cast<unsigned long long>(r.traps)),
+                      r.keyRecoveryFeasible ? "FEASIBLE" : "no"});
+        };
+        row("baseline", base);
+        row("SUIT", prot);
+        t.addSeparator();
+    }
+    t.print();
+
+    std::printf("\nMargin bookkeeping (the reductionist argument):\n");
+    const double nominal = curve.voltageAtMv(4.5e9);
+    util::TablePrinter m({"Quantity", "Voltage / margin"});
+    m.addRow({"Vendor operating point (4.5 GHz)",
+              util::sformat("%.0f mV", nominal)});
+    m.addRow({"SUIT efficient point (-97 mV)",
+              util::sformat("%.0f mV", nominal - 97.0)});
+    m.addRow({"Shallowest SIMD Vmin (VOR, core 0)",
+              util::sformat("%.0f mV",
+                            baseline.vminMv(
+                                0, isa::FaultableKind::VOR, 4.5e9))});
+    m.addRow({"Stock IMUL Vmin (why it must be hardened)",
+              util::sformat("%.0f mV",
+                            baseline.vminMv(
+                                0, isa::FaultableKind::IMUL,
+                                4.5e9))});
+    m.addRow({"Hardened (4-cycle) IMUL Vmin",
+              util::sformat("%.0f mV",
+                            suit_chip.vminMv(
+                                0, isa::FaultableKind::IMUL,
+                                4.5e9))});
+    m.print();
+
+    std::printf(
+        "\nConclusion: on the efficient curve every member of the "
+        "trap set is disabled (executing one\ntraps and re-executes "
+        "at the vendor-validated conservative point), the hardened "
+        "IMUL's Vmin\nsits below the crash voltage, and the remaining "
+        "instructions keep the exact margins the\nvendor validates "
+        "today — SUIT's security reduces to the security of current "
+        "CPUs.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Table 3 (and the Sec. 5.7 temperature-guardband
+ * analysis): the maximum stable undervolting offset at different
+ * core temperatures of the i9-9900K.
+ */
+
+#include <cstdio>
+
+#include "power/guardband.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace suit;
+
+    std::printf("SUIT reproduction — Table 3: temperature guardband "
+                "(i9-9900K at 4 GHz)\n\n");
+
+    const power::GuardbandModel gb;
+    const power::DvfsCurve curve = power::i9_9900kCurve();
+
+    util::TablePrinter t(
+        {"f_CLK", "Fan RPM", "t_core", "max V_off", "temp band"});
+    struct Row
+    {
+        const char *rpm;
+        double temp_c;
+    };
+    for (const Row &row : {Row{"1800 (max)", 50.0}, Row{"300", 88.0}}) {
+        t.addRow({"4 GHz", row.rpm,
+                  util::sformat("%.0f degC", row.temp_c),
+                  util::sformat("%.0f mV",
+                                gb.maxUndervoltAtTempMv(row.temp_c)),
+                  util::sformat("%.1f mV",
+                                gb.temperatureBandAtMv(row.temp_c))});
+    }
+    t.print();
+
+    const double supply = curve.voltageAtMv(4e9);
+    std::printf("\nTemperature guardband: %.0f mV between %.0f and "
+                "%.0f degC = %.1f%% of the %.0f mV supply at 4 GHz\n",
+                gb.temperatureBandMv, gb.coolTempC, gb.hotTempC,
+                100.0 * gb.temperatureBandMv / supply, supply);
+    std::printf("(paper: 35 mV, 3.5%% of 991 mV)\n\n");
+
+    std::printf("Intermediate temperatures (linear model):\n");
+    util::TablePrinter t2({"t_core", "max V_off"});
+    for (double temp = 50.0; temp <= 88.01; temp += 9.5) {
+        t2.addRow({util::sformat("%.1f degC", temp),
+                   util::sformat("%.1f mV",
+                                 gb.maxUndervoltAtTempMv(temp))});
+    }
+    t2.print();
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Regenerates Table 7: the optimal operating-strategy parameters
+ * (deadline p_dl, thrash window p_ts, exception count p_ec, deadline
+ * factor p_df), found by sweeping each parameter around the paper's
+ * optimum on a representative workload subset, plus the Sec. 6.4
+ * sensitivity observation (+-10 us around the deadline moves the
+ * efficiency by well under a percent).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/params.hh"
+#include "sim/evaluation.hh"
+#include "trace/profile.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace suit;
+
+/** Mean efficiency over a representative workload subset. */
+double
+meanEff(const power::CpuModel &cpu, const core::StrategyParams &params,
+        core::StrategyKind strategy)
+{
+    static const char *kSubset[] = {"557.xz", "538.imagick", "502.gcc",
+                                    "503.bwaves", "520.omnetpp",
+                                    "Nginx"};
+    sim::EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.strategy = strategy;
+    cfg.params = params;
+    double sum = 0.0;
+    for (const char *name : kSubset)
+        sum += sim::runWorkload(cfg, trace::profileByName(name))
+                   .efficiencyDelta();
+    return sum / std::size(kSubset);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT reproduction — Table 7: optimal fV-strategy "
+                "parameters\n\n");
+
+    const power::CpuModel cpu_c = power::cpuC_xeon4208();
+    const power::CpuModel cpu_b = power::cpuB_ryzen7700x();
+
+    util::TablePrinter t({"CPU", "p_dl", "p_ts", "p_ec", "p_df"});
+    const core::StrategyParams fast = core::fastSwitchParams();
+    const core::StrategyParams slow = core::slowSwitchParams();
+    t.addRow({"A & C", util::sformat("%.0f us", fast.deadlineUs),
+              util::sformat("%.0f us", fast.timeSpanUs),
+              util::sformat("%d", fast.maxExceptionCount),
+              util::sformat("%.0f", fast.deadlineFactor)});
+    t.addRow({"B", util::sformat("%.0f us", slow.deadlineUs),
+              util::sformat("%.0f ms", slow.timeSpanUs / 1000.0),
+              util::sformat("%d", slow.maxExceptionCount),
+              util::sformat("%.0f", slow.deadlineFactor)});
+    t.print();
+
+    std::printf("\nDeadline sweep on CPU C (fV, -97 mV, mean "
+                "efficiency over a 6-workload subset):\n");
+    util::TablePrinter sweep({"p_dl", "mean eff", "vs optimum"});
+    const double base = meanEff(cpu_c, fast, core::StrategyKind::CombinedFv);
+    for (double dl : {10.0, 20.0, 30.0, 40.0, 60.0, 120.0}) {
+        core::StrategyParams p = fast;
+        p.deadlineUs = dl;
+        const double eff =
+            meanEff(cpu_c, p, core::StrategyKind::CombinedFv);
+        sweep.addRow({util::sformat("%.0f us%s", dl,
+                                    dl == 30.0 ? " (Table 7)" : ""),
+                      util::sformat("%+.2f%%", 100 * eff),
+                      util::sformat("%+.2f pp", 100 * (eff - base))});
+    }
+    sweep.print();
+
+    std::printf("\nDeadline-factor sweep on CPU C:\n");
+    util::TablePrinter sweep2({"p_df", "mean eff"});
+    for (double df : {1.0, 4.0, 9.0, 14.0, 20.0}) {
+        core::StrategyParams p = fast;
+        p.deadlineFactor = df;
+        sweep2.addRow(
+            {util::sformat("%.0f%s", df, df == 14.0 ? " (Table 7)" : ""),
+             util::sformat("%+.2f%%",
+                           100 * meanEff(cpu_c, p,
+                                         core::StrategyKind::CombinedFv))});
+    }
+    sweep2.print();
+
+    std::printf("\nDeadline sweep on CPU B (f strategy, 668 us "
+                "switches need a much longer deadline):\n");
+    util::TablePrinter sweep3({"p_dl", "mean eff"});
+    for (double dl : {30.0, 200.0, 700.0, 1500.0}) {
+        core::StrategyParams p = core::slowSwitchParams();
+        p.deadlineUs = dl;
+        sweep3.addRow(
+            {util::sformat("%.0f us%s", dl,
+                           dl == 700.0 ? " (Table 7)" : ""),
+             util::sformat("%+.2f%%",
+                           100 * meanEff(cpu_b, p,
+                                         core::StrategyKind::Frequency))});
+    }
+    sweep3.print();
+
+    std::printf("\nPaper reference (Sec. 6.4): the optimum is flat — "
+                "varying the deadline +-10 us changes the mean\n"
+                "efficiency by only ~0.6 pp, so one parameter set "
+                "works across workloads.\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Drive the out-of-order model directly: explore how the SUIT
+ * 4-cycle IMUL affects different instruction mixes, and demonstrate
+ * the full hardware trap path — a #DO raised at dispatch, handled by
+ * a SuitController-style policy that emulates the instruction and
+ * re-arms the disable set.
+ */
+
+#include <cstdio>
+
+#include "emu/dispatcher.hh"
+#include "uarch/o3_model.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace suit;
+using namespace suit::uarch;
+
+void
+latencySensitivity()
+{
+    std::printf("1. IMUL latency sensitivity per mix (400k "
+                "instructions each)\n\n");
+    constexpr std::size_t kCount = 400'000;
+
+    util::TablePrinter t({"Mix", "IPC @3cy", "4cy (SUIT)", "6cy",
+                          "30cy"});
+    for (const ProgramMix &mix : figure14Mixes()) {
+        const CoreStats base = runMixAtImulLatency(mix, kCount, 3);
+        auto slow = [&](int lat) {
+            const CoreStats s = runMixAtImulLatency(mix, kCount, lat);
+            return util::sformat(
+                "%+.2f%%", 100.0 * (static_cast<double>(s.cycles) /
+                                        static_cast<double>(
+                                            base.cycles) -
+                                    1.0));
+        };
+        t.addRow({mix.name, util::sformat("%.2f", base.ipc()),
+                  slow(4), slow(6), slow(30)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+void
+trapPath()
+{
+    std::printf("2. The #DO trap path in the pipeline model\n\n");
+
+    // An AES-heavy program on a core whose SUIT MSR disables the
+    // trap set (everything but the hardened IMUL).
+    CoreConfig cfg;
+    cfg.setImulLatency(4); // SUIT hardware
+    O3Model core(cfg);
+    core.setDisabledSet(isa::FaultableSet::suitTrapSet());
+
+    std::uint64_t handled = 0;
+    core.setTrapHandler([&](isa::FaultableKind kind, std::uint64_t,
+                             std::uint64_t) {
+        ++handled;
+        UarchTrapAction action;
+        // Policy: emulate in place (the service's bursts are short
+        // here); charge the measured round trip plus the software
+        // body at 3 GHz.
+        action.emulate = true;
+        action.extraCycles =
+            1020 + static_cast<std::uint64_t>(
+                       emu::emulationCostCycles(kind));
+        action.newDisabledSet = isa::FaultableSet::suitTrapSet();
+        return action;
+    });
+
+    const Program prog =
+        ProgramGenerator(11).generate(aesServiceMix(), 100'000);
+    const CoreStats with_suit = core.run(prog);
+
+    O3Model baseline(cfg); // nothing disabled
+    const CoreStats stock = baseline.run(prog);
+
+    std::printf("   program: %zu instructions, %llu of them in the "
+                "faultable set\n",
+                prog.insts.size(),
+                static_cast<unsigned long long>(
+                    with_suit.classCounts[static_cast<std::size_t>(
+                        OpClass::Aes)] +
+                    with_suit.classCounts[static_cast<std::size_t>(
+                        OpClass::SimdAlu)]));
+    std::printf("   baseline: %llu cycles (IPC %.2f)\n",
+                static_cast<unsigned long long>(stock.cycles),
+                stock.ipc());
+    std::printf("   SUIT+emulate: %llu cycles (IPC %.2f), %llu #DO "
+                "traps, %llu emulations\n",
+                static_cast<unsigned long long>(with_suit.cycles),
+                with_suit.ipc(),
+                static_cast<unsigned long long>(with_suit.traps),
+                static_cast<unsigned long long>(with_suit.emulated));
+    std::printf("   slowdown: %.1fx — exactly why the OS must switch "
+                "curves, not emulate, for AES services.\n",
+                static_cast<double>(with_suit.cycles) /
+                    static_cast<double>(stock.cycles));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT example — out-of-order model explorer\n\n");
+    latencySensitivity();
+    trapPath();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: simulate SUIT on one workload in ~40 lines.
+ *
+ * Builds the paper's CPU C (Xeon Silver 4208, per-core frequency and
+ * voltage domains), runs the 557.xz workload model under the fV
+ * operating strategy at the -97 mV efficient curve and prints the
+ * performance / power / efficiency impact against the conservative
+ * baseline.
+ */
+
+#include <cstdio>
+
+#include "core/params.hh"
+#include "sim/evaluation.hh"
+#include "trace/profile.hh"
+
+int
+main()
+{
+    using namespace suit;
+
+    // 1. Pick a machine model (DVFS curves, transition delays,
+    //    measured undervolt response).
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+
+    // 2. Configure SUIT: the fV operating strategy with the Table 7
+    //    parameters, on the -97 mV efficient curve (instruction
+    //    variation + 20 % of the aging guardband).
+    sim::EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.strategy = core::StrategyKind::CombinedFv;
+    cfg.params = core::optimalParams(cpu);
+
+    // 3. Run a workload model.
+    const trace::WorkloadProfile &workload =
+        trace::profileByName("557.xz");
+    const sim::DomainResult r = sim::runWorkload(cfg, workload);
+
+    // 4. Read the results.
+    std::printf("SUIT on %s running %s at %.0f mV:\n",
+                cpu.name().c_str(), workload.name.c_str(),
+                cfg.offsetMv);
+    std::printf("  performance: %+6.2f %%\n", 100 * r.perfDelta());
+    std::printf("  power:       %+6.2f %%\n", 100 * r.powerDelta());
+    std::printf("  efficiency:  %+6.2f %%\n",
+                100 * r.efficiencyDelta());
+    std::printf("  time on the efficient curve: %.1f %%\n",
+                100 * r.efficientShare);
+    std::printf("  #DO traps: %llu, p-state switches: %llu\n",
+                static_cast<unsigned long long>(r.traps),
+                static_cast<unsigned long long>(r.pstateSwitches));
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A TLS-like AES service under SUIT, end to end:
+ *
+ *  1. functional layer — encrypt traffic with AES-128 built from the
+ *     AESENC round primitive, and show that the side-channel-
+ *     resilient bit-sliced emulation the #DO handler dispatches
+ *     computes bit-identical ciphertexts;
+ *  2. performance layer — run the Nginx-like AES-burst workload
+ *     under the fV strategy and under emulation, reproducing the
+ *     paper's conclusion that curve switching is the only viable
+ *     strategy for crypto services (Table 6);
+ *  3. security layer — mount a Plundervolt-style undervolting attack
+ *     against the service with and without SUIT.
+ */
+
+#include <cstdio>
+
+#include "core/params.hh"
+#include "emu/aes.hh"
+#include "emu/gcm.hh"
+#include "faults/attack.hh"
+#include "sim/evaluation.hh"
+#include "trace/profile.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace suit;
+
+void
+functionalLayer()
+{
+    std::printf("1. Functional: a TLS record through AES-128-GCM "
+                "built from the emulation payloads\n");
+    util::Rng rng(99);
+    emu::AesBlock key;
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    const emu::Aes128 aes(key);
+
+    int blocks = 0, matches = 0;
+    for (int i = 0; i < 64; ++i) {
+        emu::AesBlock pt;
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        ++blocks;
+        matches += aes.encrypt(pt) == aes.encryptBitsliced(pt);
+    }
+    std::printf("   %d/%d keystream blocks identical via table-based "
+                "and bit-sliced AESENC rounds.\n",
+                matches, blocks);
+
+    // Seal a TLS-like record with AES-GCM (AESENC keystream +
+    // carry-less-multiply GHASH — both Table 1 instructions).
+    const emu::Aes128Gcm gcm(key);
+    std::vector<std::uint8_t> iv(12), record(1200), aad(5);
+    for (auto &b : iv)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    for (auto &b : record)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    const emu::GcmSealed sealed = gcm.seal(iv, record, aad);
+
+    std::vector<std::uint8_t> decrypted;
+    const bool ok =
+        gcm.open(iv, sealed.ciphertext, sealed.tag, &decrypted, aad);
+    auto tampered = sealed.ciphertext;
+    tampered[100] ^= 1;
+    std::vector<std::uint8_t> scratch;
+    const bool tamper_rejected =
+        !gcm.open(iv, tampered, sealed.tag, &scratch, aad);
+    std::printf("   1200-byte record sealed; authenticated open %s, "
+                "tampered record %s.\n\n",
+                ok && decrypted == record ? "OK" : "FAILED",
+                tamper_rejected ? "rejected" : "ACCEPTED (!)");
+}
+
+void
+performanceLayer()
+{
+    std::printf("2. Performance: the AES-burst service under SUIT "
+                "(CPU C, -97 mV)\n");
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const auto &profile = trace::nginxProfile();
+
+    sim::EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.params = core::optimalParams(cpu);
+
+    for (core::StrategyKind strategy :
+         {core::StrategyKind::CombinedFv,
+          core::StrategyKind::Emulation}) {
+        cfg.strategy = strategy;
+        const sim::DomainResult r = sim::runWorkload(cfg, profile);
+        std::printf("   strategy %-2s: perf %+7.2f %%, power %+6.2f "
+                    "%%, eff %+7.2f %%  (%llu traps)\n",
+                    core::toString(strategy), 100 * r.perfDelta(),
+                    100 * r.powerDelta(), 100 * r.efficiencyDelta(),
+                    static_cast<unsigned long long>(r.traps));
+    }
+    std::printf("   -> every AES instruction through the 0.77 us "
+                "emulation round trip is prohibitive;\n      curve "
+                "switching rides the bursts out at CV instead "
+                "(Fig. 6).\n\n");
+}
+
+void
+securityLayer()
+{
+    std::printf("3. Security: undervolting fault attack on the "
+                "service key\n");
+    const power::DvfsCurve curve = power::i9_9900kCurve();
+    faults::VminConfig vcfg;
+    vcfg.curve = &curve;
+    vcfg.cores = 4;
+    vcfg.hardenedImul = true;
+    const faults::VminModel chip(vcfg);
+
+    faults::AttackConfig acfg;
+    acfg.target = isa::FaultableKind::AESENC;
+    acfg.attempts = 3000;
+
+    const faults::AttackResult base =
+        faults::attackBaseline(chip, acfg);
+    const faults::AttackResult prot =
+        faults::attackWithSuit(chip, acfg);
+
+    std::printf("   without SUIT: %llu faulty ciphertexts out of %llu "
+                "-> key recovery %s\n",
+                static_cast<unsigned long long>(base.faultyResults),
+                static_cast<unsigned long long>(base.attempts),
+                base.keyRecoveryFeasible ? "FEASIBLE (DFA)" : "no");
+    std::printf("   with SUIT:    %llu faulty ciphertexts (%llu #DO "
+                "traps re-executed at the safe point)\n",
+                static_cast<unsigned long long>(prot.faultyResults),
+                static_cast<unsigned long long>(prot.traps));
+    std::printf("   -> the disabled AESENC never runs below its "
+                "Vmin; the attack surface is gone.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SUIT example — secure AES service\n\n");
+    functionalLayer();
+    performanceLayer();
+    securityLayer();
+    return 0;
+}

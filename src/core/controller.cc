@@ -1,0 +1,143 @@
+#include "core/controller.hh"
+
+#include "isa/faultable.hh"
+#include "util/logging.hh"
+
+namespace suit::core {
+
+using suit::isa::FaultableSet;
+using suit::os::Msr;
+using suit::os::MsrWriteResult;
+using suit::power::SuitPState;
+
+SuitController::SuitController(CpuControl &cpu, suit::os::MsrFile &msrs,
+                               StrategyKind kind,
+                               const StrategyParams &params)
+    : cpu_(cpu), msrs_(msrs), strategy_(makeStrategy(kind, params))
+{
+    installMsrHooks();
+}
+
+void
+SuitController::installMsrHooks()
+{
+    // Hardware invariant (Sec. 3.2): the efficient curve can only be
+    // selected while every instruction of the trap set is disabled.
+    msrs_.setWriteHook(
+        Msr::MSR_SUIT_DVFS_CURVE, [this](std::uint64_t value) {
+            if (value == 0)
+                return MsrWriteResult::Ok; // conservative: always fine
+            const FaultableSet disabled = FaultableSet::fromBits(
+                static_cast<std::uint32_t>(
+                    msrs_.read(Msr::MSR_SUIT_DISABLE_OPCODE)));
+            const FaultableSet required = FaultableSet::suitTrapSet();
+            for (auto kind : suit::isa::allFaultableKinds()) {
+                if (required.contains(kind) && !disabled.contains(kind))
+                    return MsrWriteResult::Fault;
+            }
+            return MsrWriteResult::Ok;
+        });
+
+    // Symmetrically, the trap set cannot be shrunk while the domain
+    // runs on the efficient curve.
+    msrs_.setWriteHook(
+        Msr::MSR_SUIT_DISABLE_OPCODE, [this](std::uint64_t value) {
+            if (msrs_.read(Msr::MSR_SUIT_DVFS_CURVE) == 0)
+                return MsrWriteResult::Ok;
+            const FaultableSet next = FaultableSet::fromBits(
+                static_cast<std::uint32_t>(value));
+            const FaultableSet required = FaultableSet::suitTrapSet();
+            for (auto kind : suit::isa::allFaultableKinds()) {
+                if (required.contains(kind) && !next.contains(kind))
+                    return MsrWriteResult::Fault;
+            }
+            return MsrWriteResult::Ok;
+        });
+}
+
+void
+SuitController::enable()
+{
+    SUIT_ASSERT(!enabled_, "SUIT already enabled on this domain");
+    MsrWriteResult r =
+        msrs_.write(Msr::MSR_SUIT_DISABLE_OPCODE,
+                    FaultableSet::suitTrapSet().bits());
+    SUIT_ASSERT(r == MsrWriteResult::Ok, "disable-opcode MSR rejected");
+    r = msrs_.write(Msr::MSR_SUIT_DVFS_CURVE, 1);
+    SUIT_ASSERT(r == MsrWriteResult::Ok, "curve-select MSR rejected");
+
+    cpu_.setInstructionsDisabled(true);
+    cpu_.changePStateAsync(SuitPState::Efficient);
+    enabled_ = true;
+}
+
+void
+SuitController::disable()
+{
+    SUIT_ASSERT(enabled_, "SUIT not enabled on this domain");
+    // Order matters: leave the efficient curve first, then the
+    // instruction set may be re-enabled.
+    cpu_.changePStateWait(SuitPState::ConservativeVolt);
+    MsrWriteResult r = msrs_.write(Msr::MSR_SUIT_DVFS_CURVE, 0);
+    SUIT_ASSERT(r == MsrWriteResult::Ok, "curve-select MSR rejected");
+    r = msrs_.write(Msr::MSR_SUIT_DISABLE_OPCODE, 0);
+    SUIT_ASSERT(r == MsrWriteResult::Ok, "disable-opcode MSR rejected");
+    cpu_.setInstructionsDisabled(false);
+    enabled_ = false;
+}
+
+TrapAction
+SuitController::handleDisabledOpcode(const suit::os::TrapFrame &frame)
+{
+    SUIT_ASSERT(enabled_, "#DO delivered while SUIT is off");
+    return strategy_->onDisabledOpcode(cpu_, frame);
+}
+
+void
+SuitController::handleTimerInterrupt()
+{
+    SUIT_ASSERT(enabled_, "deadline interrupt while SUIT is off");
+    strategy_->onTimerInterrupt(cpu_);
+}
+
+StrategyKind
+selectStrategy(const suit::power::CpuModel &cpu,
+               const suit::trace::Trace &trace,
+               const StrategyParams &params)
+{
+    // Convert the deadline into instructions to delimit bursts.
+    const double instr_per_s = trace.ipc() * cpu.baseFreqHz();
+    const double deadline_instr =
+        params.deadlineUs * 1e-6 * instr_per_s;
+
+    std::uint64_t bursts = 0;
+    const std::uint64_t events = trace.eventCount();
+    for (const auto &e : trace.events()) {
+        if (static_cast<double>(e.gap) > deadline_instr)
+            ++bursts;
+    }
+    const double duration_s =
+        static_cast<double>(trace.totalInstructions()) / instr_per_s;
+
+    // Emulation pays the round trip per *real* faultable instruction
+    // (each trace event may stand for eventWeight of them); switching
+    // pays two frequency changes plus one deadline of reduced-clock
+    // residency per burst.
+    const double emu_overhead_s = static_cast<double>(events) *
+                                  trace.eventWeight() *
+                                  cpu.emulationCallUs() * 1e-6;
+    const double per_switch_us =
+        2.0 * cpu.transitions().freqChange.meanUs + params.deadlineUs;
+    const double switch_overhead_s =
+        static_cast<double>(bursts) * per_switch_us * 1e-6;
+
+    if (emu_overhead_s <= switch_overhead_s ||
+        emu_overhead_s < 0.001 * duration_s) {
+        return StrategyKind::Emulation;
+    }
+    return cpu.transitions().independentVoltageControl
+               ? StrategyKind::CombinedFv
+               : StrategyKind::Frequency;
+}
+
+} // namespace suit::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The SUIT controller: the OS-side façade tying everything together.
+ *
+ * One controller manages one DVFS domain: it programs the SUIT MSRs
+ * (disable-opcode set, curve select), owns the operating strategy and
+ * fields the #DO exceptions and deadline interrupts the hardware
+ * delivers.  The hardware-enforced invariant of paper Sec. 3.2 — the
+ * efficient curve is only reachable while the faultable set is
+ * disabled — lives in the MSR write hooks installed here.
+ */
+
+#ifndef SUIT_CORE_CONTROLLER_HH
+#define SUIT_CORE_CONTROLLER_HH
+
+#include <memory>
+
+#include "core/cpu_iface.hh"
+#include "core/strategy.hh"
+#include "os/msr.hh"
+#include "trace/trace.hh"
+
+namespace suit::core {
+
+/** OS-side manager of one SUIT-capable DVFS domain. */
+class SuitController
+{
+  public:
+    /**
+     * @param cpu hardware control handle for the domain.
+     * @param msrs the domain's MSR file (hooks are installed).
+     * @param kind which operating strategy to run.
+     * @param params strategy parameters (Table 7).
+     */
+    SuitController(CpuControl &cpu, suit::os::MsrFile &msrs,
+                   StrategyKind kind, const StrategyParams &params);
+
+    /**
+     * Turn SUIT on: disable the faultable set (all of Table 1 except
+     * the statically hardened IMUL) and move to the efficient curve.
+     */
+    void enable();
+
+    /** Turn SUIT off: conservative curve, everything enabled. */
+    void disable();
+
+    /** True between enable() and disable(). */
+    bool enabled() const { return enabled_; }
+
+    /** Hardware upcall: a disabled instruction was fetched. */
+    TrapAction handleDisabledOpcode(const suit::os::TrapFrame &frame);
+
+    /** Hardware upcall: the deadline timer expired. */
+    void handleTimerInterrupt();
+
+    /** The active strategy. */
+    OperatingStrategy &strategy() { return *strategy_; }
+    const OperatingStrategy &strategy() const { return *strategy_; }
+
+  private:
+    CpuControl &cpu_;
+    suit::os::MsrFile &msrs_;
+    std::unique_ptr<OperatingStrategy> strategy_;
+    bool enabled_ = false;
+
+    void installMsrHooks();
+};
+
+/**
+ * OS policy choosing the best strategy for a workload (paper
+ * Sec. 6.6/6.8: "the operating system can dynamically choose the
+ * best operating strategy for each workload").  Compares the
+ * expected per-time overhead of emulating every trapped instruction
+ * against switching curves per burst.
+ *
+ * @param cpu the machine.
+ * @param trace a representative trace of the workload.
+ * @param params strategy parameters (supplies the deadline used to
+ *        delimit bursts).
+ * @return Emulation where traps are rare enough, otherwise the best
+ *         switching strategy the CPU supports (fV needs independent
+ *         voltage control; CPU B falls back to f).
+ */
+StrategyKind selectStrategy(const suit::power::CpuModel &cpu,
+                            const suit::trace::Trace &trace,
+                            const StrategyParams &params);
+
+} // namespace suit::core
+
+#endif // SUIT_CORE_CONTROLLER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The hardware control surface an operating strategy drives.
+ *
+ * This is the C++ rendering of the interface in the paper's
+ * Listing 1: the OS can switch the DVFS curve synchronously or
+ * asynchronously, (re-)enable the faultable instructions and arm the
+ * deadline timer.  Both the event-based trace simulator and the
+ * microarchitectural model implement it.
+ */
+
+#ifndef SUIT_CORE_CPU_IFACE_HH
+#define SUIT_CORE_CPU_IFACE_HH
+
+#include "power/cpu_model.hh"
+#include "util/ticks.hh"
+
+namespace suit::core {
+
+/** Per-DVFS-domain control handle given to operating strategies. */
+class CpuControl
+{
+  public:
+    virtual ~CpuControl() = default;
+
+    /**
+     * Request a p-state and stall execution until it takes effect
+     * (Listing 1: change_pstate_wait).  Frequency-led switches are
+     * fast (tens of us); voltage-led ones take hundreds.
+     */
+    virtual void changePStateWait(suit::power::SuitPState target) = 0;
+
+    /**
+     * Request a p-state asynchronously (change_pstate_async): the
+     * program keeps running at the current operating point while the
+     * regulator works; a newer request supersedes a pending one.
+     */
+    virtual void changePStateAsync(suit::power::SuitPState target) = 0;
+
+    /**
+     * Cancel an in-flight asynchronous p-state request, leaving the
+     * domain at its current operating point.  Used when a #DO trap
+     * arrives while the domain is already drifting back toward the
+     * efficient curve.
+     */
+    virtual void cancelPendingPState() = 0;
+
+    /**
+     * Set whether the faultable instruction set is disabled (true =
+     * executing one raises #DO).  The hardware refuses to *enable*
+     * the instructions while the domain is on the efficient curve.
+     */
+    virtual void setInstructionsDisabled(bool disabled) = 0;
+
+    /**
+     * Arm the hardware deadline timer with a reload value.  The
+     * count-down restarts whenever a faultable instruction executes;
+     * on expiry the strategy's onTimerInterrupt() runs and the timer
+     * disarms until re-armed.
+     */
+    virtual void setTimerInterrupt(suit::util::Tick reload) = 0;
+
+    /** The domain's current p-state. */
+    virtual suit::power::SuitPState currentPState() const = 0;
+
+    /** Whether the faultable set is currently disabled. */
+    virtual bool instructionsDisabled() const = 0;
+
+    /** Current simulated time. */
+    virtual suit::util::Tick now() const = 0;
+};
+
+} // namespace suit::core
+
+#endif // SUIT_CORE_CPU_IFACE_HH

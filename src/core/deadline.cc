@@ -1,0 +1,47 @@
+#include "core/deadline.hh"
+
+#include "util/logging.hh"
+
+namespace suit::core {
+
+using suit::util::Tick;
+
+void
+DeadlineTimer::arm(Tick now, Tick reload)
+{
+    SUIT_ASSERT(reload > 0, "deadline reload must be positive");
+    armed_ = true;
+    reload_ = reload;
+    expiry_ = now + reload;
+}
+
+void
+DeadlineTimer::touch(Tick now)
+{
+    if (armed_)
+        expiry_ = now + reload_;
+}
+
+void
+DeadlineTimer::cancel()
+{
+    armed_ = false;
+}
+
+Tick
+DeadlineTimer::expiry() const
+{
+    SUIT_ASSERT(armed_, "expiry() on a disarmed timer");
+    return expiry_;
+}
+
+bool
+DeadlineTimer::checkExpired(Tick now)
+{
+    if (!armed_ || now < expiry_)
+        return false;
+    armed_ = false;
+    return true;
+}
+
+} // namespace suit::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The hardware deadline timer (paper Sec. 4.1).
+ *
+ * A count-down register initialised with the deadline.  Executing a
+ * would-be-disabled instruction resets the count-down; when it hits
+ * zero an interrupt fires so the OS can switch back to the efficient
+ * DVFS curve.  This value type tracks the arm/reset/expire state in
+ * simulated time.
+ */
+
+#ifndef SUIT_CORE_DEADLINE_HH
+#define SUIT_CORE_DEADLINE_HH
+
+#include "util/ticks.hh"
+
+namespace suit::core {
+
+/** Count-down timer with reset-on-activity semantics. */
+class DeadlineTimer
+{
+  public:
+    /** Arm with a reload value; the count-down starts at @p now. */
+    void arm(suit::util::Tick now, suit::util::Tick reload);
+
+    /**
+     * A faultable instruction executed at @p now: restart the
+     * count-down (no-op while disarmed).
+     */
+    void touch(suit::util::Tick now);
+
+    /** Disarm without firing. */
+    void cancel();
+
+    /** True while armed. */
+    bool armed() const { return armed_; }
+
+    /** Absolute expiry time (valid only while armed). */
+    suit::util::Tick expiry() const;
+
+    /**
+     * Check for expiry: returns true exactly once when @p now has
+     * reached the expiry time, disarming the timer.
+     */
+    bool checkExpired(suit::util::Tick now);
+
+  private:
+    bool armed_ = false;
+    suit::util::Tick reload_ = 0;
+    suit::util::Tick expiry_ = 0;
+};
+
+} // namespace suit::core
+
+#endif // SUIT_CORE_DEADLINE_HH

@@ -1,0 +1,47 @@
+#include "core/params.hh"
+
+namespace suit::core {
+
+using suit::util::microsecondsToTicks;
+using suit::util::Tick;
+
+Tick
+StrategyParams::deadlineTicks() const
+{
+    return microsecondsToTicks(deadlineUs);
+}
+
+Tick
+StrategyParams::timeSpanTicks() const
+{
+    return microsecondsToTicks(timeSpanUs);
+}
+
+Tick
+StrategyParams::boostedDeadlineTicks() const
+{
+    return microsecondsToTicks(deadlineUs * deadlineFactor);
+}
+
+StrategyParams
+fastSwitchParams()
+{
+    return StrategyParams{30.0, 450.0, 3, 14.0};
+}
+
+StrategyParams
+slowSwitchParams()
+{
+    return StrategyParams{700.0, 14000.0, 4, 9.0};
+}
+
+StrategyParams
+optimalParams(const suit::power::CpuModel &cpu)
+{
+    // Table 7 keys the parameters off the frequency-change delay:
+    // CPU B's 668 us switches need a much longer deadline.
+    const bool slow = cpu.transitions().freqChange.meanUs > 100.0;
+    return slow ? slowSwitchParams() : fastSwitchParams();
+}
+
+} // namespace suit::core

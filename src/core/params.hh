@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Operating-strategy parameters (paper Sec. 4.3, Table 7).
+ *
+ * Four knobs tune the fV strategy and its thrashing prevention:
+ *   p_dl — the deadline: how long after the last faultable
+ *          instruction SUIT waits before returning to the efficient
+ *          curve;
+ *   p_ts — the look-back window of the thrash detector;
+ *   p_ec — the #DO count within p_ts that signals thrashing;
+ *   p_df — the factor by which the deadline is stretched while
+ *          thrashing.
+ */
+
+#ifndef SUIT_CORE_PARAMS_HH
+#define SUIT_CORE_PARAMS_HH
+
+#include "power/cpu_model.hh"
+#include "util/ticks.hh"
+
+namespace suit::core {
+
+/** The tunables of Sec. 4.3. */
+struct StrategyParams
+{
+    /** Deadline before switching back to the efficient curve (us). */
+    double deadlineUs = 30.0;
+    /** Thrash-detection look-back window (us). */
+    double timeSpanUs = 450.0;
+    /** Exception count within the window that flags thrashing. */
+    int maxExceptionCount = 3;
+    /** Deadline multiplier while thrashing is detected. */
+    double deadlineFactor = 14.0;
+
+    /** Deadline in ticks. */
+    suit::util::Tick deadlineTicks() const;
+    /** Look-back window in ticks. */
+    suit::util::Tick timeSpanTicks() const;
+    /** Stretched deadline in ticks. */
+    suit::util::Tick boostedDeadlineTicks() const;
+};
+
+/**
+ * The parameters found optimal by the paper's sweep (Table 7):
+ * {30 us, 450 us, 3, 14} for the fast-switching Intel CPUs A and C,
+ * {700 us, 14 ms, 4, 9} for the slow-switching AMD CPU B.
+ */
+StrategyParams optimalParams(const suit::power::CpuModel &cpu);
+
+/** Table 7 row for fast-switching CPUs (A and C). */
+StrategyParams fastSwitchParams();
+
+/** Table 7 row for slow-switching CPUs (B). */
+StrategyParams slowSwitchParams();
+
+} // namespace suit::core
+
+#endif // SUIT_CORE_PARAMS_HH

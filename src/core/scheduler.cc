@@ -1,0 +1,76 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace suit::core {
+
+using suit::trace::WorkloadProfile;
+
+double
+burstRatePerSecond(const WorkloadProfile &profile)
+{
+    const double instr_per_s = profile.ipc * 3e9;
+    const double cycle_instr =
+        profile.bursts.meanInterBurstGap() +
+        profile.bursts.meanBurstEvents *
+            profile.bursts.meanWithinBurstGap;
+    SUIT_ASSERT(cycle_instr > 0.0, "profile '%s' has no burst cycle",
+                profile.name.c_str());
+    return instr_per_s / cycle_instr;
+}
+
+Placement
+placeRoundRobin(std::size_t tasks, std::size_t sockets,
+                std::size_t cores_per_socket)
+{
+    SUIT_ASSERT(tasks <= sockets * cores_per_socket,
+                "placement needs %zu slots, has %zu", tasks,
+                sockets * cores_per_socket);
+    Placement placement(sockets);
+    for (std::size_t t = 0; t < tasks; ++t)
+        placement[t % sockets].push_back(t);
+    return placement;
+}
+
+double
+offCurveShare(const WorkloadProfile &profile)
+{
+    const double overhead_instr = 95e-6 * profile.ipc * 3e9;
+    return 1.0 -
+           profile.bursts.expectedEfficientShare(overhead_instr);
+}
+
+Placement
+placeSuitAware(const std::vector<const WorkloadProfile *> &profiles,
+               std::size_t sockets, std::size_t cores_per_socket)
+{
+    SUIT_ASSERT(profiles.size() <= sockets * cores_per_socket,
+                "placement needs %zu slots, has %zu", profiles.size(),
+                sockets * cores_per_socket);
+    // Sort task indices by off-curve share, noisiest first, then fill
+    // sockets sequentially: bursty tasks cluster together, leaving
+    // whole domains quiet.
+    std::vector<std::size_t> order(profiles.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return offCurveShare(*profiles[a]) >
+                         offCurveShare(*profiles[b]);
+              });
+
+    Placement placement(sockets);
+    std::size_t socket = 0;
+    for (std::size_t idx : order) {
+        while (placement[socket].size() >= cores_per_socket) {
+            ++socket;
+            SUIT_ASSERT(socket < sockets, "ran out of sockets");
+        }
+        placement[socket].push_back(idx);
+    }
+    return placement;
+}
+
+} // namespace suit::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SUIT-aware task placement (the paper's Sec. 7 outlook: "similar
+ * scheduling methods could also be used in conjunction with SUIT to
+ * minimize DVFS curve changes").
+ *
+ * On CPUs with one shared DVFS domain (CPU A), any core's #DO trap
+ * drags every core off the efficient curve.  A SUIT-aware scheduler
+ * therefore *segregates* workloads by their faultable-burst rate:
+ * bursty tasks share a domain (which parks conservative anyway),
+ * quiet tasks share another (which stays efficient).  A naive
+ * round-robin placement mixes them and loses most of the gain.
+ */
+
+#ifndef SUIT_CORE_SCHEDULER_HH
+#define SUIT_CORE_SCHEDULER_HH
+
+#include <vector>
+
+#include "trace/profile.hh"
+
+namespace suit::core {
+
+/** A placement: taskAssignment[socket] = indices of tasks on it. */
+using Placement = std::vector<std::vector<std::size_t>>;
+
+/**
+ * Estimated faultable-burst arrival rate of a workload (bursts per
+ * second at a 3 GHz reference clock).
+ */
+double burstRatePerSecond(const suit::trace::WorkloadProfile &profile);
+
+/**
+ * The scheduling metric: the share of time this workload would keep
+ * a domain *off* the efficient curve if it ran alone (closed-form
+ * estimate from the burst model under the reference deadline/switch
+ * overhead).  On a shared domain, every tenant's off-share disturbs
+ * all co-tenants, so tasks are segregated by it.
+ */
+double offCurveShare(const suit::trace::WorkloadProfile &profile);
+
+/**
+ * Naive round-robin placement of @p tasks over @p sockets domains
+ * with @p cores_per_socket slots each (the OS default: spread load).
+ */
+Placement placeRoundRobin(std::size_t tasks, std::size_t sockets,
+                          std::size_t cores_per_socket);
+
+/**
+ * SUIT-aware placement: tasks sorted by burst rate and packed so
+ * that bursty tasks share domains and quiet tasks share domains.
+ *
+ * @param profiles one profile per task.
+ */
+Placement
+placeSuitAware(const std::vector<const suit::trace::WorkloadProfile *>
+                   &profiles,
+               std::size_t sockets, std::size_t cores_per_socket);
+
+} // namespace suit::core
+
+#endif // SUIT_CORE_SCHEDULER_HH

@@ -1,0 +1,167 @@
+#include "core/strategy.hh"
+
+#include "util/logging.hh"
+
+namespace suit::core {
+
+using suit::power::SuitPState;
+
+const char *
+toString(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::Emulation:
+        return "e";
+      case StrategyKind::Frequency:
+        return "f";
+      case StrategyKind::Voltage:
+        return "V";
+      case StrategyKind::CombinedFv:
+        return "fV";
+      case StrategyKind::Hybrid:
+        return "e+fV";
+    }
+    return "?";
+}
+
+SwitchingStrategy::SwitchingStrategy(const StrategyParams &params)
+    : params_(params), thrash_(params)
+{
+}
+
+TrapAction
+SwitchingStrategy::onDisabledOpcode(CpuControl &cpu,
+                                    const suit::os::TrapFrame &frame)
+{
+    (void)frame;
+    ++trapCount_;
+
+    // Listing 1: reach a conservative operating point first, then
+    // re-enable the instruction set so the program can continue.
+    // If the trap raced the return to the efficient curve, the
+    // domain is still conservative: just cancel the pending switch.
+    if (cpu.currentPState() == SuitPState::Efficient) {
+        switchToConservative(cpu);
+    } else {
+        cpu.cancelPendingPState();
+        restoreAfterCancel(cpu);
+    }
+    cpu.setInstructionsDisabled(false);
+
+    // Thrashing prevention: stretch the deadline when exceptions
+    // cluster just outside it.
+    thrash_.recordException(cpu.now());
+    if (thrash_.isThrashing(cpu.now())) {
+        ++thrashDetections_;
+        cpu.setTimerInterrupt(params_.boostedDeadlineTicks());
+    } else {
+        cpu.setTimerInterrupt(params_.deadlineTicks());
+    }
+    return TrapAction{false}; // re-execute after the switch
+}
+
+void
+SwitchingStrategy::onTimerInterrupt(CpuControl &cpu)
+{
+    // No faultable instruction for a whole deadline: disable the set
+    // again and drift back to the efficient curve (no need to wait).
+    cpu.setInstructionsDisabled(true);
+    cpu.changePStateAsync(SuitPState::Efficient);
+}
+
+void
+FrequencyStrategy::switchToConservative(CpuControl &cpu)
+{
+    cpu.changePStateWait(SuitPState::ConservativeFreq);
+}
+
+void
+VoltageStrategy::switchToConservative(CpuControl &cpu)
+{
+    cpu.changePStateWait(SuitPState::ConservativeVolt);
+}
+
+void
+CombinedFvStrategy::switchToConservative(CpuControl &cpu)
+{
+    // Quick safety via the frequency, full performance to follow via
+    // the background voltage raise (Fig. 6).
+    cpu.changePStateWait(SuitPState::ConservativeFreq);
+    cpu.changePStateAsync(SuitPState::ConservativeVolt);
+}
+
+void
+CombinedFvStrategy::restoreAfterCancel(CpuControl &cpu)
+{
+    // Still at Cf after the cancelled return: resume the voltage
+    // raise so a long burst again ends at full performance.
+    if (cpu.currentPState() == SuitPState::ConservativeFreq)
+        cpu.changePStateAsync(SuitPState::ConservativeVolt);
+}
+
+TrapAction
+EmulationStrategy::onDisabledOpcode(CpuControl &cpu,
+                                    const suit::os::TrapFrame &frame)
+{
+    (void)cpu;
+    (void)frame;
+    ++trapCount_;
+    // The instruction set stays disabled and the domain stays on the
+    // efficient curve; the handler returns into mapped user-space
+    // emulation code (Sec. 3.4).
+    return TrapAction{true};
+}
+
+void
+EmulationStrategy::onTimerInterrupt(CpuControl &cpu)
+{
+    (void)cpu;
+    SUIT_PANIC("emulation strategy never arms the deadline timer");
+}
+
+HybridStrategy::HybridStrategy(const StrategyParams &params)
+    : CombinedFvStrategy(params), burstDetector_(params)
+{
+}
+
+TrapAction
+HybridStrategy::onDisabledOpcode(CpuControl &cpu,
+                                 const suit::os::TrapFrame &frame)
+{
+    // While already conservative, behave exactly like fV (enable the
+    // set, reset the deadline).
+    if (cpu.currentPState() != SuitPState::Efficient)
+        return CombinedFvStrategy::onDisabledOpcode(cpu, frame);
+
+    burstDetector_.recordException(cpu.now());
+    if (!burstDetector_.isThrashing(cpu.now())) {
+        // Isolated trap: one emulation round trip beats two curve
+        // switches plus a deadline of conservative residency
+        // (Sec. 6.6: emulation is faster for single instructions).
+        ++trapCount_;
+        ++emulatedTraps_;
+        return TrapAction{true};
+    }
+    // Traps are clustering: this is a burst — switch curves.
+    return CombinedFvStrategy::onDisabledOpcode(cpu, frame);
+}
+
+std::unique_ptr<OperatingStrategy>
+makeStrategy(StrategyKind kind, const StrategyParams &params)
+{
+    switch (kind) {
+      case StrategyKind::Emulation:
+        return std::make_unique<EmulationStrategy>();
+      case StrategyKind::Frequency:
+        return std::make_unique<FrequencyStrategy>(params);
+      case StrategyKind::Voltage:
+        return std::make_unique<VoltageStrategy>(params);
+      case StrategyKind::CombinedFv:
+        return std::make_unique<CombinedFvStrategy>(params);
+      case StrategyKind::Hybrid:
+        return std::make_unique<HybridStrategy>(params);
+    }
+    SUIT_PANIC("bad strategy kind %d", static_cast<int>(kind));
+}
+
+} // namespace suit::core

@@ -1,0 +1,47 @@
+#include "core/thrash.hh"
+
+namespace suit::core {
+
+using suit::util::Tick;
+
+ThrashDetector::ThrashDetector(const StrategyParams &params)
+    : params_(params)
+{
+}
+
+void
+ThrashDetector::expire(Tick now) const
+{
+    const Tick window = params_.timeSpanTicks();
+    const Tick cutoff = now > window ? now - window : 0;
+    while (!events_.empty() && events_.front() < cutoff)
+        events_.pop_front();
+}
+
+void
+ThrashDetector::recordException(Tick now)
+{
+    expire(now);
+    events_.push_back(now);
+}
+
+bool
+ThrashDetector::isThrashing(Tick now) const
+{
+    return exceptionsInWindow(now) >= params_.maxExceptionCount;
+}
+
+int
+ThrashDetector::exceptionsInWindow(Tick now) const
+{
+    expire(now);
+    return static_cast<int>(events_.size());
+}
+
+void
+ThrashDetector::reset()
+{
+    events_.clear();
+}
+
+} // namespace suit::core

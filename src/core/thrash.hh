@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thrashing prevention (paper Sec. 4.3).
+ *
+ * If faultable instructions recur just outside the deadline, SUIT
+ * would bounce between curves and pay the switch cost every time.
+ * The OS detects this by counting #DO exceptions within a look-back
+ * window (p_ts); at or above p_ec exceptions the deadline is
+ * stretched by p_df so the CPU settles on the conservative curve.
+ */
+
+#ifndef SUIT_CORE_THRASH_HH
+#define SUIT_CORE_THRASH_HH
+
+#include <deque>
+
+#include "core/params.hh"
+#include "util/ticks.hh"
+
+namespace suit::core {
+
+/** Sliding-window #DO exception counter. */
+class ThrashDetector
+{
+  public:
+    /** @param params supplies p_ts and p_ec. */
+    explicit ThrashDetector(const StrategyParams &params);
+
+    /** Record one #DO exception. */
+    void recordException(suit::util::Tick now);
+
+    /**
+     * True if at least p_ec exceptions (including any recorded at
+     * exactly @p now) fall inside the look-back window.
+     */
+    bool isThrashing(suit::util::Tick now) const;
+
+    /** Exceptions currently inside the window. */
+    int exceptionsInWindow(suit::util::Tick now) const;
+
+    /** Drop all recorded exceptions. */
+    void reset();
+
+  private:
+    StrategyParams params_;
+    mutable std::deque<suit::util::Tick> events_;
+
+    void expire(suit::util::Tick now) const;
+};
+
+} // namespace suit::core
+
+#endif // SUIT_CORE_THRASH_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Emulation dispatch for trapped instructions.
+ *
+ * The #DO handler hands the faulting instruction's operands to this
+ * dispatcher, which computes the architectural result in software
+ * (paper Sec. 3.4).  All operands and results travel in a uniform
+ * 256-bit container so the fault-injection framework can treat every
+ * instruction identically.
+ */
+
+#ifndef SUIT_EMU_DISPATCHER_HH
+#define SUIT_EMU_DISPATCHER_HH
+
+#include "emu/vec.hh"
+#include "isa/faultable.hh"
+
+namespace suit::emu {
+
+/** Operands of one trapped instruction. */
+struct EmuRequest
+{
+    /** Which instruction to emulate. */
+    suit::isa::FaultableKind kind = suit::isa::FaultableKind::VOR;
+    /** First source operand (AES state / IMUL multiplicand in
+     *  word 0). */
+    Vec256 a;
+    /** Second source operand (AES round key / IMUL multiplier). */
+    Vec256 b;
+    /** Immediate (VPSRAD shift count, VPCLMULQDQ selector). */
+    int imm = 0;
+};
+
+/**
+ * Compute the architectural result of @p req using the scalar /
+ * bit-sliced software implementations.
+ *
+ * IMUL returns the 128-bit product in words 0 (low) and 1 (high);
+ * AESENC operates on the low 128 bits (the upper half passes
+ * through, matching the legacy-SSE semantics).
+ */
+Vec256 emulate(const EmuRequest &req);
+
+/**
+ * Approximate cost of the emulation body in CPU cycles, used by the
+ * simulators to charge the software-emulation time on top of the
+ * measured kernel round-trip delay (paper Sec. 5.3).
+ */
+double emulationCostCycles(suit::isa::FaultableKind kind);
+
+} // namespace suit::emu
+
+#endif // SUIT_EMU_DISPATCHER_HH

@@ -1,0 +1,184 @@
+#include "emu/gcm.hh"
+
+#include "util/logging.hh"
+
+namespace suit::emu {
+
+Gf128
+gf128FromBlock(const AesBlock &block)
+{
+    Gf128 e;
+    for (int i = 0; i < 8; ++i) {
+        e.hi = (e.hi << 8) | block[static_cast<std::size_t>(i)];
+        e.lo = (e.lo << 8) | block[static_cast<std::size_t>(i + 8)];
+    }
+    return e;
+}
+
+AesBlock
+gf128ToBlock(const Gf128 &element)
+{
+    AesBlock b{};
+    for (int i = 0; i < 8; ++i) {
+        b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+            element.hi >> (56 - 8 * i));
+        b[static_cast<std::size_t>(i + 8)] =
+            static_cast<std::uint8_t>(element.lo >> (56 - 8 * i));
+    }
+    return b;
+}
+
+Gf128
+gf128Mul(const Gf128 &x, const Gf128 &y)
+{
+    // Right-shift algorithm of SP 800-38D: walk the bits of x from
+    // the most significant bit of byte 0; V starts at y and is
+    // multiplied by the inverse of x each step, with the reduction
+    // constant R = 0xE1 << 120.  All operations are constant time.
+    Gf128 z{};
+    Gf128 v = y;
+    for (int i = 0; i < 128; ++i) {
+        const std::uint64_t x_bit =
+            (i < 64) ? (x.hi >> (63 - i)) & 1
+                     : (x.lo >> (127 - i)) & 1;
+        const std::uint64_t mask_z =
+            0ULL - x_bit; // all-ones if the bit is set
+        z.hi ^= v.hi & mask_z;
+        z.lo ^= v.lo & mask_z;
+
+        const std::uint64_t lsb = v.lo & 1;
+        const std::uint64_t mask_r = 0ULL - lsb;
+        v.lo = (v.lo >> 1) | (v.hi << 63);
+        v.hi = (v.hi >> 1) ^ (mask_r & 0xE100000000000000ULL);
+    }
+    return z;
+}
+
+Gf128
+ghash(const Gf128 &h, const std::vector<std::uint8_t> &data)
+{
+    Gf128 y{};
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+        AesBlock block{};
+        const std::size_t n = std::min<std::size_t>(16,
+                                                    data.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            block[i] = data[off + i];
+        const Gf128 x = gf128FromBlock(block);
+        y.hi ^= x.hi;
+        y.lo ^= x.lo;
+        y = gf128Mul(y, h);
+    }
+    return y;
+}
+
+Aes128Gcm::Aes128Gcm(const AesBlock &key) : aes_(key)
+{
+    h_ = gf128FromBlock(aes_.encryptBitsliced(AesBlock{}));
+}
+
+AesBlock
+Aes128Gcm::counterBlock(const std::vector<std::uint8_t> &iv,
+                        std::uint32_t counter) const
+{
+    SUIT_ASSERT(iv.size() == 12, "GCM here supports 96-bit IVs only");
+    AesBlock j{};
+    for (int i = 0; i < 12; ++i)
+        j[static_cast<std::size_t>(i)] =
+            iv[static_cast<std::size_t>(i)];
+    j[12] = static_cast<std::uint8_t>(counter >> 24);
+    j[13] = static_cast<std::uint8_t>(counter >> 16);
+    j[14] = static_cast<std::uint8_t>(counter >> 8);
+    j[15] = static_cast<std::uint8_t>(counter);
+    return j;
+}
+
+AesBlock
+Aes128Gcm::tagFor(const std::vector<std::uint8_t> &iv,
+                  const std::vector<std::uint8_t> &ciphertext,
+                  const std::vector<std::uint8_t> &aad) const
+{
+    // S = GHASH_H(pad(A) || pad(C) || len64(A) || len64(C)).
+    Gf128 y{};
+    auto absorb = [&](const std::vector<std::uint8_t> &bytes) {
+        for (std::size_t off = 0; off < bytes.size(); off += 16) {
+            AesBlock block{};
+            const std::size_t n =
+                std::min<std::size_t>(16, bytes.size() - off);
+            for (std::size_t i = 0; i < n; ++i)
+                block[i] = bytes[off + i];
+            const Gf128 x = gf128FromBlock(block);
+            y.hi ^= x.hi;
+            y.lo ^= x.lo;
+            y = gf128Mul(y, h_);
+        }
+    };
+    absorb(aad);
+    absorb(ciphertext);
+
+    Gf128 lengths;
+    lengths.hi = static_cast<std::uint64_t>(aad.size()) * 8;
+    lengths.lo = static_cast<std::uint64_t>(ciphertext.size()) * 8;
+    y.hi ^= lengths.hi;
+    y.lo ^= lengths.lo;
+    y = gf128Mul(y, h_);
+
+    // T = E_K(J0) xor S.
+    const AesBlock ekj0 =
+        aes_.encryptBitsliced(counterBlock(iv, 1));
+    AesBlock s = gf128ToBlock(y);
+    for (std::size_t i = 0; i < 16; ++i)
+        s[i] ^= ekj0[i];
+    return s;
+}
+
+GcmSealed
+Aes128Gcm::seal(const std::vector<std::uint8_t> &iv,
+                const std::vector<std::uint8_t> &plaintext,
+                const std::vector<std::uint8_t> &aad) const
+{
+    GcmSealed out;
+    out.ciphertext.resize(plaintext.size());
+    std::uint32_t counter = 2; // J0 uses counter 1
+    for (std::size_t off = 0; off < plaintext.size(); off += 16) {
+        const AesBlock keystream =
+            aes_.encryptBitsliced(counterBlock(iv, counter++));
+        const std::size_t n =
+            std::min<std::size_t>(16, plaintext.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out.ciphertext[off + i] = plaintext[off + i] ^ keystream[i];
+    }
+    out.tag = tagFor(iv, out.ciphertext, aad);
+    return out;
+}
+
+bool
+Aes128Gcm::open(const std::vector<std::uint8_t> &iv,
+                const std::vector<std::uint8_t> &ciphertext,
+                const AesBlock &tag,
+                std::vector<std::uint8_t> *plaintext,
+                const std::vector<std::uint8_t> &aad) const
+{
+    SUIT_ASSERT(plaintext != nullptr, "open() needs an output");
+    const AesBlock expect = tagFor(iv, ciphertext, aad);
+    // Constant-time comparison.
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < 16; ++i)
+        diff |= static_cast<std::uint8_t>(expect[i] ^ tag[i]);
+    if (diff != 0)
+        return false;
+
+    plaintext->resize(ciphertext.size());
+    std::uint32_t counter = 2;
+    for (std::size_t off = 0; off < ciphertext.size(); off += 16) {
+        const AesBlock keystream =
+            aes_.encryptBitsliced(counterBlock(iv, counter++));
+        const std::size_t n =
+            std::min<std::size_t>(16, ciphertext.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            (*plaintext)[off + i] = ciphertext[off + i] ^ keystream[i];
+    }
+    return true;
+}
+
+} // namespace suit::emu

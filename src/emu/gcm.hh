@@ -1,0 +1,106 @@
+/**
+ * @file
+ * AES-128-GCM built entirely from the faultable-instruction
+ * emulation payloads.
+ *
+ * The Nginx workload the paper evaluates is TLS with AES-GCM: AESENC
+ * rounds for the counter-mode keystream and carry-less
+ * multiplication (VPCLMULQDQ) for the GHASH authentication.  This
+ * module assembles those payloads into the full authenticated
+ * cipher, so the secure-service example and tests can push real TLS
+ * records through exactly the instructions SUIT disables, validated
+ * against the NIST GCM test vectors.
+ */
+
+#ifndef SUIT_EMU_GCM_HH
+#define SUIT_EMU_GCM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/aes.hh"
+
+namespace suit::emu {
+
+/** A 128-bit GHASH element, GCM bit convention. */
+struct Gf128
+{
+    /** Bytes 0-7 of the block, big-endian (bit 0 = MSB of byte 0). */
+    std::uint64_t hi = 0;
+    /** Bytes 8-15, big-endian. */
+    std::uint64_t lo = 0;
+
+    bool operator==(const Gf128 &other) const = default;
+};
+
+/** Convert a 16-byte block to the GHASH element representation. */
+Gf128 gf128FromBlock(const AesBlock &block);
+
+/** Convert back to the byte representation. */
+AesBlock gf128ToBlock(const Gf128 &element);
+
+/**
+ * GF(2^128) multiplication with the GCM polynomial
+ * x^128 + x^7 + x^2 + x + 1 in the reflected bit order NIST
+ * SP 800-38D specifies (constant time: no tables, no branches on
+ * data beyond fixed-count loops).
+ */
+Gf128 gf128Mul(const Gf128 &x, const Gf128 &y);
+
+/** GHASH over a byte string (zero-padded to blocks) under key H. */
+Gf128 ghash(const Gf128 &h, const std::vector<std::uint8_t> &data);
+
+/** Result of an authenticated encryption. */
+struct GcmSealed
+{
+    std::vector<std::uint8_t> ciphertext;
+    AesBlock tag{};
+};
+
+/** AES-128-GCM with 96-bit IVs. */
+class Aes128Gcm
+{
+  public:
+    /** Expand the key and derive the GHASH subkey H = E_K(0). */
+    explicit Aes128Gcm(const AesBlock &key);
+
+    /**
+     * Encrypt and authenticate.
+     *
+     * @param iv 12-byte initialisation vector.
+     * @param plaintext message bytes.
+     * @param aad additional authenticated data.
+     */
+    GcmSealed seal(const std::vector<std::uint8_t> &iv,
+                   const std::vector<std::uint8_t> &plaintext,
+                   const std::vector<std::uint8_t> &aad = {}) const;
+
+    /**
+     * Decrypt and verify.
+     *
+     * @param[out] plaintext receives the message on success.
+     * @return false if the tag does not verify (plaintext untouched).
+     */
+    bool open(const std::vector<std::uint8_t> &iv,
+              const std::vector<std::uint8_t> &ciphertext,
+              const AesBlock &tag,
+              std::vector<std::uint8_t> *plaintext,
+              const std::vector<std::uint8_t> &aad = {}) const;
+
+    /** The GHASH subkey (for tests). */
+    const Gf128 &subkey() const { return h_; }
+
+  private:
+    Aes128 aes_;
+    Gf128 h_;
+
+    AesBlock counterBlock(const std::vector<std::uint8_t> &iv,
+                          std::uint32_t counter) const;
+    AesBlock tagFor(const std::vector<std::uint8_t> &iv,
+                    const std::vector<std::uint8_t> &ciphertext,
+                    const std::vector<std::uint8_t> &aad) const;
+};
+
+} // namespace suit::emu
+
+#endif // SUIT_EMU_GCM_HH

@@ -1,0 +1,87 @@
+#include "faults/characterizer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace suit::faults {
+
+using suit::isa::allFaultableKinds;
+using suit::isa::FaultableKind;
+
+Characterizer::Characterizer(const VminModel *model,
+                             CharacterizerConfig config)
+    : model_(model), cfg_(std::move(config))
+{
+    SUIT_ASSERT(model_ != nullptr, "characterizer needs a model");
+    SUIT_ASSERT(!cfg_.freqsHz.empty(), "characterizer needs freqs");
+    SUIT_ASSERT(cfg_.offsetStepMv > 0 && cfg_.maxOffsetMv > 0,
+                "sweep parameters must be positive");
+}
+
+CharacterizationResult
+Characterizer::run()
+{
+    CharacterizationResult result;
+    FaultInjector injector(model_, cfg_.seed);
+    suit::util::Rng operands(cfg_.seed ^ 0xABCDEF);
+
+    suit::util::Rng crash_rng(cfg_.seed + 101);
+    const auto &curve = *model_->config().curve;
+    for (int core = 0; core < model_->config().cores; ++core) {
+        for (double freq : cfg_.freqsHz) {
+            const double nominal = curve.voltageAtMv(freq);
+            // Power-delivery instability: this sweep may hang well
+            // above the silicon's nominal crash voltage.
+            const double early_crash_mv = std::max(
+                0.0, crash_rng.nextGaussian(cfg_.crashJitterMeanMv,
+                                            cfg_.crashJitterSigmaMv));
+            bool crashed = false;
+            for (double off = cfg_.offsetStepMv;
+                 off <= cfg_.maxOffsetMv && !crashed;
+                 off += cfg_.offsetStepMv) {
+                const double supply = nominal - off;
+                if (supply < model_->crashVoltageMv(core, freq) +
+                                 early_crash_mv) {
+                    // The core hangs here; the sweep for this
+                    // operating point ends (Minefield reboots).
+                    crashed = true;
+                    ++result.crashedPoints;
+                    break;
+                }
+                for (FaultableKind kind : allFaultableKinds()) {
+                    bool faulted = false;
+                    for (int s = 0;
+                         s < cfg_.samplesPerPoint && !faulted; ++s) {
+                        suit::emu::EmuRequest req;
+                        req.kind = kind;
+                        req.a = suit::emu::Vec256(
+                            operands.next(), operands.next(),
+                            operands.next(), operands.next());
+                        req.b = suit::emu::Vec256(
+                            operands.next(), operands.next(),
+                            operands.next(), operands.next());
+                        req.imm = static_cast<int>(
+                            operands.nextBelow(16));
+                        const ExecOutcome out = injector.execute(
+                            req, core, freq, supply);
+                        ++result.totalExecutions;
+                        faulted = out.faulted;
+                    }
+                    if (faulted) {
+                        const auto k = static_cast<std::size_t>(kind);
+                        ++result.faultCounts[k];
+                        if (result.firstFaultMv[k] == 0.0 ||
+                            off < result.firstFaultMv[k]) {
+                            result.firstFaultMv[k] = off;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace suit::faults

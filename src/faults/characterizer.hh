@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Undervolting characterization campaign (paper Table 1).
+ *
+ * Reimplements the methodology of Kogler et al.'s Minefield
+ * framework on top of the fault model: for every (core, frequency)
+ * pair, lower the voltage offset step by step, run a batch of test
+ * executions of every faultable instruction at each step, and record
+ * which instructions fault before the core crashes.  A "fault" is
+ * one (core, frequency, offset) combination at which the instruction
+ * misbehaved — the unit Table 1 counts.
+ */
+
+#ifndef SUIT_FAULTS_CHARACTERIZER_HH
+#define SUIT_FAULTS_CHARACTERIZER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "faults/injector.hh"
+#include "faults/vmin_model.hh"
+
+namespace suit::faults {
+
+/** Sweep parameters of the characterization campaign. */
+struct CharacterizerConfig
+{
+    /** Frequencies to test, Hz. */
+    std::vector<double> freqsHz = {4.0e9, 4.5e9, 5.0e9};
+    /** Offset step size (mV, applied negatively). */
+    double offsetStepMv = 20.0;
+    /** Deepest offset to try before giving up (mV, positive value). */
+    double maxOffsetMv = 300.0;
+    /** Test executions per (instruction, operating point). */
+    int samplesPerPoint = 40;
+    /**
+     * Mean / sigma of the early-crash jitter (mV): real sweeps often
+     * end in hangs or reboots well above the nominal crash voltage
+     * because of power-delivery instability, which is why the
+     * low-Vmin stragglers fault so rarely in Table 1.
+     */
+    double crashJitterMeanMv = 55.0;
+    double crashJitterSigmaMv = 25.0;
+    /** RNG seed for operands and fault sampling. */
+    std::uint64_t seed = 99;
+};
+
+/** Results of a campaign. */
+struct CharacterizationResult
+{
+    /** Faulting (core, frequency, offset) combinations per kind. */
+    std::array<int, suit::isa::kNumFaultableKinds> faultCounts{};
+    /**
+     * Shallowest (smallest magnitude) offset at which each kind ever
+     * faulted, in mV; 0 if it never faulted.
+     */
+    std::array<double, suit::isa::kNumFaultableKinds> firstFaultMv{};
+    /** Total test executions performed. */
+    std::uint64_t totalExecutions = 0;
+    /** Points skipped because the core had crashed. */
+    int crashedPoints = 0;
+};
+
+/** Runs Minefield-style undervolting sweeps against a fault model. */
+class Characterizer
+{
+  public:
+    Characterizer(const VminModel *model, CharacterizerConfig config);
+
+    /** Run the full campaign over every core of the model. */
+    CharacterizationResult run();
+
+  private:
+    const VminModel *model_;
+    CharacterizerConfig cfg_;
+};
+
+} // namespace suit::faults
+
+#endif // SUIT_FAULTS_CHARACTERIZER_HH

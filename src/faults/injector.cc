@@ -1,0 +1,43 @@
+#include "faults/injector.hh"
+
+#include "util/logging.hh"
+
+namespace suit::faults {
+
+FaultInjector::FaultInjector(const VminModel *model, std::uint64_t seed)
+    : model_(model), rng_(seed)
+{
+    SUIT_ASSERT(model_ != nullptr, "injector needs a Vmin model");
+}
+
+ExecOutcome
+FaultInjector::execute(const suit::emu::EmuRequest &req, int core,
+                       double freq_hz, double supply_mv)
+{
+    ++execs_;
+    ExecOutcome out;
+    if (supply_mv < model_->crashVoltageMv(core, freq_hz)) {
+        out.crashed = true;
+        return out;
+    }
+
+    out.value = suit::emu::emulate(req);
+    const double p =
+        model_->faultProbability(core, req.kind, freq_hz, supply_mv);
+    if (p > 0.0 && rng_.nextBool(p)) {
+        // Data error: flip one to three result bits.  The faulting
+        // hardware keeps retiring instructions normally.
+        const int flips = 1 + static_cast<int>(rng_.nextBelow(3));
+        for (int i = 0; i < flips; ++i) {
+            const int bit = static_cast<int>(rng_.nextBelow(256));
+            const int lane = bit / 64;
+            out.value.setU64(lane, out.value.u64(lane) ^
+                                       (1ULL << (bit % 64)));
+        }
+        out.faulted = true;
+        ++faults_;
+    }
+    return out;
+}
+
+} // namespace suit::faults

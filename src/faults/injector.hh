@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fault injection for undervolted instruction execution.
+ *
+ * Executes an instruction through the golden software semantics
+ * (suit::emu) and, when the Vmin model says the operating point is
+ * unstable, silently corrupts the result by flipping result bits —
+ * the *data* errors Kogler et al. observed (control logic keeps
+ * working, which is precisely what makes undervolting attacks like
+ * Plundervolt exploitable).
+ */
+
+#ifndef SUIT_FAULTS_INJECTOR_HH
+#define SUIT_FAULTS_INJECTOR_HH
+
+#include <cstdint>
+
+#include "emu/dispatcher.hh"
+#include "faults/vmin_model.hh"
+#include "util/rng.hh"
+
+namespace suit::faults {
+
+/** Result of one (possibly faulted) instruction execution. */
+struct ExecOutcome
+{
+    /** The value the program observes. */
+    suit::emu::Vec256 value;
+    /** True if the value differs from the architectural result. */
+    bool faulted = false;
+    /** True if the core was below its crash voltage (hang). */
+    bool crashed = false;
+};
+
+/** Executes instructions under a voltage condition. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param model Vmin model of the chip (not owned).
+     * @param seed randomness for fault sampling and bit selection.
+     */
+    FaultInjector(const VminModel *model, std::uint64_t seed = 7);
+
+    /**
+     * Execute @p req on @p core at (@p freq_hz, @p supply_mv).
+     *
+     * Above Vmin the architectural result is returned; in the onset
+     * window below Vmin a bit-flipped result may be returned with
+     * the model's probability; below the crash voltage the outcome
+     * is flagged crashed.
+     */
+    ExecOutcome execute(const suit::emu::EmuRequest &req, int core,
+                        double freq_hz, double supply_mv);
+
+    /** Faults injected so far. */
+    std::uint64_t faultCount() const { return faults_; }
+    /** Executions performed so far. */
+    std::uint64_t execCount() const { return execs_; }
+
+  private:
+    const VminModel *model_;
+    suit::util::Rng rng_;
+    std::uint64_t faults_ = 0;
+    std::uint64_t execs_ = 0;
+};
+
+} // namespace suit::faults
+
+#endif // SUIT_FAULTS_INJECTOR_HH

@@ -1,0 +1,81 @@
+#include "faults/vmin_model.hh"
+
+#include <algorithm>
+
+#include "power/guardband.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace suit::faults {
+
+using suit::isa::FaultableKind;
+using suit::isa::kNumFaultableKinds;
+
+VminModel::VminModel(const VminConfig &config) : cfg_(config)
+{
+    SUIT_ASSERT(cfg_.curve != nullptr && cfg_.curve->valid(),
+                "Vmin model needs a DVFS curve");
+    SUIT_ASSERT(cfg_.cores >= 1, "Vmin model needs cores");
+
+    suit::util::Rng rng(cfg_.seed);
+    chipOffsetMv_ = rng.nextGaussian(0.0, cfg_.chipSigmaMv);
+    coreOffsetMv_.resize(static_cast<std::size_t>(cfg_.cores));
+    kindJitterMv_.resize(static_cast<std::size_t>(cfg_.cores));
+    for (int c = 0; c < cfg_.cores; ++c) {
+        coreOffsetMv_[static_cast<std::size_t>(c)] =
+            rng.nextGaussian(0.0, cfg_.coreSigmaMv);
+        for (std::size_t k = 0; k < kNumFaultableKinds; ++k) {
+            // Small per-(core, kind) jitter so the Table 1 ordering
+            // is statistical, not exact, like the real measurements.
+            kindJitterMv_[static_cast<std::size_t>(c)][k] =
+                rng.nextGaussian(0.0, 3.0);
+        }
+    }
+}
+
+double
+VminModel::temperatureShiftMv() const
+{
+    // Linear between the cool and hot references of the guardband
+    // model (35 mV over 50..88 degC); 0 at the hot end where the
+    // crash margin is anchored.
+    const suit::power::GuardbandModel gb;
+    return gb.temperatureBandAtMv(cfg_.temperatureC) -
+           gb.temperatureBandMv;
+}
+
+double
+VminModel::crashVoltageMv(int core, double freq_hz) const
+{
+    SUIT_ASSERT(core >= 0 && core < cfg_.cores, "core %d out of range",
+                core);
+    return cfg_.curve->voltageAtMv(freq_hz) - cfg_.crashMarginMv +
+           temperatureShiftMv() + chipOffsetMv_ +
+           coreOffsetMv_[static_cast<std::size_t>(core)];
+}
+
+double
+VminModel::vminMv(int core, FaultableKind kind, double freq_hz) const
+{
+    // The instruction's Vmin sits `relativeVminMv` above the crash
+    // point: IMUL highest (faults first), VPADDQ lowest.
+    double vmin = crashVoltageMv(core, freq_hz) +
+                  suit::isa::relativeVminMv(kind) +
+                  kindJitterMv_[static_cast<std::size_t>(core)]
+                               [static_cast<std::size_t>(kind)];
+    if (cfg_.hardenedImul && kind == FaultableKind::IMUL)
+        vmin -= cfg_.imulSlackMv;
+    return vmin;
+}
+
+double
+VminModel::faultProbability(int core, FaultableKind kind,
+                            double freq_hz, double supply_mv) const
+{
+    const double vmin = vminMv(core, kind, freq_hz);
+    if (supply_mv >= vmin)
+        return 0.0;
+    return std::min(1.0, (vmin - supply_mv) / cfg_.onsetRampMv);
+}
+
+} // namespace suit::faults

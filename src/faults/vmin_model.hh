@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-instruction minimum-voltage model (paper Secs. 2.3, 5.5).
+ *
+ * Undervolting faults are data errors that appear when the supply
+ * drops below an instruction-specific minimum voltage Vmin.  Vmin
+ * varies between instructions (IMUL first, ~70-150 mV above the
+ * rest), between chips and between cores of one chip (process
+ * variation, Kogler et al.).  This model assigns every
+ * (core, instruction, frequency) triple a Vmin anchored to the
+ * conservative DVFS curve, and a fault probability that ramps up as
+ * the supply sinks below it — faults "very infrequently" right at
+ * the threshold, reliably further down (Murdoch et al.).
+ */
+
+#ifndef SUIT_FAULTS_VMIN_MODEL_HH
+#define SUIT_FAULTS_VMIN_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/faultable.hh"
+#include "power/pstate.hh"
+
+namespace suit::faults {
+
+/** Configuration of the Vmin model. */
+struct VminConfig
+{
+    /** Conservative DVFS curve of the chip (not owned). */
+    const suit::power::DvfsCurve *curve = nullptr;
+    /** Number of cores (each gets its own variation). */
+    int cores = 8;
+    /**
+     * Margin between the curve voltage and the *crash* point where
+     * control logic fails and nothing executes at all (mV).  The
+     * faultable instructions sit inside this band (Fig. 2).
+     */
+    double crashMarginMv = 250.0;
+    /** Chip-to-chip Vmin variation (one draw per model, mV). */
+    double chipSigmaMv = 15.0;
+    /** Core-to-core Vmin variation (one draw per core, mV). */
+    double coreSigmaMv = 8.0;
+    /** Voltage span over which the fault probability ramps 0->1. */
+    double onsetRampMv = 20.0;
+    /**
+     * SUIT hardware: IMUL runs with the 4-cycle pipeline, whose 33 %
+     * timing slack lowers its Vmin by up to 220 mV (paper Sec. 6.9,
+     * Fig. 13) — far below the crash point, so it never faults.
+     */
+    bool hardenedImul = false;
+    /** Vmin reduction of the hardened IMUL (mV). */
+    double imulSlackMv = 220.0;
+    /**
+     * Core temperature in degC.  Vmin rises with temperature: the
+     * paper measured a 35 mV shift between 50 and 88 degC (Table 3,
+     * Sec. 5.7).  The default is the hot end, where the guardbands
+     * are sized.
+     */
+    double temperatureC = 88.0;
+    /** Seed for the variation draws. */
+    std::uint64_t seed = 2024;
+};
+
+/** Deterministic per-chip Vmin assignment with process variation. */
+class VminModel
+{
+  public:
+    explicit VminModel(const VminConfig &config);
+
+    /**
+     * Minimum stable supply voltage for @p kind on @p core at
+     * @p freq_hz, in mV (at the configured core temperature).
+     */
+    double vminMv(int core, suit::isa::FaultableKind kind,
+                  double freq_hz) const;
+
+    /**
+     * Temperature-induced Vmin shift relative to the hot reference
+     * (negative when cooler: a cool core tolerates deeper
+     * undervolting, Table 3).
+     */
+    double temperatureShiftMv() const;
+
+    /** Voltage below which the whole core stops executing. */
+    double crashVoltageMv(int core, double freq_hz) const;
+
+    /**
+     * Probability that one execution of @p kind at @p supply_mv
+     * produces a faulty result: 0 above Vmin, ramping to 1 across
+     * the onset window below it.  Below the crash voltage nothing
+     * executes (the caller should treat that as a hang, not a silent
+     * fault).
+     */
+    double faultProbability(int core, suit::isa::FaultableKind kind,
+                            double freq_hz, double supply_mv) const;
+
+    /** The configuration in effect. */
+    const VminConfig &config() const { return cfg_; }
+
+  private:
+    VminConfig cfg_;
+    double chipOffsetMv_ = 0.0;
+    std::vector<double> coreOffsetMv_;
+    std::vector<std::array<double, suit::isa::kNumFaultableKinds>>
+        kindJitterMv_;
+};
+
+} // namespace suit::faults
+
+#endif // SUIT_FAULTS_VMIN_MODEL_HH

@@ -1,0 +1,34 @@
+#include "os/emulation_service.hh"
+
+#include "util/logging.hh"
+
+namespace suit::os {
+
+EmulationService::EmulationService(const ExceptionTable &table)
+    : table_(table)
+{
+}
+
+EmulationOutcome
+EmulationService::emulate(const suit::emu::EmuRequest &req,
+                          double freq_hz) const
+{
+    EmulationOutcome out;
+    out.result = suit::emu::emulate(req);
+    out.cost = emulationCost(req.kind, freq_hz);
+    return out;
+}
+
+suit::util::Tick
+EmulationService::emulationCost(suit::isa::FaultableKind kind,
+                                double freq_hz) const
+{
+    SUIT_ASSERT(freq_hz > 0.0, "emulation cost needs a clock");
+    ++count_;
+    const double body_s =
+        suit::emu::emulationCostCycles(kind) / freq_hz;
+    return table_.emulationCallCost() +
+           suit::util::secondsToTicks(body_s);
+}
+
+} // namespace suit::os

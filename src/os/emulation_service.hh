@@ -1,0 +1,67 @@
+/**
+ * @file
+ * User-space instruction emulation service (paper Sec. 3.4).
+ *
+ * On a #DO trap the kernel can map emulation code into the faulting
+ * program and return into it; the emulation computes the result with
+ * scalar/bit-sliced code and re-enters the kernel to resume.  The
+ * service below performs the actual computation (via suit::emu) and
+ * accounts the full cost: the measured two-transition round trip
+ * plus the emulation body scaled by the current clock.
+ */
+
+#ifndef SUIT_OS_EMULATION_SERVICE_HH
+#define SUIT_OS_EMULATION_SERVICE_HH
+
+#include <cstdint>
+
+#include "emu/dispatcher.hh"
+#include "os/exception.hh"
+#include "util/ticks.hh"
+
+namespace suit::os {
+
+/** Outcome of emulating one trapped instruction. */
+struct EmulationOutcome
+{
+    /** Architectural result of the instruction. */
+    suit::emu::Vec256 result;
+    /** Total time charged (round trip + body). */
+    suit::util::Tick cost = 0;
+};
+
+/** Computes results and costs for trapped instructions. */
+class EmulationService
+{
+  public:
+    /** @param table exception table supplying the round-trip cost. */
+    explicit EmulationService(const ExceptionTable &table);
+
+    /**
+     * Emulate one instruction.
+     *
+     * @param req operands of the trapped instruction.
+     * @param freq_hz current core frequency (converts the body's
+     *        cycle count into time).
+     */
+    EmulationOutcome emulate(const suit::emu::EmuRequest &req,
+                             double freq_hz) const;
+
+    /**
+     * Cost-only variant for the trace simulator, which knows the
+     * instruction kind but not concrete operand values.
+     */
+    suit::util::Tick emulationCost(suit::isa::FaultableKind kind,
+                                   double freq_hz) const;
+
+    /** Emulations performed so far. */
+    std::uint64_t emulationCount() const { return count_; }
+
+  private:
+    const ExceptionTable &table_;
+    mutable std::uint64_t count_ = 0;
+};
+
+} // namespace suit::os
+
+#endif // SUIT_OS_EMULATION_SERVICE_HH

@@ -1,0 +1,63 @@
+#include "os/exception.hh"
+
+#include "util/logging.hh"
+
+namespace suit::os {
+
+ExceptionTable::ExceptionTable(double exception_delay_us,
+                               double emulation_call_us)
+    : exceptionDelayUs_(exception_delay_us),
+      emulationCallUs_(emulation_call_us)
+{
+    SUIT_ASSERT(exception_delay_us >= 0.0 && emulation_call_us >= 0.0,
+                "exception costs cannot be negative");
+}
+
+int
+ExceptionTable::index(ExceptionVector vec)
+{
+    switch (vec) {
+      case ExceptionVector::InvalidOpcode:
+        return 0;
+      case ExceptionVector::DisabledOpcode:
+        return 1;
+    }
+    SUIT_PANIC("unknown exception vector %d", static_cast<int>(vec));
+}
+
+void
+ExceptionTable::registerHandler(ExceptionVector vec, Handler handler)
+{
+    handlers_[index(vec)] = std::move(handler);
+}
+
+bool
+ExceptionTable::hasHandler(ExceptionVector vec) const
+{
+    return static_cast<bool>(handlers_[index(vec)]);
+}
+
+void
+ExceptionTable::raise(ExceptionVector vec, const TrapFrame &frame)
+{
+    const Handler &h = handlers_[index(vec)];
+    SUIT_ASSERT(h, "exception vector %d raised with no handler "
+                   "installed (double fault)",
+                static_cast<int>(vec));
+    ++raiseCount_;
+    h(frame);
+}
+
+suit::util::Tick
+ExceptionTable::entryCost() const
+{
+    return suit::util::microsecondsToTicks(exceptionDelayUs_);
+}
+
+suit::util::Tick
+ExceptionTable::emulationCallCost() const
+{
+    return suit::util::microsecondsToTicks(emulationCallUs_);
+}
+
+} // namespace suit::os

@@ -1,0 +1,37 @@
+#include "os/msr.hh"
+
+namespace suit::os {
+
+std::uint64_t
+MsrFile::read(std::uint32_t msr) const
+{
+    const auto it = values_.find(msr);
+    return it == values_.end() ? 0 : it->second;
+}
+
+MsrWriteResult
+MsrFile::write(std::uint32_t msr, std::uint64_t value)
+{
+    const auto hook = hooks_.find(msr);
+    if (hook != hooks_.end()) {
+        const MsrWriteResult r = hook->second(value);
+        if (r != MsrWriteResult::Ok)
+            return r;
+    }
+    values_[msr] = value;
+    return MsrWriteResult::Ok;
+}
+
+void
+MsrFile::setWriteHook(std::uint32_t msr, WriteHook hook)
+{
+    hooks_[msr] = std::move(hook);
+}
+
+bool
+MsrFile::wasWritten(std::uint32_t msr) const
+{
+    return values_.count(msr) > 0;
+}
+
+} // namespace suit::os

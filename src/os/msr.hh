@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Model-specific register file.
+ *
+ * SUIT's hardware-software interface is a pair of new MSRs (paper
+ * Secs. 3.2, 3.3): one to disable the faultable instruction set per
+ * DVFS domain and one to select the DVFS curve.  This module models
+ * a per-domain MSR file with write hooks, so the simulated hardware
+ * (trace simulator or uarch model) can react to OS writes exactly
+ * like the real registers would — including the hardware-enforced
+ * invariant that the efficient curve is only reachable while the
+ * faultable instructions are disabled.
+ */
+
+#ifndef SUIT_OS_MSR_HH
+#define SUIT_OS_MSR_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace suit::os {
+
+/** MSR addresses used by the model. */
+enum Msr : std::uint32_t
+{
+    /** Existing p-state request register (Intel semantics). */
+    MSR_IA32_PERF_CTL = 0x199,
+    /** Existing p-state status register. */
+    MSR_IA32_PERF_STATUS = 0x198,
+    /** Undocumented voltage-offset register (paper Sec. 2.4). */
+    MSR_VOLTAGE_OFFSET = 0x150,
+    /** SUIT: bitmask of disabled faultable instructions. */
+    MSR_SUIT_DISABLE_OPCODE = 0x1500,
+    /** SUIT: DVFS curve select (0 conservative, 1 efficient). */
+    MSR_SUIT_DVFS_CURVE = 0x1501,
+    /** SUIT: deadline timer reload value in nanoseconds. */
+    MSR_SUIT_DEADLINE_NS = 0x1502,
+};
+
+/** Result of an MSR write attempt. */
+enum class MsrWriteResult
+{
+    Ok,        //!< value accepted
+    Fault,     //!< #GP: rejected by the hardware (invariant violated)
+    Unknown,   //!< no such register
+};
+
+/**
+ * A flat MSR file with per-register write validation hooks, one
+ * instance per DVFS domain.
+ */
+class MsrFile
+{
+  public:
+    /**
+     * Write-side hook: receives the proposed value and may reject it
+     * by returning Fault (modelling hardware-checked invariants).
+     */
+    using WriteHook =
+        std::function<MsrWriteResult(std::uint64_t value)>;
+
+    /** Read a register; returns 0 for never-written registers. */
+    std::uint64_t read(std::uint32_t msr) const;
+
+    /** Write a register, running its hook first if installed. */
+    MsrWriteResult write(std::uint32_t msr, std::uint64_t value);
+
+    /** Install a write hook for one register. */
+    void setWriteHook(std::uint32_t msr, WriteHook hook);
+
+    /** True if the register has ever been written. */
+    bool wasWritten(std::uint32_t msr) const;
+
+  private:
+    std::map<std::uint32_t, std::uint64_t> values_;
+    std::map<std::uint32_t, WriteHook> hooks_;
+};
+
+} // namespace suit::os
+
+#endif // SUIT_OS_MSR_HH

@@ -1,0 +1,44 @@
+#include "power/cmos.hh"
+
+#include "util/logging.hh"
+
+namespace suit::power {
+
+CmosPowerModel::CmosPowerModel(double ref_freq_hz, double ref_voltage_mv,
+                               double ref_power_w,
+                               double dynamic_fraction)
+{
+    SUIT_ASSERT(ref_freq_hz > 0 && ref_voltage_mv > 0 && ref_power_w > 0,
+                "reference operating point must be positive");
+    SUIT_ASSERT(dynamic_fraction > 0 && dynamic_fraction <= 1.0,
+                "dynamic fraction must be in (0, 1]");
+    const double v = ref_voltage_mv * 1e-3; // volts
+    const double p_dyn = ref_power_w * dynamic_fraction;
+    ceffFarads_ = p_dyn / (v * v * ref_freq_hz);
+    const double p_leak = ref_power_w - p_dyn;
+    leakagePerMv_ = p_leak / ref_voltage_mv;
+}
+
+double
+CmosPowerModel::powerW(double freq_hz, double voltage_mv,
+                       double activity) const
+{
+    return dynamicPowerW(freq_hz, voltage_mv, activity) +
+           leakagePowerW(voltage_mv);
+}
+
+double
+CmosPowerModel::dynamicPowerW(double freq_hz, double voltage_mv,
+                              double activity) const
+{
+    const double v = voltage_mv * 1e-3;
+    return activity * ceffFarads_ * v * v * freq_hz;
+}
+
+double
+CmosPowerModel::leakagePowerW(double voltage_mv) const
+{
+    return leakagePerMv_ * voltage_mv;
+}
+
+} // namespace suit::power

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * First-order CMOS package power model.
+ *
+ * P_dyn = Ceff * V^2 * f (paper Sec. 2.1) plus a leakage term linear
+ * in V.  The model is calibrated from one reference operating point
+ * (frequency, voltage, package power, dynamic fraction), which is how
+ * the evaluation ties the model to the RAPL measurements reported in
+ * the paper (93 W at the i9-9900K's stock point, Fig. 12).
+ */
+
+#ifndef SUIT_POWER_CMOS_HH
+#define SUIT_POWER_CMOS_HH
+
+namespace suit::power {
+
+/** Calibrated Ceff*V^2*f + leakage package power model. */
+class CmosPowerModel
+{
+  public:
+    CmosPowerModel() = default;
+
+    /**
+     * Calibrate the model.
+     *
+     * @param ref_freq_hz reference core frequency.
+     * @param ref_voltage_mv reference core voltage.
+     * @param ref_power_w measured package power at the reference.
+     * @param dynamic_fraction share of @p ref_power_w that is dynamic
+     *        (switching) power; the rest is leakage + uncore.
+     */
+    CmosPowerModel(double ref_freq_hz, double ref_voltage_mv,
+                   double ref_power_w, double dynamic_fraction = 0.7);
+
+    /**
+     * Package power at an operating point.
+     *
+     * @param freq_hz core frequency.
+     * @param voltage_mv core voltage.
+     * @param activity activity factor scaling the dynamic term
+     *        (1.0 = the calibration workload).
+     */
+    double powerW(double freq_hz, double voltage_mv,
+                  double activity = 1.0) const;
+
+    /** Dynamic component only. */
+    double dynamicPowerW(double freq_hz, double voltage_mv,
+                         double activity = 1.0) const;
+
+    /** Leakage (static) component only. */
+    double leakagePowerW(double voltage_mv) const;
+
+    /** Effective switched capacitance in farads. */
+    double ceffFarads() const { return ceffFarads_; }
+
+  private:
+    double ceffFarads_ = 0.0;
+    double leakagePerMv_ = 0.0;
+};
+
+} // namespace suit::power
+
+#endif // SUIT_POWER_CMOS_HH

@@ -1,0 +1,45 @@
+#include "power/energy.hh"
+
+#include "util/logging.hh"
+
+namespace suit::power {
+
+void
+EnergyMeter::advance(suit::util::Tick now, double power_w)
+{
+    SUIT_ASSERT(now >= now_, "energy meter cannot run backwards");
+    const double dt = suit::util::ticksToSeconds(now - now_);
+    energyJ_ += dt * power_w;
+    now_ = now;
+}
+
+double
+EnergyMeter::averagePowerW() const
+{
+    if (now_ == 0)
+        return 0.0;
+    return energyJ_ / suit::util::ticksToSeconds(now_);
+}
+
+void
+EnergyMeter::reset()
+{
+    now_ = 0;
+    energyJ_ = 0.0;
+}
+
+double
+efficiencyRatio(double duration_ratio, double power_ratio)
+{
+    SUIT_ASSERT(duration_ratio > 0.0 && power_ratio > 0.0,
+                "efficiency ratios must be positive");
+    return 1.0 / (duration_ratio * power_ratio);
+}
+
+double
+efficiencyDelta(double duration_ratio, double power_ratio)
+{
+    return efficiencyRatio(duration_ratio, power_ratio) - 1.0;
+}
+
+} // namespace suit::power

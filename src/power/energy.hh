@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Energy accounting and the paper's efficiency metric.
+ *
+ * EnergyMeter mirrors the RAPL interface used for the measurements in
+ * the paper: it integrates piecewise-constant power over simulated
+ * time and can be sampled for window-average power.  The efficiency
+ * helpers implement the paper's definition (Sec. 5.4): finishing in
+ * half the time at half the power quadruples efficiency.
+ */
+
+#ifndef SUIT_POWER_ENERGY_HH
+#define SUIT_POWER_ENERGY_HH
+
+#include "util/ticks.hh"
+
+namespace suit::power {
+
+/** RAPL-style energy integrator over simulated time. */
+class EnergyMeter
+{
+  public:
+    /**
+     * Advance the meter to @p now, charging the interval since the
+     * last update at @p power_w.
+     */
+    void advance(suit::util::Tick now, double power_w);
+
+    /** Total accumulated energy in joules. */
+    double energyJ() const { return energyJ_; }
+
+    /** Time of the last update. */
+    suit::util::Tick now() const { return now_; }
+
+    /** Average power since the meter started (W). */
+    double averagePowerW() const;
+
+    /** Reset to time zero with no accumulated energy. */
+    void reset();
+
+  private:
+    suit::util::Tick now_ = 0;
+    double energyJ_ = 0.0;
+};
+
+/**
+ * Efficiency ratio per the paper: 1 / (duration_ratio * power_ratio).
+ *
+ * @param duration_ratio new duration / baseline duration.
+ * @param power_ratio new average power / baseline average power.
+ * @return efficiency ratio (> 1 means more efficient).
+ */
+double efficiencyRatio(double duration_ratio, double power_ratio);
+
+/** Efficiency change as a fraction: efficiencyRatio(...) - 1. */
+double efficiencyDelta(double duration_ratio, double power_ratio);
+
+} // namespace suit::power
+
+#endif // SUIT_POWER_ENERGY_HH

@@ -1,0 +1,66 @@
+#include "power/guardband.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace suit::power {
+
+double
+GuardbandModel::agingBandMv(const DvfsCurve &curve, double freq_hz) const
+{
+    // After `lifetimeYears` the critical path is `agingDelayDegradation`
+    // slower; day-one voltage must therefore support a proportionally
+    // higher frequency.  Convert via the dV/df gradient measured over
+    // the GHz below the operating point, the same window the paper
+    // uses (4 -> 5 GHz on the i9-9900K: 183 mV/GHz).
+    const double gradient = curve.gradientMvPerGhz(freq_hz - 0.5e9);
+    const double extra_ghz = (freq_hz / 1e9) * agingDelayDegradation;
+    return extra_ghz * gradient;
+}
+
+double
+GuardbandModel::temperatureBandAtMv(double temp_c) const
+{
+    const double t =
+        std::clamp((temp_c - coolTempC) / (hotTempC - coolTempC), 0.0,
+                   1.0);
+    return t * temperatureBandMv;
+}
+
+double
+GuardbandModel::maxUndervoltAtTempMv(double temp_c) const
+{
+    // Table 3 anchors: -90 mV at the cool end, -55 mV at the hot end.
+    const double cool_offset = -90.0;
+    const double hot_offset = -55.0;
+    const double t =
+        std::clamp((temp_c - coolTempC) / (hotTempC - coolTempC), 0.0,
+                   1.0);
+    return cool_offset + t * (hot_offset - cool_offset);
+}
+
+GuardbandBreakdown
+GuardbandModel::decompose(const DvfsCurve &curve, double freq_hz) const
+{
+    GuardbandBreakdown b;
+    b.supplyMv = curve.voltageAtMv(freq_hz);
+    b.instructionVariationMv = instructionVariationMv;
+    b.agingMv = agingBandMv(curve, freq_hz);
+    b.temperatureMv = temperatureBandMv;
+    return b;
+}
+
+double
+suitUndervoltOffsetMv(const GuardbandModel &model, const DvfsCurve &curve,
+                      double freq_hz, double aging_fraction)
+{
+    SUIT_ASSERT(aging_fraction >= 0.0 && aging_fraction <= 1.0,
+                "aging fraction must be in [0, 1], got %f",
+                aging_fraction);
+    const double aging = model.agingBandMv(curve, freq_hz);
+    return -(model.instructionVariationMv + aging_fraction * aging);
+}
+
+} // namespace suit::power

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Voltage guardband decomposition (paper Secs. 2.2, 3.1, 5.6, 5.7).
+ *
+ * The vendor supplies the CPU with more voltage than the nominal
+ * minimum to cover instruction-to-instruction variation (up to
+ * 150 mV), aging (~15 % propagation-delay degradation over 10 years
+ * of FinFET operation -> ~137 mV / 12 % on the i9-9900K) and
+ * temperature (~35 mV / 3.5 % between 50 and 88 degC).  SUIT's
+ * undervolting budget is the instruction-variation band plus an
+ * optional fraction of the aging band.
+ */
+
+#ifndef SUIT_POWER_GUARDBAND_HH
+#define SUIT_POWER_GUARDBAND_HH
+
+#include "power/pstate.hh"
+
+namespace suit::power {
+
+/** The decomposed guardband components at one operating point. */
+struct GuardbandBreakdown
+{
+    /** Supply voltage at the operating point (mV). */
+    double supplyMv = 0.0;
+    /** Instruction voltage-requirement variation band (mV). */
+    double instructionVariationMv = 0.0;
+    /** Aging guardband (mV). */
+    double agingMv = 0.0;
+    /** Temperature guardband (mV). */
+    double temperatureMv = 0.0;
+
+    /** Aging band as a fraction of supply. */
+    double agingFraction() const { return agingMv / supplyMv; }
+    /** Temperature band as a fraction of supply. */
+    double temperatureFraction() const
+    {
+        return temperatureMv / supplyMv;
+    }
+};
+
+/** Parameters of the aging / temperature guardband model. */
+struct GuardbandModel
+{
+    /**
+     * Fractional propagation-delay degradation over the design
+     * lifetime (sub-20 nm FinFET: ~15 % over 10 years at >100 degC).
+     */
+    double agingDelayDegradation = 0.15;
+    /** Design lifetime in years. */
+    double lifetimeYears = 10.0;
+    /** Hot-end core temperature used for the guardband (degC). */
+    double hotTempC = 88.0;
+    /** Cool reference temperature (degC). */
+    double coolTempC = 50.0;
+    /** Measured Vmin shift between hot and cool (mV; paper: 35 mV). */
+    double temperatureBandMv = 35.0;
+    /** Mean instruction voltage variation across studied CPUs (mV). */
+    double instructionVariationMv = 70.0;
+    /** Maximum observed instruction voltage variation (mV). */
+    double instructionVariationMaxMv = 150.0;
+
+    /**
+     * Aging guardband in mV at a frequency: the voltage headroom that
+     * supports a (1 + degradation) higher frequency on the given
+     * curve, i.e. f_max * degradation * dV/df (paper Sec. 5.6).
+     */
+    double agingBandMv(const DvfsCurve &curve, double freq_hz) const;
+
+    /**
+     * Temperature guardband in mV, linearly interpolated between the
+     * cool and hot reference temperatures.
+     */
+    double temperatureBandAtMv(double temp_c) const;
+
+    /**
+     * Maximum stable undervolt offset at a core temperature, anchored
+     * to the paper's Table 3 (-90 mV at 50 degC, -55 mV at 88 degC on
+     * the i9-9900K at 4 GHz).
+     */
+    double maxUndervoltAtTempMv(double temp_c) const;
+
+    /** Full decomposition at an operating point. */
+    GuardbandBreakdown decompose(const DvfsCurve &curve,
+                                 double freq_hz) const;
+};
+
+/**
+ * SUIT's composite undervolting offset (paper Sec. 3.1): the full
+ * instruction-variation band plus a fraction of the aging band.
+ *
+ * @param model guardband model.
+ * @param curve conservative DVFS curve.
+ * @param freq_hz operating frequency.
+ * @param aging_fraction fraction of the aging band to borrow
+ *        (the paper evaluates 0.0 -> -70 mV and 0.2 -> -97 mV).
+ * @return negative offset in mV.
+ */
+double suitUndervoltOffsetMv(const GuardbandModel &model,
+                             const DvfsCurve &curve, double freq_hz,
+                             double aging_fraction);
+
+} // namespace suit::power
+
+#endif // SUIT_POWER_GUARDBAND_HH

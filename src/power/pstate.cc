@@ -1,0 +1,146 @@
+#include "power/pstate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace suit::power {
+
+DvfsCurve::DvfsCurve(std::vector<PState> points, std::string name)
+    : points_(std::move(points)), name_(std::move(name))
+{
+    SUIT_ASSERT(points_.size() >= 2,
+                "DVFS curve '%s' needs at least two p-states",
+                name_.c_str());
+    std::sort(points_.begin(), points_.end(),
+              [](const PState &a, const PState &b) {
+                  return a.freqHz < b.freqHz;
+              });
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        SUIT_ASSERT(points_[i].voltageMv >= points_[i - 1].voltageMv,
+                    "curve '%s' voltage not monotone at %zu",
+                    name_.c_str(), i);
+        SUIT_ASSERT(points_[i].freqHz > points_[i - 1].freqHz,
+                    "curve '%s' has duplicate frequency at %zu",
+                    name_.c_str(), i);
+    }
+}
+
+double
+DvfsCurve::minFreqHz() const
+{
+    SUIT_ASSERT(valid(), "query on empty curve");
+    return points_.front().freqHz;
+}
+
+double
+DvfsCurve::maxFreqHz() const
+{
+    SUIT_ASSERT(valid(), "query on empty curve");
+    return points_.back().freqHz;
+}
+
+double
+DvfsCurve::voltageAtMv(double freq_hz) const
+{
+    SUIT_ASSERT(valid(), "query on empty curve");
+    if (freq_hz <= points_.front().freqHz)
+        return points_.front().voltageMv;
+    if (freq_hz >= points_.back().freqHz)
+        return points_.back().voltageMv;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (freq_hz <= points_[i].freqHz) {
+            const PState &lo = points_[i - 1];
+            const PState &hi = points_[i];
+            const double t =
+                (freq_hz - lo.freqHz) / (hi.freqHz - lo.freqHz);
+            return lo.voltageMv + t * (hi.voltageMv - lo.voltageMv);
+        }
+    }
+    return points_.back().voltageMv;
+}
+
+double
+DvfsCurve::freqAtHz(double voltage_mv) const
+{
+    SUIT_ASSERT(valid(), "query on empty curve");
+    if (voltage_mv <= points_.front().voltageMv)
+        return points_.front().freqHz;
+    if (voltage_mv >= points_.back().voltageMv)
+        return points_.back().freqHz;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (voltage_mv <= points_[i].voltageMv) {
+            const PState &lo = points_[i - 1];
+            const PState &hi = points_[i];
+            if (hi.voltageMv == lo.voltageMv)
+                return hi.freqHz;
+            const double t = (voltage_mv - lo.voltageMv) /
+                             (hi.voltageMv - lo.voltageMv);
+            return lo.freqHz + t * (hi.freqHz - lo.freqHz);
+        }
+    }
+    return points_.back().freqHz;
+}
+
+double
+DvfsCurve::gradientMvPerGhz(double freq_hz) const
+{
+    SUIT_ASSERT(valid(), "query on empty curve");
+    const double ghz = 1e9;
+    const double h = 0.25 * ghz;
+    const double lo = std::max(freq_hz - h, minFreqHz());
+    const double hi = std::min(freq_hz + h, maxFreqHz());
+    if (hi <= lo)
+        return 0.0;
+    return (voltageAtMv(hi) - voltageAtMv(lo)) / ((hi - lo) / ghz);
+}
+
+DvfsCurve
+DvfsCurve::shifted(double offset_mv, std::string name,
+                   double floor_mv) const
+{
+    std::vector<PState> shifted_points = points_;
+    double prev = 0.0;
+    for (auto &p : shifted_points) {
+        p.voltageMv = std::max(p.voltageMv + offset_mv, floor_mv);
+        // Keep monotonicity even when the floor clips the low end.
+        p.voltageMv = std::max(p.voltageMv, prev);
+        prev = p.voltageMv;
+    }
+    return DvfsCurve(std::move(shifted_points), std::move(name));
+}
+
+DvfsCurve
+i9_9900kCurve()
+{
+    // Quadratic fit through the paper's measurements: V(4 GHz) =
+    // 991 mV, V(5 GHz) = 1174 mV, ~183 mV/GHz gradient at the top,
+    // with a 800 mV floor at low frequency (Fig. 13).
+    std::vector<PState> pts;
+    for (double ghz = 1.0; ghz <= 5.01; ghz += 0.5) {
+        const double v = 759.0 - 42.0 * ghz + 25.0 * ghz * ghz;
+        pts.push_back({ghz * 1e9, std::max(v, 800.0)});
+    }
+    return DvfsCurve(std::move(pts), "i9-9900K conservative");
+}
+
+DvfsCurve
+i9_9900kModifiedImulCurve()
+{
+    // A 4-cycle IMUL gains 33 % timing slack; at 5 GHz that is worth
+    // 220 mV, vanishing quadratically toward low frequencies where
+    // the curve is floor-limited anyway (Sec. 6.9, Fig. 13).
+    const DvfsCurve base = i9_9900kCurve();
+    std::vector<PState> pts;
+    for (const PState &p : base.points()) {
+        const double ghz = p.freqHz / 1e9;
+        const double frac = std::max(0.0, (ghz - 1.0) / 4.0);
+        const double reduction = 220.0 * frac * frac;
+        pts.push_back(
+            {p.freqHz, std::max(p.voltageMv - reduction, 800.0)});
+    }
+    return DvfsCurve(std::move(pts), "i9-9900K modified IMUL");
+}
+
+} // namespace suit::power

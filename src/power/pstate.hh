@@ -1,0 +1,112 @@
+/**
+ * @file
+ * P-states and DVFS curves.
+ *
+ * A DVFS curve is the vendor-defined set of (frequency, voltage)
+ * pairs guaranteeing stable operation (paper Sec. 2.4, Fig. 13).
+ * SUIT adds a second, *efficient* curve derived from the conservative
+ * one by a negative voltage offset, valid only while the faultable
+ * instruction set is disabled (Sec. 3.2).
+ */
+
+#ifndef SUIT_POWER_PSTATE_HH
+#define SUIT_POWER_PSTATE_HH
+
+#include <string>
+#include <vector>
+
+namespace suit::power {
+
+/** One voltage-frequency operating point. */
+struct PState
+{
+    /** Core clock frequency in Hz. */
+    double freqHz = 0.0;
+    /** Core supply voltage in millivolts. */
+    double voltageMv = 0.0;
+};
+
+/**
+ * A monotone frequency->voltage operating curve.
+ *
+ * Stores discrete vendor p-states; queries between the anchors are
+ * answered with linear interpolation, matching how MSR-based p-state
+ * interfaces expose intermediate ratios.
+ */
+class DvfsCurve
+{
+  public:
+    DvfsCurve() = default;
+
+    /**
+     * Build from explicit anchor points.
+     *
+     * @param points p-states; sorted by frequency internally.
+     * @param name label used in reports.
+     */
+    DvfsCurve(std::vector<PState> points, std::string name);
+
+    /** Curve label. */
+    const std::string &name() const { return name_; }
+    /** Anchor p-states, ascending by frequency. */
+    const std::vector<PState> &points() const { return points_; }
+    /** True once anchor points have been installed. */
+    bool valid() const { return points_.size() >= 2; }
+
+    /** Lowest supported frequency (Hz). */
+    double minFreqHz() const;
+    /** Highest supported frequency (Hz). */
+    double maxFreqHz() const;
+
+    /**
+     * Stable supply voltage for a frequency (linear interpolation,
+     * clamped to the end points).
+     */
+    double voltageAtMv(double freq_hz) const;
+
+    /**
+     * Highest stable frequency at a supply voltage (inverse lookup,
+     * clamped).
+     */
+    double freqAtHz(double voltage_mv) const;
+
+    /**
+     * Voltage gradient dV/df around a frequency, in mV per GHz.
+     * This is the quantity the paper uses to size the aging guardband
+     * (Sec. 5.6: 183 mV/GHz on the i9-9900K between 4 and 5 GHz).
+     */
+    double gradientMvPerGhz(double freq_hz) const;
+
+    /**
+     * Derive a shifted curve (e.g., the efficient curve) by adding
+     * @p offset_mv to every anchor voltage.  Negative offsets lower
+     * the curve.  A floor (default 500 mV) models the minimum
+     * retention voltage of the logic.
+     */
+    DvfsCurve shifted(double offset_mv, std::string name,
+                      double floor_mv = 500.0) const;
+
+  private:
+    std::vector<PState> points_;
+    std::string name_;
+};
+
+/**
+ * Reference conservative DVFS curve of the Intel Core i9-9900K as
+ * measured in the paper (Fig. 13): 991 mV at 4 GHz, 1174 mV at 5 GHz,
+ * 183 mV/GHz gradient in between, flattening toward a 800 mV floor at
+ * low frequencies.
+ */
+DvfsCurve i9_9900kCurve();
+
+/**
+ * The paper's "modified IMUL" curve (Fig. 13): safe voltages for a
+ * 4-cycle IMUL.  The +33 % latency slack allows up to 220 mV lower
+ * voltage at 5 GHz, with the benefit vanishing at low frequencies
+ * (Sec. 6.9).
+ */
+DvfsCurve i9_9900kModifiedImulCurve();
+
+} // namespace suit::power
+
+#endif // SUIT_POWER_PSTATE_HH

@@ -1,0 +1,108 @@
+#include "power/undervolt.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace suit::power {
+
+double
+UndervoltEffect::efficiencyDelta() const
+{
+    const double duration_ratio = 1.0 / (1.0 + scoreDelta);
+    const double power_ratio = 1.0 + powerDelta;
+    return 1.0 / (duration_ratio * power_ratio) - 1.0;
+}
+
+UndervoltResponse::UndervoltResponse(std::string cpu_name,
+                                     std::vector<UndervoltEffect> anchors)
+    : cpuName_(std::move(cpu_name)), anchors_(std::move(anchors))
+{
+    const bool has_zero =
+        std::any_of(anchors_.begin(), anchors_.end(),
+                    [](const UndervoltEffect &e) {
+                        return e.offsetMv == 0.0;
+                    });
+    if (!has_zero)
+        anchors_.push_back(UndervoltEffect{});
+    // Sort by offset descending: 0 first, deepest undervolt last.
+    std::sort(anchors_.begin(), anchors_.end(),
+              [](const UndervoltEffect &a, const UndervoltEffect &b) {
+                  return a.offsetMv > b.offsetMv;
+              });
+    SUIT_ASSERT(anchors_.size() >= 2,
+                "undervolt response '%s' needs measured anchors",
+                cpuName_.c_str());
+}
+
+UndervoltEffect
+UndervoltResponse::at(double offset_mv) const
+{
+    SUIT_ASSERT(!anchors_.empty(), "uninitialised undervolt response");
+    if (offset_mv >= anchors_.front().offsetMv)
+        return anchors_.front();
+    if (offset_mv <= anchors_.back().offsetMv)
+        return anchors_.back();
+    for (std::size_t i = 1; i < anchors_.size(); ++i) {
+        if (offset_mv >= anchors_[i].offsetMv) {
+            const UndervoltEffect &hi = anchors_[i - 1];
+            const UndervoltEffect &lo = anchors_[i];
+            const double t = (offset_mv - hi.offsetMv) /
+                             (lo.offsetMv - hi.offsetMv);
+            UndervoltEffect e;
+            e.offsetMv = offset_mv;
+            e.scoreDelta =
+                hi.scoreDelta + t * (lo.scoreDelta - hi.scoreDelta);
+            e.powerDelta =
+                hi.powerDelta + t * (lo.powerDelta - hi.powerDelta);
+            e.freqDelta =
+                hi.freqDelta + t * (lo.freqDelta - hi.freqDelta);
+            return e;
+        }
+    }
+    return anchors_.back();
+}
+
+UndervoltResponse
+i9_9900kUndervoltResponse()
+{
+    // Table 2, i9-9900K rows.
+    return UndervoltResponse(
+        "Intel Core i9-9900K",
+        {{-70.0, 0.022, -0.072, 0.026},
+         {-97.0, 0.038, -0.160, 0.033}});
+}
+
+UndervoltResponse
+i5_1035g1UndervoltResponse()
+{
+    // Table 2, i5-1035G1 rows (TDP-limited: power barely moves, the
+    // whole benefit shows up as frequency/score).
+    return UndervoltResponse(
+        "Intel Core i5-1035G1",
+        {{-70.0, 0.060, -0.001, 0.085},
+         {-97.0, 0.079, -0.005, 0.120}});
+}
+
+UndervoltResponse
+ryzen7700xUndervoltResponse()
+{
+    // Table 2, 7700X rows (undervolted via AMD's Curve Optimizer).
+    return UndervoltResponse(
+        "AMD Ryzen 7 7700X",
+        {{-70.0, 0.014, -0.098, 0.018},
+         {-97.0, 0.019, -0.150, 0.018}});
+}
+
+UndervoltResponse
+xeon4208UndervoltResponse()
+{
+    // Substitution: the 4208 rejects MSR 0x150 offsets, so the paper's
+    // simulation of CPU C reuses the i9-9900K's measured response.
+    UndervoltResponse base = i9_9900kUndervoltResponse();
+    return UndervoltResponse("Intel Xeon Silver 4208 (i9 response)",
+                             base.anchors());
+}
+
+} // namespace suit::power

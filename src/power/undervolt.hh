@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Measured whole-system undervolting response (paper Sec. 5.4).
+ *
+ * Undervolting lowers package power; because steady-state performance
+ * is TDP-limited, the freed power budget lets the CPU sustain higher
+ * clocks, so the SPEC score *increases*.  The paper measures this
+ * response on real CPUs (Table 2, Fig. 12); this module stores those
+ * anchors and interpolates between them.  The trace simulator charges
+ * these deltas whenever a core runs on the efficient DVFS curve.
+ */
+
+#ifndef SUIT_POWER_UNDERVOLT_HH
+#define SUIT_POWER_UNDERVOLT_HH
+
+#include <string>
+#include <vector>
+
+namespace suit::power {
+
+/** System-level effect of one undervolt offset. */
+struct UndervoltEffect
+{
+    /** Voltage offset in mV (negative = undervolt). */
+    double offsetMv = 0.0;
+    /** SPEC score change as a fraction (+0.038 = +3.8 %). */
+    double scoreDelta = 0.0;
+    /** Package power change as a fraction (-0.16 = -16 %). */
+    double powerDelta = 0.0;
+    /** Mean core frequency change as a fraction. */
+    double freqDelta = 0.0;
+
+    /**
+     * Efficiency change per the paper's definition: the inverse of
+     * (duration ratio * power ratio) minus one.  A score increase
+     * shortens the duration by 1/(1+score).
+     */
+    double efficiencyDelta() const;
+};
+
+/** Piecewise-linear undervolt response curve for one CPU. */
+class UndervoltResponse
+{
+  public:
+    UndervoltResponse() = default;
+
+    /**
+     * Build from measured anchors.  An implicit zero anchor at
+     * offset 0 is added if absent.
+     */
+    UndervoltResponse(std::string cpu_name,
+                      std::vector<UndervoltEffect> anchors);
+
+    /** CPU label. */
+    const std::string &cpuName() const { return cpuName_; }
+
+    /** Interpolated effect at an offset (clamped to anchor range). */
+    UndervoltEffect at(double offset_mv) const;
+
+    /** Measured anchors, sorted by offset descending (0 first). */
+    const std::vector<UndervoltEffect> &anchors() const
+    {
+        return anchors_;
+    }
+
+  private:
+    std::string cpuName_;
+    std::vector<UndervoltEffect> anchors_;
+};
+
+/** @{ Measured responses from Table 2 of the paper. */
+UndervoltResponse i9_9900kUndervoltResponse();
+UndervoltResponse i5_1035g1UndervoltResponse();
+UndervoltResponse ryzen7700xUndervoltResponse();
+/**
+ * The Xeon Silver 4208 cannot be undervolted via MSR 0x150 (paper
+ * Sec. 5.4), so the paper's simulation — and this model — reuse the
+ * i9-9900K response for CPU C.  Documented substitution.
+ */
+UndervoltResponse xeon4208UndervoltResponse();
+/** @} */
+
+} // namespace suit::power
+
+#endif // SUIT_POWER_UNDERVOLT_HH

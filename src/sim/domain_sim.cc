@@ -1,0 +1,496 @@
+#include "sim/domain_sim.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "emu/dispatcher.hh"
+#include "util/logging.hh"
+
+namespace suit::sim {
+
+using suit::core::StrategyKind;
+using suit::power::SuitPState;
+using suit::util::Tick;
+
+namespace {
+
+constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+int
+stateIndex(SuitPState p)
+{
+    switch (p) {
+      case SuitPState::Efficient:
+        return 0;
+      case SuitPState::ConservativeFreq:
+        return 1;
+      case SuitPState::ConservativeVolt:
+        return 2;
+    }
+    return 2;
+}
+
+/** Does moving between two p-states change the clock frequency? */
+bool
+frequencyEdge(SuitPState from, SuitPState to)
+{
+    const bool from_low = from == SuitPState::ConservativeFreq;
+    const bool to_low = to == SuitPState::ConservativeFreq;
+    return from_low != to_low;
+}
+
+/** Does it change the supply voltage? */
+bool
+voltageEdge(SuitPState from, SuitPState to)
+{
+    const bool from_high = from == SuitPState::ConservativeVolt;
+    const bool to_high = to == SuitPState::ConservativeVolt;
+    return from_high != to_high;
+}
+
+} // namespace
+
+double
+DomainResult::perfDelta() const
+{
+    if (cores.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const CoreResult &c : cores)
+        sum += c.perfDelta();
+    return sum / static_cast<double>(cores.size());
+}
+
+double
+DomainResult::efficiencyDelta() const
+{
+    return (1.0 + perfDelta()) / (1.0 + powerDelta()) - 1.0;
+}
+
+DomainSimulator::DomainSimulator(const SimConfig &config,
+                                 std::vector<CoreWork> work)
+    : cfg_(config), rng_(config.seed)
+{
+    SUIT_ASSERT(cfg_.cpu != nullptr, "simulation needs a CPU model");
+    SUIT_ASSERT(!work.empty(), "simulation needs at least one core");
+
+    for (const CoreWork &w : work) {
+        SUIT_ASSERT(w.trace && w.profile,
+                    "every core needs a trace and its profile");
+        Core core;
+        core.work = w;
+        if (cfg_.mode == RunMode::NoSimdCompile) {
+            // Compiled without SIMD: the trappable instructions do
+            // not exist; drain the whole stream in one piece.
+            core.pastLastEvent = true;
+            core.remainingInstr =
+                static_cast<double>(w.trace->totalInstructions());
+        } else if (w.trace->events().empty()) {
+            core.pastLastEvent = true;
+            core.remainingInstr =
+                static_cast<double>(w.trace->totalInstructions());
+        } else {
+            core.remainingInstr =
+                static_cast<double>(w.trace->events()[0].gap);
+        }
+        cores_.push_back(core);
+    }
+
+    if (cfg_.mode == RunMode::Suit) {
+        strategy_ = suit::core::makeStrategy(cfg_.strategy, cfg_.params);
+        pstate_ = SuitPState::Efficient;
+        disabled_ = true;
+    } else if (cfg_.mode == RunMode::NoSimdCompile) {
+        pstate_ = SuitPState::Efficient;
+        disabled_ = true;
+    } else {
+        pstate_ = SuitPState::ConservativeVolt;
+        disabled_ = false;
+    }
+}
+
+DomainSimulator::~DomainSimulator() = default;
+
+double
+DomainSimulator::instrRate(const Core &core, SuitPState p) const
+{
+    const auto &profile = *core.work.profile;
+    const double base = profile.ipc * cfg_.cpu->baseFreqHz();
+    if (cfg_.mode == RunMode::Baseline)
+        return base;
+
+    double rate = base * cfg_.cpu->perfFactor(p, cfg_.offsetMv);
+    // SUIT hardware ships the 4-cycle IMUL in every mode (Sec. 6.2).
+    rate *= 1.0 - suit::trace::imulLatencyOverhead(profile.imulFraction);
+
+    const bool amd = cfg_.cpu->label() == "B";
+    if (cfg_.mode == RunMode::NoSimdCompile ||
+        (cfg_.mode == RunMode::Suit &&
+         cfg_.strategy == StrategyKind::Emulation)) {
+        // No-SIMD compilation, or emulation standing in for the SIMD
+        // work (paper Sec. 6.2, "Instruction Emulation").
+        rate *= 1.0 + profile.noSimdFor(amd);
+    }
+    return rate;
+}
+
+double
+DomainSimulator::powerFactorOf(SuitPState p) const
+{
+    if (cfg_.mode == RunMode::Baseline)
+        return 1.0;
+    return cfg_.cpu->powerFactor(p, cfg_.offsetMv);
+}
+
+Tick
+DomainSimulator::now() const
+{
+    return now_;
+}
+
+SuitPState
+DomainSimulator::currentPState() const
+{
+    return pstate_;
+}
+
+bool
+DomainSimulator::instructionsDisabled() const
+{
+    return disabled_;
+}
+
+void
+DomainSimulator::setInstructionsDisabled(bool disabled)
+{
+    disabled_ = disabled;
+}
+
+void
+DomainSimulator::setTimerInterrupt(Tick reload)
+{
+    timer_.arm(now_, reload);
+}
+
+void
+DomainSimulator::cancelPending()
+{
+    pending_.reset();
+}
+
+void
+DomainSimulator::cancelPendingPState()
+{
+    cancelPending();
+}
+
+void
+DomainSimulator::changePStateWait(SuitPState target)
+{
+    cancelPending();
+    if (pstate_ == target)
+        return;
+
+    const auto &tm = cfg_.cpu->transitions();
+    Tick delay = 0;
+    const bool f_edge = frequencyEdge(pstate_, target);
+    const bool v_edge = voltageEdge(pstate_, target);
+    if (v_edge)
+        delay += tm.voltageChange.sample(rng_);
+    if (f_edge)
+        delay += tm.freqChange.sample(rng_);
+
+    const Tick until = now_ + delay;
+    if (f_edge && tm.stallsOnFreqChange) {
+        // The shared clock re-locks: every core in the domain stalls.
+        for (Core &core : cores_) {
+            if (!core.done)
+                core.resumeTime = std::max(core.resumeTime, until);
+        }
+    } else {
+        // Only the core spinning in the handler is blocked.
+        Core &core = cores_[trappingCore_];
+        core.resumeTime = std::max(core.resumeTime, until);
+    }
+
+    pstate_ = target;
+    ++switches_;
+    if (cfg_.recordStateLog)
+        stateLog_.push_back({until, pstate_, false});
+}
+
+void
+DomainSimulator::changePStateAsync(SuitPState target)
+{
+    cancelPending();
+    if (pstate_ == target)
+        return;
+
+    const auto &tm = cfg_.cpu->transitions();
+    Tick delay = 0;
+    Tick stall = 0;
+    if (voltageEdge(pstate_, target))
+        delay += tm.voltageChange.sample(rng_);
+    if (frequencyEdge(pstate_, target)) {
+        delay += tm.freqChange.sample(rng_);
+        if (tm.stallsOnFreqChange)
+            stall = tm.freqChangeStall.sample(rng_);
+    }
+    PendingTransition p;
+    p.target = target;
+    p.completeAt = now_ + delay;
+    p.runUntil = p.completeAt - std::min(stall, delay);
+    pending_ = p;
+}
+
+void
+DomainSimulator::completePending()
+{
+    SUIT_ASSERT(pending_.has_value(), "no transition to complete");
+    pstate_ = pending_->target;
+    pending_.reset();
+    ++switches_;
+    if (cfg_.recordStateLog)
+        stateLog_.push_back({now_, pstate_, false});
+}
+
+Tick
+DomainSimulator::emulationCostTicks(suit::isa::FaultableKind kind) const
+{
+    const double body_s = suit::emu::emulationCostCycles(kind) /
+                          cfg_.cpu->baseFreqHz();
+    return suit::util::microsecondsToTicks(cfg_.cpu->emulationCallUs()) +
+           suit::util::secondsToTicks(body_s);
+}
+
+void
+DomainSimulator::advanceTo(Tick t)
+{
+    SUIT_ASSERT(t >= now_, "time cannot run backwards");
+    if (t == now_)
+        return;
+
+    const double pf = powerFactorOf(pstate_);
+    for (Core &core : cores_) {
+        if (core.done) {
+            core.lastUpdate = t;
+            continue;
+        }
+        const double dt_s =
+            suit::util::ticksToSeconds(t - core.lastUpdate);
+        powerIntegralS_ += pf * dt_s;
+        activeTimeS_ += dt_s;
+        stateTimeS_[stateIndex(pstate_)] += dt_s;
+
+        // Instruction progress: clip stalls and the transition's
+        // frozen window out of [lastUpdate, t).
+        Tick lo = std::max(core.lastUpdate, core.resumeTime);
+        Tick hi = t;
+        double progress_s = 0.0;
+        if (lo < hi) {
+            progress_s = suit::util::ticksToSeconds(hi - lo);
+            if (pending_) {
+                const Tick f_lo = std::max(lo, pending_->runUntil);
+                const Tick f_hi = std::min(hi, pending_->completeAt);
+                if (f_lo < f_hi)
+                    progress_s -=
+                        suit::util::ticksToSeconds(f_hi - f_lo);
+            }
+        }
+        core.remainingInstr -= progress_s * instrRate(core, pstate_);
+        core.remainingInstr = std::max(core.remainingInstr, 0.0);
+        core.lastUpdate = t;
+    }
+    now_ = t;
+}
+
+Tick
+DomainSimulator::coreArrival(const Core &core) const
+{
+    if (core.done)
+        return kNever;
+    const Tick start = std::max(now_, core.resumeTime);
+    const Tick cap =
+        pending_ ? pending_->runUntil : kNever;
+    if (pending_ && start >= cap)
+        return kNever; // frozen: the completion event goes first
+    const double rate = instrRate(core, pstate_);
+    const double need_s = core.remainingInstr / rate;
+    const Tick arrival = start + suit::util::secondsToTicks(need_s);
+    if (pending_ && arrival > cap)
+        return kNever;
+    return arrival;
+}
+
+void
+DomainSimulator::consumeEvent(Core &core)
+{
+    const auto &events = core.work.trace->events();
+    ++core.nextEvent;
+    if (core.nextEvent < events.size()) {
+        core.remainingInstr =
+            static_cast<double>(events[core.nextEvent].gap);
+    } else {
+        // Drain the instructions after the last faultable one.
+        const std::uint64_t last_index =
+            core.work.trace->eventIndex(events.size() - 1);
+        core.remainingInstr = static_cast<double>(
+            core.work.trace->totalInstructions() - last_index - 1);
+        core.pastLastEvent = true;
+    }
+}
+
+void
+DomainSimulator::handleFaultableInstruction(std::size_t i)
+{
+    Core &core = cores_[i];
+    const auto &event = core.work.trace->events()[core.nextEvent];
+
+    if (cfg_.mode != RunMode::Suit || !disabled_) {
+        // Executes natively.  In SUIT mode the hardware deadline
+        // timer restarts on every faultable execution (Sec. 4.1).
+        if (cfg_.mode == RunMode::Suit)
+            timer_.touch(now_);
+        consumeEvent(core);
+        return;
+    }
+
+    // Disabled instruction fetched: #DO exception.
+    ++traps_;
+    if (cfg_.recordStateLog)
+        stateLog_.push_back({now_, pstate_, true});
+    trappingCore_ = i;
+    core.resumeTime = std::max(
+        core.resumeTime,
+        now_ + suit::util::microsecondsToTicks(
+                   cfg_.cpu->exceptionDelayUs()));
+
+    suit::os::TrapFrame frame;
+    frame.kind = event.kind;
+    frame.instructionIndex = core.work.trace->eventIndex(core.nextEvent);
+    frame.coreId = static_cast<int>(i);
+    frame.when = now_;
+
+    const suit::core::TrapAction action =
+        strategy_->onDisabledOpcode(*this, frame);
+
+    if (action.emulated) {
+        ++emulations_;
+        // Each trace event stands for eventWeight real instructions
+        // (trace thinning); every one pays the full round trip.
+        double weight = core.work.profile->eventWeight;
+        if (cfg_.strategy == StrategyKind::Hybrid) {
+            // Thinning correction: the hybrid policy switches curves
+            // after p_ec real traps, so at most that many of a
+            // thinned event's instructions are ever emulated before
+            // the burst is recognised.
+            weight = std::min(
+                weight,
+                static_cast<double>(cfg_.params.maxExceptionCount));
+        }
+        const Tick cost = static_cast<Tick>(
+            static_cast<double>(emulationCostTicks(event.kind)) *
+            weight);
+        core.resumeTime = std::max(core.resumeTime, now_ + cost);
+    } else {
+        // Re-executed after the switch; restarts the count-down.
+        timer_.touch(now_);
+    }
+    consumeEvent(core);
+}
+
+DomainResult
+DomainSimulator::run()
+{
+    std::size_t active = cores_.size();
+    // Generous runaway guard: every event can cause only a bounded
+    // number of simulator steps.
+    std::uint64_t budget = 10000;
+    for (const Core &core : cores_)
+        budget += 20 * core.work.trace->eventCount() + 1000;
+
+    while (active > 0) {
+        SUIT_ASSERT(budget-- > 0, "simulation step budget exhausted");
+
+        // Earliest event wins; transitions outrank timers outrank
+        // core arrivals at equal times so rates are always current.
+        Tick best = kNever;
+        int kind = -1; // 0 transition, 1 timer, 2 core
+        std::size_t core_idx = 0;
+
+        if (pending_ && pending_->completeAt < best) {
+            best = pending_->completeAt;
+            kind = 0;
+        }
+        if (timer_.armed() && timer_.expiry() < best) {
+            best = timer_.expiry();
+            kind = 1;
+        }
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            const Tick a = coreArrival(cores_[i]);
+            if (a < best) {
+                best = a;
+                kind = 2;
+                core_idx = i;
+            }
+        }
+        SUIT_ASSERT(kind >= 0, "deadlock: no runnable event");
+
+        advanceTo(best);
+
+        switch (kind) {
+          case 0:
+            completePending();
+            break;
+          case 1:
+            if (timer_.checkExpired(now_)) {
+                SUIT_ASSERT(strategy_ != nullptr,
+                            "timer fired without a strategy");
+                strategy_->onTimerInterrupt(*this);
+            }
+            break;
+          case 2: {
+            Core &core = cores_[core_idx];
+            if (core.pastLastEvent) {
+                core.done = true;
+                core.finishTime = now_;
+                --active;
+            } else {
+                handleFaultableInstruction(core_idx);
+            }
+            break;
+          }
+        }
+    }
+
+    DomainResult result;
+    for (const Core &core : cores_) {
+        CoreResult cr;
+        cr.workload = core.work.trace->name();
+        cr.durationS = suit::util::ticksToSeconds(core.finishTime);
+        cr.baselineDurationS =
+            static_cast<double>(core.work.trace->totalInstructions()) /
+            (core.work.profile->ipc * cfg_.cpu->baseFreqHz());
+        result.cores.push_back(cr);
+    }
+    result.powerFactor =
+        activeTimeS_ > 0.0 ? powerIntegralS_ / activeTimeS_ : 1.0;
+    if (activeTimeS_ > 0.0) {
+        result.efficientShare = stateTimeS_[0] / activeTimeS_;
+        result.cfShare = stateTimeS_[1] / activeTimeS_;
+        result.cvShare = stateTimeS_[2] / activeTimeS_;
+    }
+    result.stateLog = std::move(stateLog_);
+    result.traps = traps_;
+    result.emulations = emulations_;
+    result.pstateSwitches = switches_;
+    if (strategy_) {
+        if (const auto *sw = dynamic_cast<suit::core::SwitchingStrategy *>(
+                strategy_.get())) {
+            result.thrashDetections = sw->thrashDetections();
+        }
+    }
+    return result;
+}
+
+} // namespace suit::sim

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Event-based trace simulator (paper Sec. 6.2, Fig. 15).
+ *
+ * Simulates one DVFS domain: one or more cores executing instruction
+ * traces at their measured IPC, a p-state machine with the measured
+ * transition delays and stalls, the SUIT deadline timer, and an
+ * operating strategy reacting to #DO traps.  Power is integrated as
+ * a factor relative to the conservative baseline using the measured
+ * undervolt response (Table 2) and the CMOS model for the Cf point.
+ *
+ * CPU A (one shared domain) is simulated as a single domain holding
+ * all utilised cores; CPUs B and C (per-core domains) as one domain
+ * per core.
+ */
+
+#ifndef SUIT_SIM_DOMAIN_SIM_HH
+#define SUIT_SIM_DOMAIN_SIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cpu_iface.hh"
+#include "core/deadline.hh"
+#include "core/strategy.hh"
+#include "power/cpu_model.hh"
+#include "trace/profile.hh"
+#include "trace/trace.hh"
+#include "util/rng.hh"
+#include "util/ticks.hh"
+
+namespace suit::sim {
+
+/** How the domain is operated. */
+enum class RunMode
+{
+    /** Today's CPU: conservative curve, nothing disabled. */
+    Baseline,
+    /** SUIT active with an operating strategy. */
+    Suit,
+    /**
+     * Binary compiled without SIMD (paper Sec. 6.7): no trappable
+     * instructions exist, the domain stays on the efficient curve;
+     * the no-SIMD performance delta applies.
+     */
+    NoSimdCompile,
+};
+
+/** One core's workload assignment. */
+struct CoreWork
+{
+    /** The instruction trace to execute. */
+    const suit::trace::Trace *trace = nullptr;
+    /** The profile it came from (IPC, IMUL density, no-SIMD data). */
+    const suit::trace::WorkloadProfile *profile = nullptr;
+};
+
+/** Per-core outcome. */
+struct CoreResult
+{
+    /** Workload name. */
+    std::string workload;
+    /** Simulated completion time (s). */
+    double durationS = 0.0;
+    /** Conservative-baseline completion time (s). */
+    double baselineDurationS = 0.0;
+
+    /** Performance change: baseline/duration - 1. */
+    double perfDelta() const
+    {
+        return baselineDurationS / durationS - 1.0;
+    }
+};
+
+/** One entry of the optional p-state timeline. */
+struct PStateChange
+{
+    /** When the change took effect. */
+    suit::util::Tick when = 0;
+    /** The new operating point. */
+    suit::power::SuitPState to = suit::power::SuitPState::Efficient;
+    /** True if this entry marks a #DO trap rather than a switch. */
+    bool trap = false;
+};
+
+/** Whole-domain outcome. */
+struct DomainResult
+{
+    /** Per-core outcomes. */
+    std::vector<CoreResult> cores;
+    /** P-state timeline (only if SimConfig::recordStateLog). */
+    std::vector<PStateChange> stateLog;
+    /** Time-weighted average power factor relative to baseline. */
+    double powerFactor = 1.0;
+    /** Share of active time spent on the efficient curve. */
+    double efficientShare = 0.0;
+    /** Share of active time at Cf. */
+    double cfShare = 0.0;
+    /** Share of active time at CV. */
+    double cvShare = 0.0;
+    /** #DO exceptions taken. */
+    std::uint64_t traps = 0;
+    /** Instructions emulated in software. */
+    std::uint64_t emulations = 0;
+    /** Completed p-state transitions. */
+    std::uint64_t pstateSwitches = 0;
+    /** Thrash-prevention activations. */
+    std::uint64_t thrashDetections = 0;
+
+    /** Mean performance change over the cores. */
+    double perfDelta() const;
+    /** Power change: powerFactor - 1. */
+    double powerDelta() const { return powerFactor - 1.0; }
+    /** Efficiency change per the paper's definition (Sec. 5.4). */
+    double efficiencyDelta() const;
+};
+
+/** Configuration of one simulation run. */
+struct SimConfig
+{
+    /** Machine model (not owned). */
+    const suit::power::CpuModel *cpu = nullptr;
+    /** Undervolt offset of the efficient curve (negative mV). */
+    double offsetMv = -97.0;
+    /** Operating mode. */
+    RunMode mode = RunMode::Suit;
+    /** Strategy for RunMode::Suit. */
+    suit::core::StrategyKind strategy =
+        suit::core::StrategyKind::CombinedFv;
+    /** Strategy parameters. */
+    suit::core::StrategyParams params;
+    /** RNG seed for transition-delay jitter. */
+    std::uint64_t seed = 1;
+    /** Record the p-state/trap timeline into the result. */
+    bool recordStateLog = false;
+};
+
+/**
+ * Simulator for one DVFS domain; implements the CpuControl surface
+ * the operating strategies drive.
+ */
+class DomainSimulator final : public suit::core::CpuControl
+{
+  public:
+    /**
+     * @param config run configuration.
+     * @param work one entry per core sharing this domain.
+     */
+    DomainSimulator(const SimConfig &config, std::vector<CoreWork> work);
+    ~DomainSimulator() override;
+
+    DomainSimulator(const DomainSimulator &) = delete;
+    DomainSimulator &operator=(const DomainSimulator &) = delete;
+
+    /** Run the domain to completion and collect the results. */
+    DomainResult run();
+
+    /** @{ CpuControl interface (driven by the strategy). */
+    void changePStateWait(suit::power::SuitPState target) override;
+    void changePStateAsync(suit::power::SuitPState target) override;
+    void cancelPendingPState() override;
+    void setInstructionsDisabled(bool disabled) override;
+    void setTimerInterrupt(suit::util::Tick reload) override;
+    suit::power::SuitPState currentPState() const override;
+    bool instructionsDisabled() const override;
+    suit::util::Tick now() const override;
+    /** @} */
+
+  private:
+    struct Core
+    {
+        CoreWork work;
+        std::size_t nextEvent = 0;     //!< index into trace events
+        double remainingInstr = 0.0;   //!< instructions to next event
+        bool pastLastEvent = false;    //!< draining the tail
+        bool done = false;
+        suit::util::Tick resumeTime = 0; //!< stalled until
+        suit::util::Tick lastUpdate = 0; //!< progress integrated to
+        suit::util::Tick finishTime = 0;
+    };
+
+    /** A p-state transition in flight. */
+    struct PendingTransition
+    {
+        suit::power::SuitPState target;
+        suit::util::Tick runUntil;   //!< progress at old rate until
+        suit::util::Tick completeAt; //!< new p-state from here
+    };
+
+    SimConfig cfg_;
+    std::vector<Core> cores_;
+    std::unique_ptr<suit::core::OperatingStrategy> strategy_;
+    suit::util::Rng rng_;
+
+    suit::util::Tick now_ = 0;
+    suit::power::SuitPState pstate_ =
+        suit::power::SuitPState::ConservativeVolt;
+    std::optional<PendingTransition> pending_;
+    bool disabled_ = false;
+    suit::core::DeadlineTimer timer_;
+    std::size_t trappingCore_ = 0;
+
+    // Statistics.
+    double powerIntegralS_ = 0.0; //!< sum over cores of pf * dt
+    double activeTimeS_ = 0.0;    //!< sum over cores of dt
+    double stateTimeS_[3] = {};   //!< active time per p-state
+    std::uint64_t traps_ = 0;
+    std::uint64_t emulations_ = 0;
+    std::uint64_t switches_ = 0;
+    std::vector<PStateChange> stateLog_;
+
+    /** Instruction rate of a core at a p-state (instr/s). */
+    double instrRate(const Core &core,
+                     suit::power::SuitPState p) const;
+    /** Power factor of a p-state under this run mode. */
+    double powerFactorOf(suit::power::SuitPState p) const;
+
+    /** Advance global time to @p t, integrating progress and power. */
+    void advanceTo(suit::util::Tick t);
+    /** Arrival time of core @p i's next faultable event. */
+    suit::util::Tick coreArrival(const Core &core) const;
+    /** Handle core @p i reaching its faultable instruction. */
+    void handleFaultableInstruction(std::size_t i);
+    /** Load the next gap after consuming an event. */
+    void consumeEvent(Core &core);
+    /** Apply a completed p-state change. */
+    void completePending();
+    /** Cancel any in-flight transition (hardware re-request). */
+    void cancelPending();
+
+    suit::util::Tick emulationCostTicks(suit::isa::FaultableKind kind)
+        const;
+};
+
+} // namespace suit::sim
+
+#endif // SUIT_SIM_DOMAIN_SIM_HH

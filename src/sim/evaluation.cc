@@ -1,0 +1,122 @@
+#include "sim/evaluation.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <memory>
+
+#include "trace/generator.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace suit::sim {
+
+using suit::power::DomainLayout;
+using suit::trace::Trace;
+using suit::trace::TraceGenerator;
+using suit::trace::WorkloadProfile;
+
+namespace {
+
+/**
+ * Traces are pure functions of (profile, seed, stream); benchmark
+ * harnesses re-run the same workloads under many configurations, so
+ * memoise generation.
+ */
+const Trace &
+cachedTrace(const WorkloadProfile &profile, std::uint64_t seed,
+            int stream)
+{
+    using Key = std::tuple<std::string, std::uint64_t, int>;
+    static std::map<Key, std::unique_ptr<Trace>> cache;
+    auto &slot = cache[{profile.name, seed, stream}];
+    if (!slot) {
+        slot = std::make_unique<Trace>(
+            TraceGenerator(seed).generate(profile, stream));
+    }
+    return *slot;
+}
+
+} // namespace
+
+DomainResult
+runWorkload(const EvalConfig &config, const WorkloadProfile &profile)
+{
+    SUIT_ASSERT(config.cpu != nullptr, "evaluation needs a CPU model");
+    SUIT_ASSERT(config.cores >= 1, "need at least one core");
+
+    const bool shared =
+        config.cpu->domains() == DomainLayout::SharedAll;
+    const int streams = shared ? config.cores : 1;
+
+    std::vector<CoreWork> work;
+    for (int s = 0; s < streams; ++s)
+        work.push_back({&cachedTrace(profile, config.seed, s),
+                        &profile});
+
+    SimConfig sim_cfg;
+    sim_cfg.cpu = config.cpu;
+    sim_cfg.offsetMv = config.offsetMv;
+    sim_cfg.mode = config.mode;
+    sim_cfg.strategy = config.strategy;
+    sim_cfg.params = config.params;
+    sim_cfg.seed = config.seed * 7919 + 17;
+
+    DomainSimulator sim(sim_cfg, std::move(work));
+    return sim.run();
+}
+
+std::vector<WorkloadRow>
+runSuite(const EvalConfig &config,
+         const std::vector<WorkloadProfile> &profiles)
+{
+    std::vector<WorkloadRow> rows;
+    rows.reserve(profiles.size());
+    for (const WorkloadProfile &p : profiles)
+        rows.push_back({p.name, runWorkload(config, p)});
+    return rows;
+}
+
+double
+gmeanDelta(const std::vector<double> &deltas)
+{
+    if (deltas.empty())
+        return 0.0;
+    std::vector<double> ratios;
+    ratios.reserve(deltas.size());
+    for (double d : deltas)
+        ratios.push_back(1.0 + d);
+    return suit::util::geomean(ratios) - 1.0;
+}
+
+double
+medianDelta(std::vector<double> deltas)
+{
+    return suit::util::median(std::move(deltas));
+}
+
+SuiteSummary
+SuiteSummary::of(const std::vector<WorkloadRow> &rows)
+{
+    SuiteSummary s;
+    if (rows.empty())
+        return s;
+    std::vector<double> perf, power, eff;
+    double share = 0.0;
+    for (const WorkloadRow &r : rows) {
+        perf.push_back(r.result.perfDelta());
+        power.push_back(r.result.powerDelta());
+        eff.push_back(r.result.efficiencyDelta());
+        share += r.result.efficientShare;
+    }
+    s.gmeanPerf = gmeanDelta(perf);
+    s.gmeanPower = gmeanDelta(power);
+    s.gmeanEff = gmeanDelta(eff);
+    s.medianPerf = medianDelta(perf);
+    s.medianPower = medianDelta(power);
+    s.medianEff = medianDelta(eff);
+    s.meanEfficientShare = share / static_cast<double>(rows.size());
+    return s;
+}
+
+} // namespace suit::sim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic trace generation.
+ *
+ * Standing in for the QEMU plugin of paper Sec. 5.1: expands a
+ * WorkloadProfile's burst/gap process into a concrete Trace.  Fully
+ * deterministic given (profile, seed) so every experiment is
+ * reproducible.
+ */
+
+#ifndef SUIT_TRACE_GENERATOR_HH
+#define SUIT_TRACE_GENERATOR_HH
+
+#include <cstdint>
+
+#include "trace/profile.hh"
+#include "trace/trace.hh"
+
+namespace suit::trace {
+
+/** Expands workload profiles into concrete traces. */
+class TraceGenerator
+{
+  public:
+    /** @param seed root seed; combined with the profile name. */
+    explicit TraceGenerator(std::uint64_t seed = 1);
+
+    /**
+     * Generate a trace for @p profile.
+     *
+     * @param profile workload description.
+     * @param stream_id distinguishes multiple independent streams of
+     *        the same workload (SPEC-rate style copies pinned to
+     *        different cores, paper Sec. 6.2).
+     */
+    Trace generate(const WorkloadProfile &profile,
+                   int stream_id = 0) const;
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace suit::trace
+
+#endif // SUIT_TRACE_GENERATOR_HH

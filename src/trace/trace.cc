@@ -1,0 +1,67 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace suit::trace {
+
+Trace::Trace(std::string name, std::uint64_t total_instructions,
+             double ipc, std::vector<FaultableEvent> events,
+             double event_weight)
+    : name_(std::move(name)), totalInstructions_(total_instructions),
+      ipc_(ipc), eventWeight_(event_weight),
+      events_(std::move(events))
+{
+    SUIT_ASSERT(ipc_ > 0.0, "trace '%s' needs a positive IPC",
+                name_.c_str());
+    SUIT_ASSERT(eventWeight_ >= 1.0,
+                "trace '%s' needs a weight >= 1", name_.c_str());
+    prefixIndex_.reserve(events_.size());
+    std::uint64_t pos = 0;
+    for (const FaultableEvent &e : events_) {
+        pos += e.gap;
+        prefixIndex_.push_back(pos);
+        ++pos; // the faultable instruction itself
+    }
+    SUIT_ASSERT(pos <= totalInstructions_,
+                "trace '%s': events (%llu instrs) exceed stream length "
+                "(%llu)",
+                name_.c_str(), static_cast<unsigned long long>(pos),
+                static_cast<unsigned long long>(totalInstructions_));
+}
+
+double
+Trace::faultableRate() const
+{
+    if (totalInstructions_ == 0)
+        return 0.0;
+    return static_cast<double>(events_.size()) /
+           static_cast<double>(totalInstructions_);
+}
+
+std::uint64_t
+Trace::eventIndex(std::size_t i) const
+{
+    SUIT_ASSERT(i < prefixIndex_.size(), "event index %zu out of range",
+                i);
+    return prefixIndex_[i];
+}
+
+TraceStats
+TraceStats::compute(const Trace &trace)
+{
+    TraceStats s;
+    double gap_sum = 0.0;
+    for (const FaultableEvent &e : trace.events()) {
+        s.gapHistogram.add(e.gap);
+        ++s.kindCounts[static_cast<std::size_t>(e.kind)];
+        gap_sum += static_cast<double>(e.gap);
+        s.maxGap = std::max(s.maxGap, e.gap);
+    }
+    if (!trace.events().empty())
+        s.meanGap = gap_sum / static_cast<double>(trace.eventCount());
+    return s;
+}
+
+} // namespace suit::trace

@@ -1,0 +1,47 @@
+#include "uarch/branch.hh"
+
+#include "util/logging.hh"
+
+namespace suit::uarch {
+
+GsharePredictor::GsharePredictor(int table_bits, int history_bits)
+{
+    SUIT_ASSERT(table_bits >= 4 && table_bits <= 24,
+                "unreasonable gshare table size 2^%d", table_bits);
+    SUIT_ASSERT(history_bits >= 0 && history_bits <= table_bits,
+                "history must fit in the index");
+    table_.assign(1ull << table_bits, 1); // weakly not-taken
+    mask_ = (1ull << table_bits) - 1;
+    historyMask_ =
+        history_bits == 0 ? 0 : (1ull << history_bits) - 1;
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(
+        ((pc >> 2) ^ (history_ & historyMask_)) & mask_);
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc) const
+{
+    ++lookups_;
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &ctr = table_[index(pc)];
+    const bool predicted = ctr >= 2;
+    if (predicted != taken)
+        ++mispredicts_;
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace suit::uarch

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Branch prediction for the out-of-order model: a PC-indexed table
+ * of 2-bit saturating counters, optionally XOR-ed with global
+ * history (gshare).  Synthetic traces have per-site-deterministic
+ * outcomes but non-repeating global history, so the default is the
+ * bimodal configuration (history_bits = 0); real-trace consumers can
+ * enable the history.  Targets need no BTB in a trace-driven model —
+ * only the direction can be wrong.
+ */
+
+#ifndef SUIT_UARCH_BRANCH_HH
+#define SUIT_UARCH_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace suit::uarch {
+
+/** gshare direction predictor. */
+class GsharePredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of the counter-table size.
+     * @param history_bits global-history length XOR-ed into the
+     *        index; 0 = bimodal.
+     */
+    explicit GsharePredictor(int table_bits = 14,
+                             int history_bits = 0);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(std::uint64_t pc) const;
+
+    /** Update with the resolved outcome and advance the history. */
+    void update(std::uint64_t pc, bool taken);
+
+    /** Predictions made so far. */
+    std::uint64_t lookups() const { return lookups_; }
+    /** Mispredictions recorded so far. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::uint64_t mask_;
+    std::uint64_t historyMask_;
+    std::uint64_t history_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+
+    std::size_t index(std::uint64_t pc) const;
+};
+
+} // namespace suit::uarch
+
+#endif // SUIT_UARCH_BRANCH_HH

@@ -1,0 +1,147 @@
+#include "util/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace suit::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name,
+                     const std::string &default_value,
+                     const std::string &help)
+{
+    SUIT_ASSERT(options_.count(name) == 0, "duplicate option --%s",
+                name.c_str());
+    options_[name] = Option{default_value, default_value, help, false,
+                            false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    SUIT_ASSERT(options_.count(name) == 0, "duplicate flag --%s",
+                name.c_str());
+    options_[name] = Option{"0", "0", help, true, false};
+    order_.push_back(name);
+}
+
+bool
+ArgParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown option --%s (try --help)", name.c_str());
+        Option &opt = it->second;
+        if (opt.isFlag) {
+            if (has_value)
+                fatal("flag --%s takes no value", name.c_str());
+            opt.value = "1";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    fatal("option --%s needs a value", name.c_str());
+                value = argv[++i];
+            }
+            opt.value = value;
+        }
+        opt.seen = true;
+    }
+    return true;
+}
+
+const ArgParser::Option &
+ArgParser::find(const std::string &name) const
+{
+    const auto it = options_.find(name);
+    SUIT_ASSERT(it != options_.end(), "undeclared option --%s",
+                name.c_str());
+    return it->second;
+}
+
+const std::string &
+ArgParser::get(const std::string &name) const
+{
+    return find(name).value;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string &v = get(name);
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("option --%s expects a number, got '%s'", name.c_str(),
+              v.c_str());
+    return d;
+}
+
+long
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string &v = get(name);
+    char *end = nullptr;
+    const long l = std::strtol(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+        fatal("option --%s expects an integer, got '%s'",
+              name.c_str(), v.c_str());
+    return l;
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    const Option &opt = find(name);
+    SUIT_ASSERT(opt.isFlag, "--%s is not a flag", name.c_str());
+    return opt.value == "1";
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::string out =
+        sformat("%s — %s\n\nOptions:\n", program_.c_str(),
+                description_.c_str());
+    for (const std::string &name : order_) {
+        const Option &opt = options_.at(name);
+        if (opt.isFlag) {
+            out += sformat("  --%-18s %s\n", name.c_str(),
+                           opt.help.c_str());
+        } else {
+            out += sformat("  --%-18s %s (default: %s)\n",
+                           (name + " <v>").c_str(), opt.help.c_str(),
+                           opt.defaultValue.c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace suit::util

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * printf-style std::string formatting helper.
+ *
+ * GCC 12 ships no <format>, so the project uses a small, type-checked
+ * (via the format attribute) vsnprintf wrapper for message building.
+ */
+
+#ifndef SUIT_UTIL_FORMAT_HH
+#define SUIT_UTIL_FORMAT_HH
+
+#include <string>
+
+namespace suit::util {
+
+/**
+ * Format a printf-style message into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return The formatted string.
+ */
+std::string sformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace suit::util
+
+#endif // SUIT_UTIL_FORMAT_HH

@@ -1,0 +1,51 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace suit::util {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+informStr(const std::string &msg)
+{
+    if (g_level >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warnStr(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatalStr(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panicStr(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+} // namespace suit::util

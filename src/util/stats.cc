@@ -1,0 +1,160 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace suit::util {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::stderrMean() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n_a = static_cast<double>(count_);
+    const double n_b = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n_total = n_a + n_b;
+    mean_ += delta * n_b / n_total;
+    m2_ += other.m2_ + delta * delta * n_a * n_b / n_total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        SUIT_ASSERT(v > 0.0, "geomean input must be positive, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+median(std::vector<double> values)
+{
+    return percentile(std::move(values), 50.0);
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    SUIT_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: %f", p);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LogHistogram::LogHistogram(int decades)
+    : buckets_(static_cast<std::size_t>(decades), 0)
+{
+    SUIT_ASSERT(decades > 0, "histogram needs at least one decade");
+}
+
+void
+LogHistogram::add(std::uint64_t value)
+{
+    ++total_;
+    if (value == 0) {
+        ++underflow_;
+        return;
+    }
+    int decade = 0;
+    while (value >= 10) {
+        value /= 10;
+        ++decade;
+    }
+    if (decade >= static_cast<int>(buckets_.size())) {
+        ++overflow_;
+        return;
+    }
+    ++buckets_[static_cast<std::size_t>(decade)];
+}
+
+std::uint64_t
+LogHistogram::bucket(int decade) const
+{
+    SUIT_ASSERT(decade >= 0 && decade < decades(),
+                "bucket index %d out of range", decade);
+    return buckets_[static_cast<std::size_t>(decade)];
+}
+
+std::string
+LogHistogram::render(int width) const
+{
+    std::uint64_t peak = 1;
+    for (auto b : buckets_)
+        peak = std::max(peak, b);
+    std::string out;
+    for (int d = 0; d < decades(); ++d) {
+        const std::uint64_t n = buckets_[static_cast<std::size_t>(d)];
+        const int bar = static_cast<int>(
+            static_cast<double>(n) / static_cast<double>(peak) * width);
+        out += sformat("10^%-2d |%-*s| %llu\n", d, width,
+                       std::string(static_cast<std::size_t>(bar), '#')
+                           .c_str(),
+                       static_cast<unsigned long long>(n));
+    }
+    return out;
+}
+
+} // namespace suit::util

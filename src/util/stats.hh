@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming and batch statistics used across the evaluation harness.
+ *
+ * RunningStats accumulates mean / variance / extrema in one pass
+ * (Welford's algorithm); the free functions compute order statistics
+ * and the geometric mean used for SPEC-style score aggregation;
+ * LogHistogram buckets positive values by order of magnitude, which is
+ * what the paper's "gap size" plots (Figs. 5 and 7) display.
+ */
+
+#ifndef SUIT_UTIL_STATS_HH
+#define SUIT_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace suit::util {
+
+/** One-pass mean/variance/min/max accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return count_; }
+    /** Arithmetic mean (0 if empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Standard error of the mean (sigma_x in the paper's notation). */
+    double stderrMean() const;
+    /** Smallest sample (0 if empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Largest sample (0 if empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Geometric mean of positive values; 0 for an empty input. */
+double geomean(const std::vector<double> &values);
+
+/** Median (average of the two middle values for even sizes). */
+double median(std::vector<double> values);
+
+/**
+ * Linear-interpolation percentile.
+ *
+ * @param values sample set (copied; need not be sorted).
+ * @param p percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Histogram over log10-sized buckets for positive integer values.
+ *
+ * Bucket i holds values in [10^i, 10^(i+1)); values of zero land in
+ * a dedicated underflow bucket.
+ */
+class LogHistogram
+{
+  public:
+    /** Create with the given number of decades (default 12). */
+    explicit LogHistogram(int decades = 12);
+
+    /** Record one value. */
+    void add(std::uint64_t value);
+
+    /** Count in the given decade bucket. */
+    std::uint64_t bucket(int decade) const;
+    /** Count of zero-valued samples. */
+    std::uint64_t underflow() const { return underflow_; }
+    /** Count of samples at or above the last decade. */
+    std::uint64_t overflow() const { return overflow_; }
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+    /** Number of decades configured. */
+    int decades() const { return static_cast<int>(buckets_.size()); }
+
+    /** Render as an ASCII bar chart, one row per decade. */
+    std::string render(int width = 50) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace suit::util
+
+#endif // SUIT_UTIL_STATS_HH

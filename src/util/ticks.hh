@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * All simulators in this project share one fixed-point time base: one
+ * Tick is one picosecond.  64 bits of picoseconds cover ~213 days of
+ * simulated time, far beyond any workload here.  Helper functions
+ * convert between ticks, SI time units and clock frequencies.
+ */
+
+#ifndef SUIT_UTIL_TICKS_HH
+#define SUIT_UTIL_TICKS_HH
+
+#include <cstdint>
+
+namespace suit::util {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** One nanosecond in ticks. */
+constexpr Tick kTicksPerNs = 1000;
+/** One microsecond in ticks. */
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+/** One millisecond in ticks. */
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+/** One second in ticks. */
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert seconds (double) to ticks. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSec));
+}
+
+/** Convert microseconds (double) to ticks. */
+constexpr Tick
+microsecondsToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs));
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/** Convert ticks to microseconds. */
+constexpr double
+ticksToMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Clock period in ticks for a frequency given in Hz. */
+constexpr Tick
+frequencyToPeriod(double hz)
+{
+    return static_cast<Tick>(static_cast<double>(kTicksPerSec) / hz);
+}
+
+/** Clock frequency in Hz for a period given in ticks. */
+constexpr double
+periodToFrequency(Tick period)
+{
+    return static_cast<double>(kTicksPerSec) /
+           static_cast<double>(period);
+}
+
+} // namespace suit::util
+
+#endif // SUIT_UTIL_TICKS_HH

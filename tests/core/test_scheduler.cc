@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests of the SUIT-aware task placement (Sec. 7 outlook).
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit;
+using core::offCurveShare;
+using core::Placement;
+
+TEST(Scheduler, OffCurveShareTracksWorkloadCharacter)
+{
+    // The disturbance metric must order the known extremes.
+    const double quiet =
+        offCurveShare(trace::profileByName("557.xz"));
+    const double mid = offCurveShare(trace::profileByName("502.gcc"));
+    const double loud =
+        offCurveShare(trace::profileByName("520.omnetpp"));
+    EXPECT_LT(quiet, mid);
+    EXPECT_LT(mid, loud);
+    EXPECT_LT(quiet, 0.2);
+    EXPECT_GT(loud, 0.8);
+}
+
+TEST(Scheduler, BurstRateIsPositiveForAllProfiles)
+{
+    for (const auto &p : trace::allProfiles()) {
+        EXPECT_GT(core::burstRatePerSecond(p), 0.0) << p.name;
+        const double share = offCurveShare(p);
+        EXPECT_GE(share, 0.0) << p.name;
+        EXPECT_LE(share, 1.0) << p.name;
+    }
+}
+
+TEST(Scheduler, RoundRobinSpreadsTasks)
+{
+    const Placement p = core::placeRoundRobin(8, 2, 4);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0].size(), 4u);
+    EXPECT_EQ(p[1].size(), 4u);
+    // Alternating assignment.
+    EXPECT_EQ(p[0], (std::vector<std::size_t>{0, 2, 4, 6}));
+    EXPECT_EQ(p[1], (std::vector<std::size_t>{1, 3, 5, 7}));
+}
+
+TEST(Scheduler, SuitAwareSegregatesByDisturbance)
+{
+    std::vector<const trace::WorkloadProfile *> tasks = {
+        &trace::profileByName("557.xz"),       // quiet
+        &trace::profileByName("520.omnetpp"),  // loud
+        &trace::profileByName("523.xalancbmk"),// quiet
+        &trace::profileByName("527.cam4"),     // loud
+    };
+    const Placement p = core::placeSuitAware(tasks, 2, 2);
+    ASSERT_EQ(p.size(), 2u);
+    ASSERT_EQ(p[0].size(), 2u);
+    ASSERT_EQ(p[1].size(), 2u);
+
+    // Socket 0 holds the two loudest tasks, socket 1 the quiet ones.
+    auto contains = [](const std::vector<std::size_t> &v,
+                       std::size_t x) {
+        return std::find(v.begin(), v.end(), x) != v.end();
+    };
+    EXPECT_TRUE(contains(p[0], 1)); // omnetpp
+    EXPECT_TRUE(contains(p[0], 3)); // cam4
+    EXPECT_TRUE(contains(p[1], 0)); // xz
+    EXPECT_TRUE(contains(p[1], 2)); // xalancbmk
+}
+
+TEST(Scheduler, EveryTaskPlacedExactlyOnce)
+{
+    std::vector<const trace::WorkloadProfile *> tasks;
+    for (const auto &p : trace::allProfiles())
+        tasks.push_back(&p);
+    const Placement placement =
+        core::placeSuitAware(tasks, 5, 5);
+
+    std::vector<int> seen(tasks.size(), 0);
+    for (const auto &socket : placement) {
+        EXPECT_LE(socket.size(), 5u);
+        for (std::size_t idx : socket)
+            ++seen[idx];
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "task " << i;
+}
+
+TEST(SchedulerDeathTest, OverCommitIsRejected)
+{
+    EXPECT_DEATH((void)core::placeRoundRobin(9, 2, 4), "slots");
+}
+
+} // namespace

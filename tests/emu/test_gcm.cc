@@ -1,0 +1,240 @@
+/**
+ * @file
+ * AES-128-GCM tests: NIST SP 800-38D / GCM-spec test vectors,
+ * GF(2^128) ring properties and round-trip/tamper behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/gcm.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace suit::emu;
+using suit::util::Rng;
+
+std::vector<std::uint8_t>
+bytesFromHex(const std::string &hex)
+{
+    auto nibble = [](char c) -> std::uint8_t {
+        if (c >= '0' && c <= '9')
+            return static_cast<std::uint8_t>(c - '0');
+        return static_cast<std::uint8_t>(c - 'a' + 10);
+    };
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+        out.push_back(static_cast<std::uint8_t>(
+            (nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+    return out;
+}
+
+AesBlock
+blockFromHex(const std::string &hex)
+{
+    const auto bytes = bytesFromHex(hex);
+    AesBlock b{};
+    for (std::size_t i = 0; i < 16; ++i)
+        b[i] = bytes[i];
+    return b;
+}
+
+// ---------------------------------------------------------------
+// GF(2^128) arithmetic
+// ---------------------------------------------------------------
+
+Gf128
+randomElement(Rng &rng)
+{
+    return Gf128{rng.next(), rng.next()};
+}
+
+TEST(Gf128Test, BlockRoundTrip)
+{
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const Gf128 e = randomElement(rng);
+        EXPECT_EQ(gf128FromBlock(gf128ToBlock(e)), e);
+    }
+}
+
+TEST(Gf128Test, MultiplicationIsCommutative)
+{
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const Gf128 a = randomElement(rng);
+        const Gf128 b = randomElement(rng);
+        EXPECT_EQ(gf128Mul(a, b), gf128Mul(b, a));
+    }
+}
+
+TEST(Gf128Test, MultiplicationIsAssociative)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        const Gf128 a = randomElement(rng);
+        const Gf128 b = randomElement(rng);
+        const Gf128 c = randomElement(rng);
+        EXPECT_EQ(gf128Mul(gf128Mul(a, b), c),
+                  gf128Mul(a, gf128Mul(b, c)));
+    }
+}
+
+TEST(Gf128Test, DistributesOverXor)
+{
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const Gf128 a = randomElement(rng);
+        const Gf128 b = randomElement(rng);
+        const Gf128 c = randomElement(rng);
+        const Gf128 bc{b.hi ^ c.hi, b.lo ^ c.lo};
+        const Gf128 ab = gf128Mul(a, b);
+        const Gf128 ac = gf128Mul(a, c);
+        EXPECT_EQ(gf128Mul(a, bc),
+                  (Gf128{ab.hi ^ ac.hi, ab.lo ^ ac.lo}));
+    }
+}
+
+TEST(Gf128Test, OneIsTheIdentity)
+{
+    // In the GCM bit order, "1" is the block 0x80 00 ... 00.
+    const Gf128 one{0x8000000000000000ULL, 0};
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const Gf128 a = randomElement(rng);
+        EXPECT_EQ(gf128Mul(a, one), a);
+        EXPECT_EQ(gf128Mul(one, a), a);
+    }
+}
+
+TEST(Gf128Test, ZeroAnnihilates)
+{
+    Rng rng(6);
+    const Gf128 zero{};
+    const Gf128 a = randomElement(rng);
+    EXPECT_EQ(gf128Mul(a, zero), zero);
+}
+
+// ---------------------------------------------------------------
+// NIST GCM test vectors (GCM spec, AES-128 cases)
+// ---------------------------------------------------------------
+
+TEST(GcmVectors, TestCase1EmptyPlaintext)
+{
+    const Aes128Gcm gcm(
+        blockFromHex("00000000000000000000000000000000"));
+    const auto sealed =
+        gcm.seal(bytesFromHex("000000000000000000000000"), {});
+    EXPECT_TRUE(sealed.ciphertext.empty());
+    EXPECT_EQ(sealed.tag,
+              blockFromHex("58e2fccefa7e3061367f1d57a4e7455a"));
+}
+
+TEST(GcmVectors, TestCase2SingleZeroBlock)
+{
+    const Aes128Gcm gcm(
+        blockFromHex("00000000000000000000000000000000"));
+    const auto sealed =
+        gcm.seal(bytesFromHex("000000000000000000000000"),
+                 bytesFromHex("00000000000000000000000000000000"));
+    EXPECT_EQ(sealed.ciphertext,
+              bytesFromHex("0388dace60b6a392f328c2b971b2fe78"));
+    EXPECT_EQ(sealed.tag,
+              blockFromHex("ab6e47d42cec13bdf53a67b21257bddf"));
+}
+
+TEST(GcmVectors, TestCase3FourBlocks)
+{
+    const Aes128Gcm gcm(
+        blockFromHex("feffe9928665731c6d6a8f9467308308"));
+    const auto sealed = gcm.seal(
+        bytesFromHex("cafebabefacedbaddecaf888"),
+        bytesFromHex(
+            "d9313225f88406e5a55909c5aff5269a"
+            "86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525"
+            "b16aedf5aa0de657ba637b391aafd255"));
+    EXPECT_EQ(sealed.ciphertext,
+              bytesFromHex(
+                  "42831ec2217774244b7221b784d0d49c"
+                  "e3aa212f2c02a4e035c17e2329aca12e"
+                  "21d514b25466931c7d8f6a5aac84aa05"
+                  "1ba30b396a0aac973d58e091473f5985"));
+    EXPECT_EQ(sealed.tag,
+              blockFromHex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+}
+
+// ---------------------------------------------------------------
+// Behavioural properties
+// ---------------------------------------------------------------
+
+TEST(GcmBehaviour, SealOpenRoundTrip)
+{
+    Rng rng(7);
+    AesBlock key;
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    const Aes128Gcm gcm(key);
+
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 333u}) {
+        std::vector<std::uint8_t> iv(12), pt(len), aad(13);
+        for (auto &b : iv)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        for (auto &b : aad)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+
+        const GcmSealed sealed = gcm.seal(iv, pt, aad);
+        std::vector<std::uint8_t> decrypted;
+        ASSERT_TRUE(
+            gcm.open(iv, sealed.ciphertext, sealed.tag, &decrypted,
+                     aad))
+            << "len " << len;
+        EXPECT_EQ(decrypted, pt);
+    }
+}
+
+TEST(GcmBehaviour, TamperedCiphertextIsRejected)
+{
+    const Aes128Gcm gcm(
+        blockFromHex("feffe9928665731c6d6a8f9467308308"));
+    const auto iv = bytesFromHex("cafebabefacedbaddecaf888");
+    const std::vector<std::uint8_t> pt(48, 0x42);
+    GcmSealed sealed = gcm.seal(iv, pt);
+
+    sealed.ciphertext[20] ^= 0x01; // one flipped bit
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, sealed.tag, &out));
+}
+
+TEST(GcmBehaviour, TamperedTagAndAadAreRejected)
+{
+    const Aes128Gcm gcm(
+        blockFromHex("feffe9928665731c6d6a8f9467308308"));
+    const auto iv = bytesFromHex("cafebabefacedbaddecaf888");
+    const std::vector<std::uint8_t> pt(32, 0x17);
+    const std::vector<std::uint8_t> aad = {1, 2, 3};
+    const GcmSealed sealed = gcm.seal(iv, pt, aad);
+
+    AesBlock bad_tag = sealed.tag;
+    bad_tag[0] ^= 0x80;
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(
+        gcm.open(iv, sealed.ciphertext, bad_tag, &out, aad));
+    EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, sealed.tag, &out,
+                          {/* wrong aad */}));
+    EXPECT_TRUE(
+        gcm.open(iv, sealed.ciphertext, sealed.tag, &out, aad));
+}
+
+TEST(GcmBehaviour, SubkeyIsEncryptionOfZero)
+{
+    const AesBlock key =
+        blockFromHex("feffe9928665731c6d6a8f9467308308");
+    const Aes128Gcm gcm(key);
+    const Aes128 aes(key);
+    EXPECT_EQ(gcm.subkey(), gf128FromBlock(aes.encrypt(AesBlock{})));
+}
+
+} // namespace

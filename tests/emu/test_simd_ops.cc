@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests of the scalar SIMD emulation semantics.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "emu/simd_ops.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace suit::emu;
+using suit::util::Rng;
+
+Vec256
+randomVec(Rng &rng)
+{
+    return Vec256(rng.next(), rng.next(), rng.next(), rng.next());
+}
+
+TEST(Vec256Test, LaneViewsAreConsistent)
+{
+    Vec256 v;
+    v.setU64(0, 0x1122334455667788ULL);
+    EXPECT_EQ(v.u32(0), 0x55667788u);
+    EXPECT_EQ(v.u32(1), 0x11223344u);
+    EXPECT_EQ(v.u8(0), 0x88);
+    EXPECT_EQ(v.u8(7), 0x11);
+
+    v.setU8(31, 0xAB);
+    EXPECT_EQ(v.u64(3) >> 56, 0xABu);
+
+    v.setF64(2, 1.5);
+    EXPECT_DOUBLE_EQ(v.f64(2), 1.5);
+}
+
+TEST(Vec256Test, ByteRoundTrip)
+{
+    std::uint8_t bytes[32];
+    for (int i = 0; i < 32; ++i)
+        bytes[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    const Vec256 v = Vec256::fromBytes(bytes);
+    std::uint8_t out[32];
+    v.toBytes(out);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], bytes[i]);
+}
+
+TEST(BitwiseOps, MatchScalarDefinitions)
+{
+    Rng rng(1);
+    for (int t = 0; t < 100; ++t) {
+        const Vec256 a = randomVec(rng);
+        const Vec256 b = randomVec(rng);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(vor(a, b).u64(i), a.u64(i) | b.u64(i));
+            EXPECT_EQ(vxor(a, b).u64(i), a.u64(i) ^ b.u64(i));
+            EXPECT_EQ(vand(a, b).u64(i), a.u64(i) & b.u64(i));
+            EXPECT_EQ(vandn(a, b).u64(i), ~a.u64(i) & b.u64(i));
+        }
+    }
+}
+
+TEST(BitwiseOps, AlgebraicIdentities)
+{
+    Rng rng(2);
+    const Vec256 zero;
+    const Vec256 ones = Vec256::broadcast64(~0ULL);
+    for (int t = 0; t < 50; ++t) {
+        const Vec256 a = randomVec(rng);
+        EXPECT_EQ(vxor(a, a), zero);
+        EXPECT_EQ(vor(a, zero), a);
+        EXPECT_EQ(vand(a, ones), a);
+        EXPECT_EQ(vandn(zero, a), a);
+        EXPECT_EQ(vandn(a, a), zero);
+    }
+}
+
+TEST(Vpaddq, WrapsAround)
+{
+    const Vec256 a = Vec256::broadcast64(~0ULL);
+    const Vec256 b = Vec256::broadcast64(2);
+    const Vec256 r = vpaddq(a, b);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(r.u64(i), 1u);
+}
+
+TEST(Vpsrad, ShiftsArithmetically)
+{
+    Vec256 a;
+    a.setU32(0, 0x80000000u); // INT32_MIN
+    a.setU32(1, 0x7FFFFFFFu); // INT32_MAX
+    a.setU32(2, 0xFFFFFFF0u); // -16
+
+    const Vec256 r = vpsrad(a, 4);
+    EXPECT_EQ(r.u32(0), 0xF8000000u);
+    EXPECT_EQ(r.u32(1), 0x07FFFFFFu);
+    EXPECT_EQ(r.u32(2), 0xFFFFFFFFu);
+}
+
+TEST(Vpsrad, LargeCountFillsWithSign)
+{
+    Vec256 a;
+    a.setU32(0, 0x80000001u);
+    a.setU32(1, 0x12345678u);
+    const Vec256 r = vpsrad(a, 40);
+    EXPECT_EQ(r.u32(0), 0xFFFFFFFFu);
+    EXPECT_EQ(r.u32(1), 0u);
+}
+
+TEST(Vpcmpgtd, ProducesLaneMasks)
+{
+    Vec256 a, b;
+    a.setU32(0, static_cast<std::uint32_t>(5));
+    b.setU32(0, static_cast<std::uint32_t>(-3));
+    a.setU32(1, static_cast<std::uint32_t>(-7));
+    b.setU32(1, static_cast<std::uint32_t>(-2));
+    const Vec256 r = vpcmpgtd(a, b);
+    EXPECT_EQ(r.u32(0), 0xFFFFFFFFu); // 5 > -3
+    EXPECT_EQ(r.u32(1), 0u);          // -7 < -2
+}
+
+TEST(Vpmaxsd, SignedMaximum)
+{
+    Vec256 a, b;
+    a.setU32(0, static_cast<std::uint32_t>(-5));
+    b.setU32(0, static_cast<std::uint32_t>(3));
+    const Vec256 r = vpmaxsd(a, b);
+    EXPECT_EQ(static_cast<std::int32_t>(r.u32(0)), 3);
+}
+
+TEST(Vsqrtpd, ComputesPerLaneSqrt)
+{
+    const Vec256 a = Vec256::fromDoubles(4.0, 9.0, 2.25, 0.0);
+    const Vec256 r = vsqrtpd(a);
+    EXPECT_DOUBLE_EQ(r.f64(0), 2.0);
+    EXPECT_DOUBLE_EQ(r.f64(1), 3.0);
+    EXPECT_DOUBLE_EQ(r.f64(2), 1.5);
+    EXPECT_DOUBLE_EQ(r.f64(3), 0.0);
+}
+
+TEST(Clmul, KnownSmallProducts)
+{
+    std::uint64_t hi = 0;
+    // (x+1)(x+1) = x^2+1 (carry-less: 3*3 = 5).
+    EXPECT_EQ(clmul64(3, 3, &hi), 5u);
+    EXPECT_EQ(hi, 0u);
+    // x^63 * x = x^64: overflows entirely into the high half.
+    EXPECT_EQ(clmul64(1ULL << 63, 2, &hi), 0u);
+    EXPECT_EQ(hi, 1u);
+}
+
+TEST(Clmul, CommutativeAndDistributive)
+{
+    Rng rng(9);
+    for (int t = 0; t < 100; ++t) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        const std::uint64_t c = rng.next();
+        std::uint64_t hab, hba, hac, habc;
+        const std::uint64_t ab = clmul64(a, b, &hab);
+        const std::uint64_t ba = clmul64(b, a, &hba);
+        EXPECT_EQ(ab, ba);
+        EXPECT_EQ(hab, hba);
+        // a*(b^c) == a*b ^ a*c in GF(2)[x].
+        const std::uint64_t ac = clmul64(a, c, &hac);
+        const std::uint64_t abc = clmul64(a, b ^ c, &habc);
+        EXPECT_EQ(abc, ab ^ ac);
+        EXPECT_EQ(habc, hab ^ hac);
+    }
+}
+
+TEST(Vpclmulqdq, SelectorPicksQwords)
+{
+    Vec256 a(2, 3, 0, 0);
+    Vec256 b(5, 7, 0, 0);
+    // imm 0x00: low(a) * low(b) = clmul(2, 5).
+    std::uint64_t hi;
+    EXPECT_EQ(vpclmulqdq(a, b, 0x00).u64(0), clmul64(2, 5, &hi));
+    // imm 0x11: high(a) * high(b) = clmul(3, 7).
+    EXPECT_EQ(vpclmulqdq(a, b, 0x11).u64(0), clmul64(3, 7, &hi));
+    // imm 0x01: high(a) * low(b).
+    EXPECT_EQ(vpclmulqdq(a, b, 0x01).u64(0), clmul64(3, 5, &hi));
+    // imm 0x10: low(a) * high(b).
+    EXPECT_EQ(vpclmulqdq(a, b, 0x10).u64(0), clmul64(2, 7, &hi));
+}
+
+TEST(ImulFull, MatchesInt128Reference)
+{
+    Rng rng(13);
+    for (int t = 0; t < 200; ++t) {
+        const auto a = static_cast<std::int64_t>(rng.next());
+        const auto b = static_cast<std::int64_t>(rng.next());
+        const Int128 p = imulFull(a, b);
+        const __int128 ref = static_cast<__int128>(a) * b;
+        EXPECT_EQ(p.lo, static_cast<std::uint64_t>(
+                            static_cast<unsigned __int128>(ref)));
+        EXPECT_EQ(p.hi, static_cast<std::int64_t>(ref >> 64));
+    }
+}
+
+TEST(ImulFull, EdgeCases)
+{
+    EXPECT_EQ(imulFull(0, 12345).lo, 0u);
+    EXPECT_EQ(imulFull(-1, -1).lo, 1u);
+    EXPECT_EQ(imulFull(-1, -1).hi, 0);
+    const Int128 min_sq =
+        imulFull(std::numeric_limits<std::int64_t>::min(), -1);
+    EXPECT_EQ(min_sq.lo, 0x8000000000000000ULL);
+    EXPECT_EQ(min_sq.hi, 0);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the OS model: MSR file, exception table and emulation
+ * service.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/emulation_service.hh"
+#include "os/exception.hh"
+#include "os/msr.hh"
+
+namespace {
+
+using namespace suit::os;
+
+TEST(MsrFileTest, ReadsZeroWhenUnwritten)
+{
+    MsrFile msrs;
+    EXPECT_EQ(msrs.read(MSR_SUIT_DVFS_CURVE), 0u);
+    EXPECT_FALSE(msrs.wasWritten(MSR_SUIT_DVFS_CURVE));
+}
+
+TEST(MsrFileTest, WriteReadRoundTrip)
+{
+    MsrFile msrs;
+    EXPECT_EQ(msrs.write(MSR_IA32_PERF_CTL, 0x1D00), MsrWriteResult::Ok);
+    EXPECT_EQ(msrs.read(MSR_IA32_PERF_CTL), 0x1D00u);
+    EXPECT_TRUE(msrs.wasWritten(MSR_IA32_PERF_CTL));
+}
+
+TEST(MsrFileTest, WriteHookCanReject)
+{
+    MsrFile msrs;
+    msrs.setWriteHook(MSR_SUIT_DVFS_CURVE, [](std::uint64_t v) {
+        return v <= 1 ? MsrWriteResult::Ok : MsrWriteResult::Fault;
+    });
+    EXPECT_EQ(msrs.write(MSR_SUIT_DVFS_CURVE, 1), MsrWriteResult::Ok);
+    EXPECT_EQ(msrs.write(MSR_SUIT_DVFS_CURVE, 7),
+              MsrWriteResult::Fault);
+    // Rejected writes leave the old value intact.
+    EXPECT_EQ(msrs.read(MSR_SUIT_DVFS_CURVE), 1u);
+}
+
+TEST(ExceptionTableTest, DispatchesToHandler)
+{
+    ExceptionTable table(0.34, 0.77);
+    int calls = 0;
+    suit::isa::FaultableKind seen{};
+    table.registerHandler(ExceptionVector::DisabledOpcode,
+                          [&](const TrapFrame &f) {
+                              ++calls;
+                              seen = f.kind;
+                          });
+    EXPECT_TRUE(table.hasHandler(ExceptionVector::DisabledOpcode));
+    EXPECT_FALSE(table.hasHandler(ExceptionVector::InvalidOpcode));
+
+    TrapFrame frame;
+    frame.kind = suit::isa::FaultableKind::AESENC;
+    table.raise(ExceptionVector::DisabledOpcode, frame);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(seen, suit::isa::FaultableKind::AESENC);
+    EXPECT_EQ(table.raiseCount(), 1u);
+}
+
+TEST(ExceptionTableTest, CostsMatchSec53)
+{
+    // i9-9900K: 0.34 us to the handler, 0.77 us for the emulation
+    // round trip (paper Sec. 5.3).
+    ExceptionTable intel(0.34, 0.77);
+    EXPECT_EQ(intel.entryCost(), suit::util::microsecondsToTicks(0.34));
+    EXPECT_EQ(intel.emulationCallCost(),
+              suit::util::microsecondsToTicks(0.77));
+
+    ExceptionTable amd(0.11, 0.27);
+    EXPECT_LT(amd.entryCost(), intel.entryCost());
+}
+
+TEST(EmulationServiceTest, ComputesResultAndCost)
+{
+    ExceptionTable table(0.34, 0.77);
+    EmulationService service(table);
+
+    suit::emu::EmuRequest req;
+    req.kind = suit::isa::FaultableKind::VOR;
+    req.a = suit::emu::Vec256::broadcast64(0xF0F0);
+    req.b = suit::emu::Vec256::broadcast64(0x0F0F);
+
+    const EmulationOutcome out = service.emulate(req, 4.5e9);
+    EXPECT_EQ(out.result.u64(0), 0xFFFFu);
+    // Cost = round trip + body cycles at 4.5 GHz.
+    EXPECT_GT(out.cost, table.emulationCallCost());
+    EXPECT_LT(out.cost, table.emulationCallCost() +
+                            suit::util::microsecondsToTicks(1.0));
+    EXPECT_EQ(service.emulationCount(), 1u);
+}
+
+TEST(EmulationServiceTest, AesCostsMoreThanBitwise)
+{
+    ExceptionTable table(0.34, 0.77);
+    EmulationService service(table);
+    const auto vor_cost =
+        service.emulationCost(suit::isa::FaultableKind::VOR, 3e9);
+    const auto aes_cost =
+        service.emulationCost(suit::isa::FaultableKind::AESENC, 3e9);
+    EXPECT_GT(aes_cost, vor_cost);
+}
+
+TEST(EmulationServiceTest, LowerClockRaisesBodyCost)
+{
+    ExceptionTable table(0.0, 0.0); // isolate the body term
+    EmulationService service(table);
+    const auto fast =
+        service.emulationCost(suit::isa::FaultableKind::AESENC, 4e9);
+    const auto slow =
+        service.emulationCost(suit::isa::FaultableKind::AESENC, 2e9);
+    EXPECT_NEAR(static_cast<double>(slow),
+                2.0 * static_cast<double>(fast),
+                static_cast<double>(fast) * 0.01);
+}
+
+} // namespace

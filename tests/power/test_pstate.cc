@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests of DVFS curves and the measured i9-9900K curve (Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/pstate.hh"
+
+namespace {
+
+using namespace suit::power;
+
+TEST(DvfsCurve, InterpolatesBetweenAnchors)
+{
+    DvfsCurve c({{1e9, 800.0}, {3e9, 1000.0}}, "test");
+    EXPECT_DOUBLE_EQ(c.voltageAtMv(1e9), 800.0);
+    EXPECT_DOUBLE_EQ(c.voltageAtMv(3e9), 1000.0);
+    EXPECT_DOUBLE_EQ(c.voltageAtMv(2e9), 900.0);
+}
+
+TEST(DvfsCurve, ClampsOutsideRange)
+{
+    DvfsCurve c({{1e9, 800.0}, {3e9, 1000.0}}, "test");
+    EXPECT_DOUBLE_EQ(c.voltageAtMv(0.5e9), 800.0);
+    EXPECT_DOUBLE_EQ(c.voltageAtMv(9e9), 1000.0);
+    EXPECT_DOUBLE_EQ(c.freqAtHz(700.0), 1e9);
+    EXPECT_DOUBLE_EQ(c.freqAtHz(1200.0), 3e9);
+}
+
+TEST(DvfsCurve, InverseLookupIsConsistent)
+{
+    const DvfsCurve c = i9_9900kCurve();
+    for (double ghz = 1.5; ghz <= 5.0; ghz += 0.25) {
+        const double v = c.voltageAtMv(ghz * 1e9);
+        if (v > c.points().front().voltageMv + 1.0) {
+            EXPECT_NEAR(c.freqAtHz(v) / 1e9, ghz, 0.01)
+                << "at " << ghz << " GHz";
+        }
+    }
+}
+
+TEST(DvfsCurve, ShiftedLowersVoltages)
+{
+    const DvfsCurve base = i9_9900kCurve();
+    const DvfsCurve eff = base.shifted(-97.0, "efficient");
+    for (double ghz = 1.0; ghz <= 5.0; ghz += 0.5) {
+        EXPECT_LE(eff.voltageAtMv(ghz * 1e9),
+                  base.voltageAtMv(ghz * 1e9));
+    }
+    // At the top the full offset applies.
+    EXPECT_NEAR(eff.voltageAtMv(5e9), base.voltageAtMv(5e9) - 97.0,
+                1e-9);
+}
+
+TEST(DvfsCurve, ShiftRespectsFloor)
+{
+    DvfsCurve c({{1e9, 600.0}, {3e9, 1000.0}}, "test");
+    const DvfsCurve shifted = c.shifted(-200.0, "deep", 550.0);
+    EXPECT_DOUBLE_EQ(shifted.voltageAtMv(1e9), 550.0);
+    EXPECT_DOUBLE_EQ(shifted.voltageAtMv(3e9), 800.0);
+}
+
+TEST(I9Curve, MatchesPaperMeasurements)
+{
+    const DvfsCurve c = i9_9900kCurve();
+    // Paper Sec. 5.6: 991 mV at 4 GHz, 1174 mV at 5 GHz,
+    // 183 mV/GHz between them.
+    EXPECT_NEAR(c.voltageAtMv(4e9), 991.0, 2.0);
+    EXPECT_NEAR(c.voltageAtMv(5e9), 1174.0, 2.0);
+    EXPECT_NEAR(c.gradientMvPerGhz(4.5e9), 183.0, 5.0);
+}
+
+TEST(I9Curve, ModifiedImulSavesUpTo220mv)
+{
+    const DvfsCurve base = i9_9900kCurve();
+    const DvfsCurve imul = i9_9900kModifiedImulCurve();
+    // Paper Sec. 6.9: 220 mV lower at 5 GHz, negligible at the floor.
+    EXPECT_NEAR(base.voltageAtMv(5e9) - imul.voltageAtMv(5e9), 220.0,
+                5.0);
+    EXPECT_NEAR(base.voltageAtMv(1e9) - imul.voltageAtMv(1e9), 0.0,
+                5.0);
+    // Never higher than the base curve anywhere.
+    for (double ghz = 1.0; ghz <= 5.0; ghz += 0.25)
+        EXPECT_LE(imul.voltageAtMv(ghz * 1e9),
+                  base.voltageAtMv(ghz * 1e9) + 1e-9);
+}
+
+} // namespace

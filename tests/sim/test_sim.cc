@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests of the event-based trace simulator (paper Sec. 6.2).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/params.hh"
+#include "sim/domain_sim.hh"
+#include "sim/evaluation.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit;
+using sim::CoreWork;
+using sim::DomainResult;
+using sim::DomainSimulator;
+using sim::EvalConfig;
+using sim::RunMode;
+using sim::SimConfig;
+
+/** A tiny synthetic workload profile for focused tests. */
+trace::WorkloadProfile
+tinyProfile()
+{
+    trace::WorkloadProfile p;
+    p.name = "tiny";
+    p.suite = trace::Suite::SpecInt;
+    p.totalInstructions = 500'000'000; // ~0.1 s at 4.5e9 i/s
+    p.ipc = 1.5;
+    p.bursts.meanBurstEvents = 5;
+    p.bursts.meanWithinBurstGap = 1000;
+    p.bursts.interBurstGapLogMean = std::log(20'000'000.0);
+    p.bursts.interBurstGapLogSigma = 0.3;
+    p.imulFraction = 0.0005;
+    p.kindMix[static_cast<std::size_t>(isa::FaultableKind::VOR)] = 1.0;
+    return p;
+}
+
+SimConfig
+baseConfig(const power::CpuModel &cpu)
+{
+    SimConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.mode = RunMode::Suit;
+    cfg.strategy = core::StrategyKind::CombinedFv;
+    cfg.params = core::optimalParams(cpu);
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(DomainSim, BaselineDurationMatchesAnalytic)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = tinyProfile();
+    const trace::Trace t = trace::TraceGenerator(1).generate(p);
+
+    SimConfig cfg = baseConfig(cpu);
+    cfg.mode = RunMode::Baseline;
+    DomainSimulator sim(cfg, {{&t, &p}});
+    const DomainResult r = sim.run();
+
+    ASSERT_EQ(r.cores.size(), 1u);
+    EXPECT_NEAR(r.cores[0].durationS, r.cores[0].baselineDurationS,
+                0.001 * r.cores[0].baselineDurationS);
+    EXPECT_NEAR(r.powerFactor, 1.0, 1e-9);
+    EXPECT_EQ(r.traps, 0u);
+    EXPECT_EQ(r.emulations, 0u);
+    EXPECT_DOUBLE_EQ(r.efficientShare, 0.0);
+}
+
+TEST(DomainSim, SuitRunTrapsOncePerBurst)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = tinyProfile();
+    const trace::Trace t = trace::TraceGenerator(1).generate(p);
+
+    DomainSimulator sim(baseConfig(cpu), {{&t, &p}});
+    const DomainResult r = sim.run();
+
+    // Gaps (20M instr ~ 4.4 ms) dwarf the deadline: every burst
+    // re-traps, and only its first instruction does.
+    const std::size_t bursts = t.eventCount() / 5;
+    EXPECT_GT(r.traps, bursts / 2);
+    EXPECT_LT(r.traps, 2 * bursts);
+    EXPECT_EQ(r.emulations, 0u);
+    // Sparse events: overwhelmingly on the efficient curve.
+    EXPECT_GT(r.efficientShare, 0.9);
+    // Power saving close to the full measured response.
+    EXPECT_LT(r.powerDelta(), -0.12);
+    EXPECT_GT(r.perfDelta(), 0.0);
+}
+
+TEST(DomainSim, EmulationRunNeverLeavesEfficientCurve)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = tinyProfile();
+    const trace::Trace t = trace::TraceGenerator(1).generate(p);
+
+    SimConfig cfg = baseConfig(cpu);
+    cfg.strategy = core::StrategyKind::Emulation;
+    DomainSimulator sim(cfg, {{&t, &p}});
+    const DomainResult r = sim.run();
+
+    EXPECT_NEAR(r.efficientShare, 1.0, 1e-9);
+    EXPECT_EQ(r.emulations, t.eventCount());
+    EXPECT_EQ(r.traps, t.eventCount());
+    EXPECT_EQ(r.pstateSwitches, 0u);
+}
+
+TEST(DomainSim, NoSimdCompileHasNoTraps)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    trace::WorkloadProfile p = tinyProfile();
+    p.noSimdDelta = -0.10; // 10 % slower without SIMD
+    const trace::Trace t = trace::TraceGenerator(1).generate(p);
+
+    SimConfig cfg = baseConfig(cpu);
+    cfg.mode = RunMode::NoSimdCompile;
+    DomainSimulator sim(cfg, {{&t, &p}});
+    const DomainResult r = sim.run();
+
+    EXPECT_EQ(r.traps, 0u);
+    EXPECT_NEAR(r.efficientShare, 1.0, 1e-9);
+    // Perf combines the no-SIMD penalty with the undervolt bonus.
+    const double expect =
+        (1.0 - 0.10) * (1.0 + 0.038) *
+            (1.0 - trace::imulLatencyOverhead(p.imulFraction)) -
+        1.0;
+    EXPECT_NEAR(r.perfDelta(), expect, 0.002);
+}
+
+TEST(DomainSim, VoltageStrategySlowerSwitchesThanFv)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = tinyProfile();
+    const trace::Trace t = trace::TraceGenerator(1).generate(p);
+
+    SimConfig fv = baseConfig(cpu);
+    SimConfig volt = baseConfig(cpu);
+    volt.strategy = core::StrategyKind::Voltage;
+
+    DomainSimulator sim_fv(fv, {{&t, &p}});
+    DomainSimulator sim_v(volt, {{&t, &p}});
+    const double perf_fv = sim_fv.run().perfDelta();
+    const double perf_v = sim_v.run().perfDelta();
+    // The V strategy stalls ~350 us per burst instead of ~22 us.
+    EXPECT_LT(perf_v, perf_fv);
+}
+
+TEST(DomainSim, SharedDomainCouplesCores)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k(); // SharedAll
+    const trace::WorkloadProfile p = tinyProfile();
+    const trace::TraceGenerator gen(7);
+    const trace::Trace t0 = gen.generate(p, 0);
+    const trace::Trace t1 = gen.generate(p, 1);
+    const trace::Trace t2 = gen.generate(p, 2);
+    const trace::Trace t3 = gen.generate(p, 3);
+
+    DomainSimulator one(baseConfig(cpu), {{&t0, &p}});
+    const DomainResult r1 = one.run();
+
+    DomainSimulator four(baseConfig(cpu),
+                         {{&t0, &p}, {&t1, &p}, {&t2, &p}, {&t3, &p}});
+    const DomainResult r4 = four.run();
+
+    // Four independent streams trap the shared domain ~4x as often:
+    // less time on the efficient curve, worse efficiency.
+    EXPECT_LT(r4.efficientShare, r1.efficientShare);
+    EXPECT_LT(r4.efficiencyDelta(), r1.efficiencyDelta());
+    EXPECT_GT(r4.traps, r1.traps);
+}
+
+TEST(DomainSim, DeeperUndervoltImprovesEfficiency)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const trace::WorkloadProfile p = tinyProfile();
+    const trace::Trace t = trace::TraceGenerator(5).generate(p);
+
+    SimConfig shallow = baseConfig(cpu);
+    shallow.offsetMv = -70.0;
+    SimConfig deep = baseConfig(cpu);
+    deep.offsetMv = -97.0;
+
+    DomainSimulator s1(shallow, {{&t, &p}});
+    DomainSimulator s2(deep, {{&t, &p}});
+    EXPECT_GT(s2.run().efficiencyDelta(), s1.run().efficiencyDelta());
+}
+
+TEST(Evaluation, RunWorkloadHonoursDomainLayout)
+{
+    EvalConfig cfg;
+    const power::CpuModel cpu_c = power::cpuC_xeon4208();
+    cfg.cpu = &cpu_c;
+    cfg.cores = 4; // per-core domains: core count irrelevant
+    cfg.params = core::optimalParams(cpu_c);
+    const DomainResult r =
+        sim::runWorkload(cfg, trace::profileByName("557.xz"));
+    EXPECT_EQ(r.cores.size(), 1u);
+
+    EvalConfig cfg_a = cfg;
+    const power::CpuModel cpu_a = power::cpuA_i9_9900k();
+    cfg_a.cpu = &cpu_a; // shared domain: all 4 cores together
+    const DomainResult ra =
+        sim::runWorkload(cfg_a, trace::profileByName("557.xz"));
+    EXPECT_EQ(ra.cores.size(), 4u);
+}
+
+TEST(Evaluation, AggregationHelpers)
+{
+    EXPECT_NEAR(sim::gmeanDelta({0.1, 0.1}), 0.1, 1e-12);
+    EXPECT_NEAR(sim::gmeanDelta({1.0, -0.5}), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(sim::medianDelta({0.3, -0.1, 0.2}), 0.2);
+}
+
+TEST(Evaluation, ReferenceShapeAtMinus97OnCpuC)
+{
+    // The headline claim (paper Sec. 9): ~+11 % efficiency with no
+    // performance impact, ~72.7 % of time on the efficient curve.
+    // The reproduction must land in the same region.
+    EvalConfig cfg;
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.params = core::optimalParams(cpu);
+
+    const auto rows = sim::runSuite(cfg, trace::specProfiles());
+    const sim::SuiteSummary s = sim::SuiteSummary::of(rows);
+
+    EXPECT_GT(s.gmeanEff, 0.08);
+    EXPECT_LT(s.gmeanEff, 0.18);
+    EXPECT_GT(s.gmeanPerf, -0.02);
+    EXPECT_LT(s.gmeanPerf, 0.02);
+    EXPECT_GT(s.meanEfficientShare, 0.55);
+    EXPECT_LT(s.gmeanPower, -0.08);
+}
+
+} // namespace

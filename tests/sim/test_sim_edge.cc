@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Edge-case tests of the trace simulator: degenerate traces, event
+ * placement extremes and bookkeeping invariants.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/params.hh"
+#include "sim/domain_sim.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit;
+using sim::DomainResult;
+using sim::DomainSimulator;
+using sim::RunMode;
+using sim::SimConfig;
+
+trace::WorkloadProfile
+plainProfile(std::uint64_t total)
+{
+    trace::WorkloadProfile p;
+    p.name = "edge";
+    p.totalInstructions = total;
+    p.ipc = 1.0;
+    p.kindMix[static_cast<std::size_t>(isa::FaultableKind::VOR)] = 1.0;
+    return p;
+}
+
+SimConfig
+cfgFor(const power::CpuModel &cpu)
+{
+    SimConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.params = core::optimalParams(cpu);
+    return cfg;
+}
+
+TEST(SimEdge, TraceWithNoEventsRunsEntirelyOnEfficientCurve)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = plainProfile(1'000'000'000);
+    const trace::Trace t("empty", p.totalInstructions, p.ipc, {});
+
+    DomainSimulator sim(cfgFor(cpu), {{&t, &p}});
+    const DomainResult r = sim.run();
+    EXPECT_EQ(r.traps, 0u);
+    EXPECT_NEAR(r.efficientShare, 1.0, 1e-9);
+    EXPECT_NEAR(r.powerDelta(), -0.16, 1e-3);
+    EXPECT_GT(r.perfDelta(), 0.03); // the full +3.8 % minus IMUL cost
+}
+
+TEST(SimEdge, SingleEventAtStreamStart)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = plainProfile(1'000'000'000);
+    const trace::Trace t("first", p.totalInstructions, p.ipc,
+                         {{0, isa::FaultableKind::VOR}});
+    DomainSimulator sim(cfgFor(cpu), {{&t, &p}});
+    const DomainResult r = sim.run();
+    EXPECT_EQ(r.traps, 1u);
+    EXPECT_GT(r.efficientShare, 0.95);
+}
+
+TEST(SimEdge, SingleEventAtStreamEnd)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = plainProfile(1'000'000'000);
+    const trace::Trace t(
+        "last", p.totalInstructions, p.ipc,
+        {{p.totalInstructions - 2, isa::FaultableKind::VOR}});
+    DomainSimulator sim(cfgFor(cpu), {{&t, &p}});
+    const DomainResult r = sim.run();
+    EXPECT_EQ(r.traps, 1u);
+    // The run ends inside the trailing conservative window; shares
+    // must still partition.
+    EXPECT_NEAR(r.efficientShare + r.cfShare + r.cvShare, 1.0, 1e-9);
+}
+
+TEST(SimEdge, BackToBackEventsCauseOneTrap)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = plainProfile(1'000'000'000);
+    std::vector<trace::FaultableEvent> events;
+    events.push_back({500'000'000, isa::FaultableKind::VOR});
+    for (int i = 0; i < 100; ++i)
+        events.push_back({0, isa::FaultableKind::VXOR});
+    const trace::Trace t("burst0", p.totalInstructions, p.ipc, events);
+    DomainSimulator sim(cfgFor(cpu), {{&t, &p}});
+    const DomainResult r = sim.run();
+    EXPECT_EQ(r.traps, 1u); // the rest run with the set enabled
+}
+
+TEST(SimEdge, BaselineModeIgnoresStrategyEntirely)
+{
+    const power::CpuModel cpu = power::cpuB_ryzen7700x();
+    const trace::WorkloadProfile p = plainProfile(2'000'000'000);
+    std::vector<trace::FaultableEvent> events;
+    for (int i = 0; i < 1000; ++i)
+        events.push_back({1'000'000, isa::FaultableKind::AESENC});
+    const trace::Trace t("base", p.totalInstructions, p.ipc, events);
+
+    SimConfig cfg = cfgFor(cpu);
+    cfg.mode = RunMode::Baseline;
+    DomainSimulator sim(cfg, {{&t, &p}});
+    const DomainResult r = sim.run();
+    EXPECT_EQ(r.traps, 0u);
+    EXPECT_EQ(r.pstateSwitches, 0u);
+    EXPECT_NEAR(r.perfDelta(), 0.0, 1e-3);
+}
+
+TEST(SimEdge, MixedWorkloadsOnOneSharedDomain)
+{
+    // Different profiles on the same shared domain must all finish
+    // and the aggregate shares must stay consistent.
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    trace::WorkloadProfile quiet = plainProfile(500'000'000);
+    trace::WorkloadProfile loud = plainProfile(500'000'000);
+    loud.ipc = 2.0;
+
+    const trace::Trace t_quiet("q", quiet.totalInstructions, quiet.ipc,
+                               {{400'000'000,
+                                 isa::FaultableKind::VOR}});
+    std::vector<trace::FaultableEvent> loud_events;
+    for (int i = 0; i < 4990; ++i) // events span the whole stream
+        loud_events.push_back({100'000, isa::FaultableKind::AESENC});
+    const trace::Trace t_loud("l", loud.totalInstructions, loud.ipc,
+                              loud_events);
+
+    DomainSimulator sim(cfgFor(cpu),
+                        {{&t_quiet, &quiet}, {&t_loud, &loud}});
+    const DomainResult r = sim.run();
+    ASSERT_EQ(r.cores.size(), 2u);
+    for (const auto &c : r.cores) {
+        EXPECT_GT(c.durationS, 0.0);
+        EXPECT_TRUE(std::isfinite(c.perfDelta()));
+    }
+    EXPECT_NEAR(r.efficientShare + r.cfShare + r.cvShare, 1.0, 1e-9);
+    // The loud tenant's traps drag the shared domain conservative
+    // while it runs (it finishes well before the quiet tenant, so
+    // the tail of the run is efficient again).
+    EXPECT_GT(r.cvShare + r.cfShare, 0.15);
+    EXPECT_LT(r.efficientShare, 0.9);
+}
+
+TEST(SimEdge, ZeroOffsetIsNeutralApartFromImul)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    trace::WorkloadProfile p = plainProfile(1'000'000'000);
+    p.imulFraction = 0.0;
+    const trace::Trace t("zero", p.totalInstructions, p.ipc, {});
+    SimConfig cfg = cfgFor(cpu);
+    cfg.offsetMv = 0.0;
+    DomainSimulator sim(cfg, {{&t, &p}});
+    const DomainResult r = sim.run();
+    EXPECT_NEAR(r.perfDelta(), 0.0, 1e-6);
+    EXPECT_NEAR(r.powerDelta(), 0.0, 1e-6);
+}
+
+} // namespace

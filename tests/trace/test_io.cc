@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of trace serialization (text and binary round trips,
+ * malformed-input handling via death tests).
+ */
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "trace/generator.hh"
+#include "trace/io.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit::trace;
+using suit::isa::FaultableKind;
+
+Trace
+sampleTrace()
+{
+    return Trace("sample", 100'000, 1.75,
+                 {{10, FaultableKind::VOR},
+                  {0, FaultableKind::AESENC},
+                  {99'000, FaultableKind::VPCLMULQDQ}},
+                 4.0);
+}
+
+void
+expectEqualTraces(const Trace &a, const Trace &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.totalInstructions(), b.totalInstructions());
+    EXPECT_NEAR(a.ipc(), b.ipc(), 1e-3);
+    EXPECT_NEAR(a.eventWeight(), b.eventWeight(), 1e-3);
+    ASSERT_EQ(a.eventCount(), b.eventCount());
+    for (std::size_t i = 0; i < a.eventCount(); ++i) {
+        EXPECT_EQ(a.events()[i].gap, b.events()[i].gap);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    }
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    const Trace t = sampleTrace();
+    std::stringstream ss;
+    writeText(t, ss);
+    expectEqualTraces(t, readText(ss));
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    const Trace t = sampleTrace();
+    std::stringstream ss;
+    writeBinary(t, ss);
+    expectEqualTraces(t, readBinary(ss));
+}
+
+TEST(TraceIo, GeneratedTraceRoundTripsBothFormats)
+{
+    const Trace t =
+        TraceGenerator(11).generate(profileByName("520.omnetpp"));
+    {
+        std::stringstream ss;
+        writeBinary(t, ss);
+        expectEqualTraces(t, readBinary(ss));
+    }
+    {
+        std::stringstream ss;
+        writeText(t, ss);
+        expectEqualTraces(t, readText(ss));
+    }
+}
+
+TEST(TraceIo, BinaryIsCompact)
+{
+    const Trace t =
+        TraceGenerator(12).generate(profileByName("557.xz"));
+    std::stringstream text, binary;
+    writeText(t, text);
+    writeBinary(t, binary);
+    EXPECT_LT(binary.str().size(), text.str().size() / 2);
+    // Roughly <= 6 bytes per event on average (varint gaps).
+    EXPECT_LT(binary.str().size(), t.eventCount() * 8 + 128);
+}
+
+TEST(TraceIo, FileRoundTripViaExtensionDispatch)
+{
+    const Trace t = sampleTrace();
+    const std::string text_path = "/tmp/suit_io_test.sft";
+    const std::string bin_path = "/tmp/suit_io_test.sfb";
+    saveTrace(t, text_path);
+    saveTrace(t, bin_path);
+    expectEqualTraces(t, loadTrace(text_path));
+    expectEqualTraces(t, loadTrace(bin_path));
+    std::remove(text_path.c_str());
+    std::remove(bin_path.c_str());
+}
+
+TEST(TraceIoDeathTest, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "definitely not a trace\n";
+    EXPECT_EXIT(readText(ss), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceIoDeathTest, RejectsTruncatedBinary)
+{
+    const Trace t = sampleTrace();
+    std::stringstream ss;
+    writeBinary(t, ss);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_EXIT(readBinary(cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TraceIoDeathTest, RejectsUnknownExtension)
+{
+    EXPECT_EXIT(saveTrace(sampleTrace(), "/tmp/foo.json"),
+                ::testing::ExitedWithCode(1), "must end in");
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the command-line option parser.
+ */
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "util/args.hh"
+
+namespace {
+
+using suit::util::ArgParser;
+
+/** argv helper. */
+class Argv
+{
+  public:
+    explicit Argv(std::initializer_list<const char *> args)
+    {
+        strings_.emplace_back("prog");
+        for (const char *a : args)
+            strings_.emplace_back(a);
+        for (auto &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+ArgParser
+makeParser()
+{
+    ArgParser p("test", "a test tool");
+    p.addOption("cpu", "C", "cpu name");
+    p.addOption("offset", "-97", "offset in mV");
+    p.addOption("cores", "1", "core count");
+    p.addFlag("verbose", "chatty output");
+    return p;
+}
+
+TEST(Args, DefaultsApply)
+{
+    ArgParser p = makeParser();
+    Argv a({});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(p.get("cpu"), "C");
+    EXPECT_DOUBLE_EQ(p.getDouble("offset"), -97.0);
+    EXPECT_EQ(p.getInt("cores"), 1);
+    EXPECT_FALSE(p.getFlag("verbose"));
+}
+
+TEST(Args, SpaceAndEqualsForms)
+{
+    ArgParser p = makeParser();
+    Argv a({"--cpu", "A", "--offset=-70", "--verbose"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(p.get("cpu"), "A");
+    EXPECT_DOUBLE_EQ(p.getDouble("offset"), -70.0);
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(Args, PositionalsCollected)
+{
+    ArgParser p = makeParser();
+    Argv a({"gen", "--cpu", "B", "file.sfb"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "gen");
+    EXPECT_EQ(p.positional()[1], "file.sfb");
+}
+
+TEST(Args, HelpReturnsFalseAndPrintsUsage)
+{
+    ArgParser p = makeParser();
+    Argv a({"--help"});
+    ::testing::internal::CaptureStdout();
+    EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("--cpu"), std::string::npos);
+    EXPECT_NE(out.find("a test tool"), std::string::npos);
+}
+
+TEST(ArgsDeathTest, UnknownOptionIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"--bogus", "1"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(ArgsDeathTest, MissingValueIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"--cpu"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "needs a value");
+}
+
+TEST(ArgsDeathTest, NonNumericValueIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"--offset", "deep"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EXIT(p.getDouble("offset"),
+                ::testing::ExitedWithCode(1), "expects a number");
+}
+
+} // namespace

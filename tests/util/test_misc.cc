@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for formatting, tick conversions and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/format.hh"
+#include "util/table.hh"
+#include "util/ticks.hh"
+
+namespace {
+
+using namespace suit::util;
+
+TEST(Format, BasicSubstitution)
+{
+    EXPECT_EQ(sformat("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(sformat("%.2f%%", 12.345), "12.35%");
+    EXPECT_EQ(sformat("plain"), "plain");
+}
+
+TEST(Format, LongStringsDoNotTruncate)
+{
+    const std::string big(5000, 'a');
+    EXPECT_EQ(sformat("%s!", big.c_str()).size(), 5001u);
+}
+
+TEST(Ticks, RoundTripSeconds)
+{
+    EXPECT_EQ(secondsToTicks(1.0), kTicksPerSec);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerSec), 1.0);
+    EXPECT_EQ(microsecondsToTicks(2.5), 2'500'000ull);
+    EXPECT_DOUBLE_EQ(ticksToMicroseconds(2'500'000), 2.5);
+}
+
+TEST(Ticks, FrequencyPeriodDuality)
+{
+    const Tick period = frequencyToPeriod(4e9); // 4 GHz -> 250 ps...
+    EXPECT_EQ(period, 250u);
+    EXPECT_DOUBLE_EQ(periodToFrequency(250), 4e9);
+}
+
+TEST(Ticks, LowFrequencies)
+{
+    EXPECT_EQ(frequencyToPeriod(1e6), kTicksPerUs);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    const std::string out = t.render();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Columns aligned: both value cells start at the same offset.
+    const auto line_start = [&](int n) {
+        std::size_t pos = 0;
+        for (int i = 0; i < n; ++i)
+            pos = out.find('\n', pos) + 1;
+        return pos;
+    };
+    const std::string row_a = out.substr(line_start(2), 16);
+    const std::string row_b = out.substr(line_start(3), 16);
+    EXPECT_EQ(row_a.find('1'), row_b.find('2'));
+}
+
+TEST(Table, SeparatorRows)
+{
+    TablePrinter t({"c"});
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    const std::string out = t.render();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+} // namespace

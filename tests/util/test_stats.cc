@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests of the statistics helpers.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace {
+
+using suit::util::geomean;
+using suit::util::LogHistogram;
+using suit::util::median;
+using suit::util::percentile;
+using suit::util::RunningStats;
+
+TEST(RunningStatsTest, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3); // sample stddev
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyIsSafe)
+{
+    const RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i) * 10 + i * 0.1;
+        (i < 40 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(GeomeanTest, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(MedianTest, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(PercentileTest, Interpolates)
+{
+    const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 12.5), 15.0);
+}
+
+TEST(LogHistogramTest, BucketsByDecade)
+{
+    LogHistogram h(6);
+    h.add(0);    // underflow
+    h.add(1);    // decade 0
+    h.add(9);    // decade 0
+    h.add(10);   // decade 1
+    h.add(999);  // decade 2
+    h.add(1000); // decade 3
+    h.add(10'000'000); // overflow for 6 decades
+
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(LogHistogramTest, RenderContainsAllDecades)
+{
+    LogHistogram h(4);
+    h.add(5);
+    h.add(500);
+    const std::string out = h.render(20);
+    EXPECT_NE(out.find("10^0"), std::string::npos);
+    EXPECT_NE(out.find("10^3"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * suit_characterize — run a Minefield-style undervolting
+ * characterization campaign against the fault model (the Table 1
+ * methodology) with configurable sweep parameters and chip seed.
+ *
+ * Examples:
+ *   suit_characterize
+ *   suit_characterize --cores 4 --step 5 --samples 100 --chip 7
+ *   suit_characterize --hardened-imul
+ */
+
+#include <cstdio>
+
+#include "faults/characterizer.hh"
+#include "power/pstate.hh"
+#include "util/args.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace suit;
+
+    util::ArgParser args("suit_characterize",
+                         "undervolting fault characterization "
+                         "(Kogler-style, Table 1)");
+    args.addOption("cores", "8", "cores to sweep");
+    args.addOption("step", "20", "offset step in mV");
+    args.addOption("max-offset", "300", "deepest offset in mV");
+    args.addOption("samples", "40",
+                   "test executions per operating point");
+    args.addOption("chip", "2024",
+                   "chip seed (process variation instance)");
+    args.addFlag("hardened-imul",
+                 "characterize a SUIT chip with the 4-cycle IMUL");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const power::DvfsCurve curve = power::i9_9900kCurve();
+    faults::VminConfig vcfg;
+    vcfg.curve = &curve;
+    vcfg.cores = static_cast<int>(args.getInt("cores"));
+    vcfg.seed = static_cast<std::uint64_t>(args.getInt("chip"));
+    vcfg.hardenedImul = args.getFlag("hardened-imul");
+    const faults::VminModel model(vcfg);
+
+    faults::CharacterizerConfig ccfg;
+    ccfg.offsetStepMv = args.getDouble("step");
+    ccfg.maxOffsetMv = args.getDouble("max-offset");
+    ccfg.samplesPerPoint = static_cast<int>(args.getInt("samples"));
+    faults::Characterizer ch(&model, ccfg);
+    const faults::CharacterizationResult r = ch.run();
+
+    std::printf("chip seed %llu, %d cores, step %.0f mV, %s IMUL\n\n",
+                static_cast<unsigned long long>(vcfg.seed),
+                vcfg.cores, ccfg.offsetStepMv,
+                vcfg.hardenedImul ? "hardened (4-cycle)" : "stock");
+
+    util::TablePrinter t(
+        {"Instruction", "Faults", "First fault (mV)"});
+    for (auto kind : isa::allFaultableKinds()) {
+        const auto k = static_cast<std::size_t>(kind);
+        t.addRow({isa::toString(kind),
+                  util::sformat("%d", r.faultCounts[k]),
+                  r.firstFaultMv[k] > 0
+                      ? util::sformat("-%.0f", r.firstFaultMv[k])
+                      : "never"});
+    }
+    t.print();
+    std::printf("\n%llu executions, %d crashed sweeps\n",
+                static_cast<unsigned long long>(r.totalExecutions),
+                r.crashedPoints);
+    return 0;
+}

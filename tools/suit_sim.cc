@@ -1,0 +1,166 @@
+/**
+ * @file
+ * suit_sim — run the SUIT trace simulator from the command line.
+ *
+ * Examples:
+ *   suit_sim --workload 557.xz
+ *   suit_sim --cpu B --strategy f --offset -70 --workload Nginx
+ *   suit_sim --cpu A --cores 4 --workload 502.gcc
+ *   suit_sim --trace mytrace.sfb --strategy hybrid
+ *   suit_sim --workload 508.namd --nosimd
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/controller.hh"
+#include "core/params.hh"
+#include "sim/evaluation.hh"
+#include "trace/generator.hh"
+#include "trace/io.hh"
+#include "trace/profile.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace suit;
+
+power::CpuModel
+cpuByName(const std::string &name)
+{
+    if (name == "A" || name == "i9-9900K")
+        return power::cpuA_i9_9900k();
+    if (name == "B" || name == "7700X")
+        return power::cpuB_ryzen7700x();
+    if (name == "C" || name == "4208")
+        return power::cpuC_xeon4208();
+    if (name == "i5" || name == "i5-1035G1")
+        return power::cpu_i5_1035g1();
+    util::fatal("unknown CPU '%s' (use A, B, C or i5)", name.c_str());
+}
+
+core::StrategyKind
+strategyByName(const std::string &name)
+{
+    if (name == "e" || name == "emulation")
+        return core::StrategyKind::Emulation;
+    if (name == "f" || name == "frequency")
+        return core::StrategyKind::Frequency;
+    if (name == "V" || name == "voltage")
+        return core::StrategyKind::Voltage;
+    if (name == "fV" || name == "combined")
+        return core::StrategyKind::CombinedFv;
+    if (name == "hybrid" || name == "e+fV")
+        return core::StrategyKind::Hybrid;
+    if (name == "auto")
+        return core::StrategyKind::CombinedFv; // replaced below
+    util::fatal("unknown strategy '%s' (e, f, V, fV, hybrid, auto)",
+                name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args("suit_sim",
+                         "simulate SUIT on a workload (paper Sec. 6)");
+    args.addOption("cpu", "C", "CPU model: A, B, C or i5");
+    args.addOption("workload", "557.xz",
+                   "built-in workload profile name, or 'list'");
+    args.addOption("trace", "", "run a recorded .sft/.sfb trace "
+                                "instead of a built-in profile");
+    args.addOption("strategy", "fV",
+                   "operating strategy: e, f, V, fV, hybrid or auto");
+    args.addOption("offset", "-97", "undervolt offset in mV");
+    args.addOption("cores", "1",
+                   "utilised cores (shared-domain CPUs only)");
+    args.addOption("seed", "1", "trace / jitter seed");
+    args.addFlag("nosimd", "model a binary compiled without SIMD");
+    args.addFlag("verbose", "also print switch/trap counters");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    if (args.get("workload") == "list") {
+        for (const auto &p : trace::allProfiles())
+            std::printf("%s\n", p.name.c_str());
+        return 0;
+    }
+
+    const power::CpuModel cpu = cpuByName(args.get("cpu"));
+
+    sim::EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.cores = static_cast<int>(args.getInt("cores"));
+    cfg.offsetMv = args.getDouble("offset");
+    cfg.params = core::optimalParams(cpu);
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.mode = args.getFlag("nosimd") ? sim::RunMode::NoSimdCompile
+                                      : sim::RunMode::Suit;
+
+    sim::DomainResult result;
+    std::string workload_name;
+    if (!args.get("trace").empty()) {
+        const trace::Trace t = trace::loadTrace(args.get("trace"));
+        workload_name = t.name();
+        // A recorded trace carries no profile; wrap it in a neutral
+        // one so the simulator has IPC and weight.
+        trace::WorkloadProfile profile;
+        profile.name = t.name();
+        profile.ipc = t.ipc();
+        profile.totalInstructions = t.totalInstructions();
+        profile.eventWeight = t.eventWeight();
+
+        cfg.strategy = args.get("strategy") == "auto"
+                           ? core::selectStrategy(cpu, t, cfg.params)
+                           : strategyByName(args.get("strategy"));
+        sim::SimConfig sim_cfg;
+        sim_cfg.cpu = cfg.cpu;
+        sim_cfg.offsetMv = cfg.offsetMv;
+        sim_cfg.mode = cfg.mode;
+        sim_cfg.strategy = cfg.strategy;
+        sim_cfg.params = cfg.params;
+        sim_cfg.seed = cfg.seed;
+        sim::DomainSimulator sim(sim_cfg, {{&t, &profile}});
+        result = sim.run();
+    } else {
+        const auto &profile =
+            trace::profileByName(args.get("workload"));
+        workload_name = profile.name;
+        if (args.get("strategy") == "auto") {
+            const trace::Trace probe =
+                trace::TraceGenerator(cfg.seed).generate(profile);
+            cfg.strategy =
+                core::selectStrategy(cpu, probe, cfg.params);
+        } else {
+            cfg.strategy = strategyByName(args.get("strategy"));
+        }
+        result = sim::runWorkload(cfg, profile);
+    }
+
+    std::printf("%s on %s, strategy %s, %.0f mV:\n",
+                workload_name.c_str(), cpu.name().c_str(),
+                core::toString(cfg.strategy), cfg.offsetMv);
+    std::printf("  performance %+7.2f %%\n",
+                100 * result.perfDelta());
+    std::printf("  power       %+7.2f %%\n",
+                100 * result.powerDelta());
+    std::printf("  efficiency  %+7.2f %%\n",
+                100 * result.efficiencyDelta());
+    std::printf("  on efficient curve %5.1f %% (Cf %.1f %%, CV "
+                "%.1f %%)\n",
+                100 * result.efficientShare, 100 * result.cfShare,
+                100 * result.cvShare);
+    if (args.getFlag("verbose")) {
+        std::printf("  traps %llu, emulations %llu, switches %llu, "
+                    "thrash activations %llu\n",
+                    static_cast<unsigned long long>(result.traps),
+                    static_cast<unsigned long long>(result.emulations),
+                    static_cast<unsigned long long>(
+                        result.pstateSwitches),
+                    static_cast<unsigned long long>(
+                        result.thrashDetections));
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * suit_trace — generate, inspect and convert instruction traces.
+ *
+ * Subcommands (first positional argument):
+ *   gen      generate a synthetic trace from a built-in profile
+ *   info     print statistics and the gap histogram of a trace file
+ *   convert  re-encode a trace between the .sft / .sfb formats
+ *
+ * Examples:
+ *   suit_trace gen --workload Nginx --seed 3 --out nginx.sfb
+ *   suit_trace info nginx.sfb
+ *   suit_trace convert nginx.sfb nginx.sft
+ */
+
+#include <cstdio>
+
+#include "trace/generator.hh"
+#include "trace/io.hh"
+#include "trace/profile.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace suit;
+
+int
+cmdGen(const util::ArgParser &args)
+{
+    const auto &profile = trace::profileByName(args.get("workload"));
+    const trace::Trace t =
+        trace::TraceGenerator(
+            static_cast<std::uint64_t>(args.getInt("seed")))
+            .generate(profile,
+                      static_cast<int>(args.getInt("stream")));
+    const std::string &out = args.get("out");
+    if (out.empty())
+        util::fatal("gen needs --out <file.sft|file.sfb>");
+    trace::saveTrace(t, out);
+    std::printf("wrote %zu events (%llu instructions) to %s\n",
+                t.eventCount(),
+                static_cast<unsigned long long>(
+                    t.totalInstructions()),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const util::ArgParser &args)
+{
+    if (args.positional().size() < 2)
+        util::fatal("info needs a trace file argument");
+    const trace::Trace t = trace::loadTrace(args.positional()[1]);
+    const trace::TraceStats stats = trace::TraceStats::compute(t);
+
+    std::printf("name          %s\n", t.name().c_str());
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(
+                    t.totalInstructions()));
+    std::printf("ipc           %.3f\n", t.ipc());
+    std::printf("event weight  %g\n", t.eventWeight());
+    std::printf("events        %zu (1 per %.3e instructions)\n",
+                t.eventCount(),
+                t.eventCount()
+                    ? static_cast<double>(t.totalInstructions()) /
+                          static_cast<double>(t.eventCount())
+                    : 0.0);
+    std::printf("mean gap      %.1f   max gap %.3e\n\n",
+                stats.meanGap, static_cast<double>(stats.maxGap));
+
+    std::printf("per-instruction counts:\n");
+    for (auto kind : isa::allFaultableKinds()) {
+        const auto n =
+            stats.kindCounts[static_cast<std::size_t>(kind)];
+        if (n > 0)
+            std::printf("  %-12s %llu\n", isa::toString(kind),
+                        static_cast<unsigned long long>(n));
+    }
+    std::printf("\ngap-size histogram (decades):\n%s",
+                stats.gapHistogram.render(48).c_str());
+    return 0;
+}
+
+int
+cmdConvert(const util::ArgParser &args)
+{
+    if (args.positional().size() < 3)
+        util::fatal("convert needs <in> and <out> arguments");
+    const trace::Trace t = trace::loadTrace(args.positional()[1]);
+    trace::saveTrace(t, args.positional()[2]);
+    std::printf("converted %s -> %s (%zu events)\n",
+                args.positional()[1].c_str(),
+                args.positional()[2].c_str(), t.eventCount());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "suit_trace",
+        "generate / inspect / convert faultable-instruction traces");
+    args.addOption("workload", "557.xz", "profile for 'gen'");
+    args.addOption("seed", "1", "generator seed for 'gen'");
+    args.addOption("stream", "0", "stream id for 'gen'");
+    args.addOption("out", "", "output file for 'gen'");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    if (args.positional().empty())
+        util::fatal("need a subcommand: gen, info or convert");
+    const std::string &cmd = args.positional()[0];
+    if (cmd == "gen")
+        return cmdGen(args);
+    if (cmd == "info")
+        return cmdInfo(args);
+    if (cmd == "convert")
+        return cmdConvert(args);
+    util::fatal("unknown subcommand '%s'", cmd.c_str());
+}
