@@ -10,46 +10,63 @@
  *  C. Static IMUL hardening vs trapping IMUL (Sec. 4.2: IMUL recurs
  *     every ~560 instructions in IMUL-heavy code, so trapping it
  *     would pin the CPU to the conservative curve forever).
+ *
+ * All three sections share one suit::exec SweepEngine; each section
+ * batches its grid and reads results back in deterministic order.
  */
 
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "core/params.hh"
+#include "exec/sweep.hh"
 #include "sim/evaluation.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
+#include "util/args.hh"
 #include "util/format.hh"
 #include "util/table.hh"
 
 namespace {
 
 using namespace suit;
+using exec::SweepEngine;
+using exec::SweepJob;
+using sim::DomainResult;
 
 void
-strategyAblation()
+strategyAblation(SweepEngine &engine)
 {
     std::printf("A. Operating strategies (CPU C, -97 mV, efficiency "
                 "delta)\n\n");
     const power::CpuModel cpu = power::cpuC_xeon4208();
 
-    util::TablePrinter t({"Workload", "e", "f", "fV", "e+fV (hybrid)"});
-    for (const char *name :
-         {"557.xz", "538.imagick", "502.gcc", "527.cam4",
-          "520.omnetpp", "Nginx"}) {
-        std::vector<std::string> row = {name};
-        for (core::StrategyKind strategy :
-             {core::StrategyKind::Emulation,
-              core::StrategyKind::Frequency,
-              core::StrategyKind::CombinedFv,
-              core::StrategyKind::Hybrid}) {
+    const char *kWorkloads[] = {"557.xz", "538.imagick", "502.gcc",
+                                "527.cam4", "520.omnetpp", "Nginx"};
+    const core::StrategyKind kStrategies[] = {
+        core::StrategyKind::Emulation, core::StrategyKind::Frequency,
+        core::StrategyKind::CombinedFv, core::StrategyKind::Hybrid};
+
+    std::vector<SweepJob> jobs;
+    for (const char *name : kWorkloads) {
+        for (core::StrategyKind strategy : kStrategies) {
             sim::EvalConfig cfg;
             cfg.cpu = &cpu;
             cfg.offsetMv = -97.0;
             cfg.strategy = strategy;
             cfg.params = core::optimalParams(cpu);
-            const auto r =
-                sim::runWorkload(cfg, trace::profileByName(name));
+            jobs.push_back({name, cfg, &trace::profileByName(name)});
+        }
+    }
+    const std::vector<DomainResult> results = engine.run(jobs);
+
+    util::TablePrinter t({"Workload", "e", "f", "fV", "e+fV (hybrid)"});
+    for (std::size_t w = 0; w < std::size(kWorkloads); ++w) {
+        std::vector<std::string> row = {kWorkloads[w]};
+        for (std::size_t s = 0; s < std::size(kStrategies); ++s) {
+            const DomainResult &r =
+                results[w * std::size(kStrategies) + s];
             row.push_back(
                 util::sformat("%+.1f%%", 100 * r.efficiencyDelta()));
         }
@@ -62,26 +79,32 @@ strategyAblation()
 }
 
 void
-thrashAblation()
+thrashAblation(SweepEngine &engine)
 {
     std::printf("B. Thrashing prevention (fV on CPU C, -97 mV)\n\n");
     const power::CpuModel cpu = power::cpuC_xeon4208();
 
-    util::TablePrinter t({"Workload", "Metric", "p_df = 1 (off)",
-                          "p_df = 14 (Table 7)"});
-    for (const char *name : {"502.gcc", "527.cam4", "520.omnetpp"}) {
-        sim::DomainResult results[2];
-        int idx = 0;
-        for (double df : {1.0, 14.0}) {
+    const char *kWorkloads[] = {"502.gcc", "527.cam4", "520.omnetpp"};
+    const double kFactors[] = {1.0, 14.0};
+
+    std::vector<SweepJob> jobs;
+    for (const char *name : kWorkloads) {
+        for (double df : kFactors) {
             sim::EvalConfig cfg;
             cfg.cpu = &cpu;
             cfg.offsetMv = -97.0;
             cfg.params = core::optimalParams(cpu);
             cfg.params.deadlineFactor = df;
-            results[idx++] =
-                sim::runWorkload(cfg, trace::profileByName(name));
+            jobs.push_back({name, cfg, &trace::profileByName(name)});
         }
-        t.addRow({name, "eff",
+    }
+    const std::vector<DomainResult> all = engine.run(jobs);
+
+    util::TablePrinter t({"Workload", "Metric", "p_df = 1 (off)",
+                          "p_df = 14 (Table 7)"});
+    for (std::size_t w = 0; w < std::size(kWorkloads); ++w) {
+        const DomainResult *results = &all[w * std::size(kFactors)];
+        t.addRow({kWorkloads[w], "eff",
                   util::sformat("%+.2f%%",
                                 100 * results[0].efficiencyDelta()),
                   util::sformat("%+.2f%%",
@@ -107,22 +130,20 @@ thrashAblation()
 }
 
 void
-imulAblation()
+imulAblation(SweepEngine &engine)
 {
     std::printf("C. IMUL: static hardening vs trapping (x264-like "
                 "workload, CPU C, -97 mV)\n\n");
     const power::CpuModel cpu = power::cpuC_xeon4208();
     const core::StrategyParams params = core::optimalParams(cpu);
 
-    // (1) SUIT as designed: IMUL hardened (its latency overhead is
-    // folded into the rate), only the SIMD set traps.
     sim::EvalConfig cfg;
     cfg.cpu = &cpu;
     cfg.offsetMv = -97.0;
     cfg.params = params;
-    const auto hardened =
-        sim::runWorkload(cfg, trace::profileByName("525.x264"));
 
+    // (1) SUIT as designed: IMUL hardened (its latency overhead is
+    // folded into the rate), only the SIMD set traps.
     // (2) Counterfactual: a 3-cycle IMUL stays faultable and joins
     // the trap set.  In x264 IMUL recurs about every 560
     // instructions — model it as a continuous event stream.
@@ -136,11 +157,14 @@ imulAblation()
     trapping.kindMix = {};
     trapping.kindMix[static_cast<std::size_t>(
         isa::FaultableKind::IMUL)] = 1.0;
-    const auto trapped = sim::runWorkload(cfg, trapping);
+
+    const std::vector<DomainResult> results = engine.run(
+        {{"hardened", cfg, &trace::profileByName("525.x264")},
+         {"trapped", cfg, &trapping}});
 
     util::TablePrinter t({"Design", "Perf", "Power", "Eff", "onE",
                           "traps"});
-    auto row = [&](const char *label, const sim::DomainResult &r) {
+    auto row = [&](const char *label, const DomainResult &r) {
         t.addRow({label, util::sformat("%+.2f%%", 100 * r.perfDelta()),
                   util::sformat("%+.2f%%", 100 * r.powerDelta()),
                   util::sformat("%+.2f%%", 100 * r.efficiencyDelta()),
@@ -148,8 +172,8 @@ imulAblation()
                   util::sformat("%llu", static_cast<unsigned long long>(
                                             r.traps))});
     };
-    row("4-cycle IMUL (SUIT)", hardened);
-    row("3-cycle IMUL, trapped", trapped);
+    row("4-cycle IMUL (SUIT)", results[0]);
+    row("3-cycle IMUL, trapped", results[1]);
     t.print();
 
     std::printf("\nTrapping IMUL pins the domain to the conservative "
@@ -163,11 +187,24 @@ imulAblation()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::ArgParser args("ablation_design_choices",
+                         "ablation studies of SUIT design choices");
+    args.addOption("jobs", "0",
+                   "parallel sweep workers (0 = hardware threads, "
+                   "1 = serial reference)");
+    if (!args.parse(argc, argv))
+        return 0;
+
     std::printf("SUIT reproduction — ablation of design choices\n\n");
-    strategyAblation();
-    thrashAblation();
-    imulAblation();
+    exec::SweepEngine engine(
+        {static_cast<int>(args.getInt("jobs")), 0});
+    strategyAblation(engine);
+    thrashAblation(engine);
+    imulAblation(engine);
+    std::printf("\nSweep execution (%d worker%s):\n%s", engine.jobs(),
+                engine.jobs() == 1 ? "" : "s",
+                engine.workerFooter().c_str());
     return 0;
 }

@@ -2,15 +2,21 @@
  * @file
  * google-benchmark microbenchmarks of the library's hot paths: the
  * software emulation payloads (what the OS runs on every trapped
- * instruction), trace generation and the two simulators.
+ * instruction), trace generation, the two simulators and the
+ * suit::exec parallel experiment engine.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <vector>
 
 #include "core/params.hh"
 #include "emu/aes.hh"
 #include "emu/dispatcher.hh"
 #include "emu/simd_ops.hh"
+#include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
 #include "sim/domain_sim.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
@@ -131,6 +137,68 @@ BM_O3ModelRate(benchmark::State &state)
         static_cast<std::int64_t>(prog.insts.size()));
 }
 BENCHMARK(BM_O3ModelRate)->Unit(benchmark::kMillisecond);
+
+/**
+ * Per-job dispatch overhead of the thread pool: parallelFor over
+ * trivial bodies, so wall time / items is queue + wakeup cost.
+ */
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    exec::ThreadPool pool(static_cast<int>(state.range(0)));
+    constexpr std::size_t kJobs = 1024;
+    std::atomic<std::uint64_t> sink{0};
+    for (auto _ : state) {
+        pool.parallelFor(kJobs, [&](std::size_t i) {
+            sink.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kJobs));
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+/**
+ * SweepEngine scaling on a small real grid (3 workloads x 2 offsets
+ * on CPU C).  The engine is rebuilt per worker count, but one warm-up
+ * run outside the timed loop fills its trace cache, so the timed
+ * region measures simulation + scheduling only — the speedup over
+ * Arg(1) is the parallel efficiency on this machine.
+ */
+void
+BM_SweepEngineScaling(benchmark::State &state)
+{
+    using exec::SweepJob;
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const char *kWorkloads[] = {"557.xz", "538.imagick", "520.omnetpp"};
+
+    std::vector<SweepJob> jobs;
+    for (const char *name : kWorkloads) {
+        for (double offset : {-70.0, -97.0}) {
+            sim::EvalConfig cfg;
+            cfg.cpu = &cpu;
+            cfg.offsetMv = offset;
+            cfg.params = core::optimalParams(cpu);
+            jobs.push_back({name, cfg, &trace::profileByName(name)});
+        }
+    }
+
+    exec::SweepEngine engine({static_cast<int>(state.range(0)), 0});
+    benchmark::DoNotOptimize(engine.run(jobs).size()); // warm cache
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(jobs).size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_SweepEngineScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

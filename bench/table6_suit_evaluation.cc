@@ -4,6 +4,12 @@
  * on CPUs A (i9-9900K, shared domain, 1 and 4 cores), B (7700X,
  * per-core frequency domains) and C (Xeon 4208, per-core PCPS)
  * under the fV / f / e operating strategies at -70 mV and -97 mV.
+ *
+ * The full grid — 2 offsets x 6 CPU configurations x (23 SPEC + 23
+ * no-SIMD + Nginx + VLC) = 576 cells — is enqueued as one job list
+ * on the suit::exec SweepEngine, so the wall clock scales with the
+ * available hardware threads while the printed rows stay
+ * bit-identical to the serial reference (`--jobs 1`).
  */
 
 #include <cstdio>
@@ -12,15 +18,20 @@
 
 #include "core/params.hh"
 #include "core/strategy.hh"
+#include "exec/sweep.hh"
 #include "power/cpu_model.hh"
 #include "sim/evaluation.hh"
 #include "trace/profile.hh"
+#include "util/args.hh"
 #include "util/format.hh"
 #include "util/table.hh"
 
 namespace {
 
 using namespace suit;
+using exec::SweepEngine;
+using exec::SweepJob;
+using sim::DomainResult;
 using sim::EvalConfig;
 using sim::RunMode;
 using sim::SuiteSummary;
@@ -40,7 +51,16 @@ struct ConfigSpec
     core::StrategyKind strategy;
 };
 
-const sim::WorkloadRow *
+/** Job-list slice of one (offset, spec) group. */
+struct GroupIndex
+{
+    std::size_t suitBegin = 0;   //!< 23 SPEC rows under SUIT
+    std::size_t nosimdBegin = 0; //!< 23 SPEC rows compiled w/o SIMD
+    std::size_t nginx = 0;
+    std::size_t vlc = 0;
+};
+
+const WorkloadRow *
 findRow(const std::vector<WorkloadRow> &rows, const std::string &name)
 {
     for (const auto &r : rows) {
@@ -50,40 +70,44 @@ findRow(const std::vector<WorkloadRow> &rows, const std::string &name)
     return nullptr;
 }
 
+/** Slice [begin, begin + profiles.size()) of @p results as rows. */
+std::vector<WorkloadRow>
+sliceRows(const std::vector<DomainResult> &results, std::size_t begin,
+          const std::vector<trace::WorkloadProfile> &profiles)
+{
+    std::vector<WorkloadRow> rows;
+    rows.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i)
+        rows.push_back({profiles[i].name, results[begin + i]});
+    return rows;
+}
+
 void
-runOffset(double offset_mv, const std::vector<ConfigSpec> &specs)
+printOffset(double offset_mv, const std::vector<ConfigSpec> &specs,
+            const std::vector<trace::WorkloadProfile> &spec_profiles,
+            const std::vector<GroupIndex> &groups,
+            const std::vector<DomainResult> &results)
 {
     std::printf("\n=== Table 6 — %g mV undervolt ===\n", offset_mv);
     util::TablePrinter table({"CPU/OS", "Metric", "SPECgmean",
                               "SPECmedian", "525.x264", "SPECnoSIMD",
                               "Nginx", "VLC"});
 
-    const auto spec_profiles = trace::specProfiles();
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        const ConfigSpec &spec = specs[s];
+        const GroupIndex &g = groups[s];
 
-    for (const ConfigSpec &spec : specs) {
-        EvalConfig cfg;
-        cfg.cpu = spec.cpu;
-        cfg.cores = spec.cores;
-        cfg.offsetMv = offset_mv;
-        cfg.mode = RunMode::Suit;
-        cfg.strategy = spec.strategy;
-        cfg.params = core::optimalParams(*spec.cpu);
-
-        const auto rows = sim::runSuite(cfg, spec_profiles);
+        const auto rows =
+            sliceRows(results, g.suitBegin, spec_profiles);
         const SuiteSummary sum = SuiteSummary::of(rows);
         const auto *x264 = findRow(rows, "525.x264");
 
-        // SPECnoSIMD: every benchmark compiled without SIMD, no
-        // trappable instructions left (paper Sec. 6.7).
-        EvalConfig nosimd_cfg = cfg;
-        nosimd_cfg.mode = RunMode::NoSimdCompile;
         const auto nosimd_rows =
-            sim::runSuite(nosimd_cfg, spec_profiles);
+            sliceRows(results, g.nosimdBegin, spec_profiles);
         const SuiteSummary nosimd = SuiteSummary::of(nosimd_rows);
 
-        const auto nginx =
-            sim::runWorkload(cfg, trace::nginxProfile());
-        const auto vlc = sim::runWorkload(cfg, trace::vlcProfile());
+        const DomainResult &nginx = results[g.nginx];
+        const DomainResult &vlc = results[g.vlc];
 
         const std::string who = util::sformat(
             "%s%s %s", spec.cpu->label().c_str(),
@@ -120,8 +144,16 @@ runOffset(double offset_mv, const std::vector<ConfigSpec> &specs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::ArgParser args("table6_suit_evaluation",
+                         "regenerate Table 6 (paper Sec. 6.3)");
+    args.addOption("jobs", "0",
+                   "parallel sweep workers (0 = hardware threads, "
+                   "1 = serial reference)");
+    if (!args.parse(argc, argv))
+        return 0;
+
     std::printf("SUIT reproduction — Table 6: efficiency and "
                 "performance of SUIT\n");
     std::printf("(paper: ASPLOS'24, Juffinger et al., Sec. 6.3)\n");
@@ -138,9 +170,54 @@ main()
         {"Binf e", &cpu_b, 1, core::StrategyKind::Emulation},
         {"Cinf fV", &cpu_c, 1, core::StrategyKind::CombinedFv},
     };
+    const double offsets[] = {-70.0, -97.0};
 
-    runOffset(-70.0, specs);
-    runOffset(-97.0, specs);
+    const auto spec_profiles = trace::specProfiles();
+    const auto &nginx_profile = trace::nginxProfile();
+    const auto &vlc_profile = trace::vlcProfile();
+
+    // Enqueue the entire grid in one deterministic job order:
+    // offset-major, then spec, then (SUIT SPEC, no-SIMD SPEC, Nginx,
+    // VLC).
+    std::vector<SweepJob> jobs;
+    std::vector<std::vector<GroupIndex>> groups(2);
+    for (std::size_t o = 0; o < 2; ++o) {
+        for (const ConfigSpec &spec : specs) {
+            EvalConfig cfg;
+            cfg.cpu = spec.cpu;
+            cfg.cores = spec.cores;
+            cfg.offsetMv = offsets[o];
+            cfg.mode = RunMode::Suit;
+            cfg.strategy = spec.strategy;
+            cfg.params = core::optimalParams(*spec.cpu);
+
+            // SPECnoSIMD: every benchmark compiled without SIMD, no
+            // trappable instructions left (paper Sec. 6.7).
+            EvalConfig nosimd_cfg = cfg;
+            nosimd_cfg.mode = RunMode::NoSimdCompile;
+
+            GroupIndex g;
+            g.suitBegin = jobs.size();
+            for (const auto &p : spec_profiles)
+                jobs.push_back({spec.label, cfg, &p});
+            g.nosimdBegin = jobs.size();
+            for (const auto &p : spec_profiles)
+                jobs.push_back({spec.label, nosimd_cfg, &p});
+            g.nginx = jobs.size();
+            jobs.push_back({spec.label, cfg, &nginx_profile});
+            g.vlc = jobs.size();
+            jobs.push_back({spec.label, cfg, &vlc_profile});
+            groups[o].push_back(g);
+        }
+    }
+
+    SweepEngine engine(
+        {static_cast<int>(args.getInt("jobs")), 0});
+    const std::vector<DomainResult> results = engine.run(jobs);
+
+    for (std::size_t o = 0; o < 2; ++o)
+        printOffset(offsets[o], specs, spec_profiles, groups[o],
+                    results);
 
     std::printf(
         "\nPaper reference points (-97 mV): A1 fV eff +12%%, A4 fV "
@@ -148,5 +225,8 @@ main()
         "+1.4%%, Binf e eff -14%%, Cinf fV eff +11%% with ~72.7%% of "
         "time on the efficient curve;\nNginx/VLC with emulation "
         "collapse to about -98%%/-92%% performance.\n");
+    std::printf("\nSweep execution (%d worker%s, %zu jobs):\n%s",
+                engine.jobs(), engine.jobs() == 1 ? "" : "s",
+                jobs.size(), engine.workerFooter().c_str());
     return 0;
 }

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bounded multi-producer / multi-consumer task queue.
+ *
+ * The backpressure primitive under the experiment thread pool:
+ * producers block in push() while the queue is at capacity, so a
+ * sweep that enumerates a huge configuration grid never materialises
+ * more than O(capacity) queued tasks at once.  close() wakes every
+ * waiter; consumers drain the remaining items before pop() starts
+ * returning std::nullopt.
+ */
+
+#ifndef SUIT_EXEC_BOUNDED_QUEUE_HH
+#define SUIT_EXEC_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace suit::exec {
+
+/** Mutex/condvar MPMC queue with a hard capacity. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity maximum queued items (>= 1). */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue @p item, blocking while the queue is full.
+     *
+     * @return false if the queue was closed (item dropped).
+     */
+    bool push(T item)
+    {
+        std::unique_lock lock(mu_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue one item, blocking while the queue is empty.
+     *
+     * @return std::nullopt once the queue is closed and drained.
+     */
+    std::optional<T> pop()
+    {
+        std::unique_lock lock(mu_);
+        notEmpty_.wait(lock,
+                       [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** Close the queue: unblocks all producers and consumers. */
+    void close()
+    {
+        std::lock_guard lock(mu_);
+        closed_ = true;
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    /** The configured capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Current item count (racy snapshot, for tests/telemetry). */
+    std::size_t size() const
+    {
+        std::lock_guard lock(mu_);
+        return items_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace suit::exec
+
+#endif // SUIT_EXEC_BOUNDED_QUEUE_HH

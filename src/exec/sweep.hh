@@ -1,0 +1,146 @@
+/**
+ * @file
+ * SweepEngine: deterministic parallel execution of experiment grids.
+ *
+ * Every headline experiment (Table 6, Table 7, Table 8, Fig. 16, the
+ * ablations) is a Cartesian sweep of CPU x cores x strategy x offset
+ * x workload cells, each cell an independent runWorkload() call.
+ * SweepEngine executes such a job list across a ThreadPool and
+ * returns the results *in job order*, so the output of a parallel
+ * sweep is bit-identical to running the same list serially:
+ *
+ *  - every job is a pure function of its SweepJob (trace generation
+ *    and simulation jitter derive only from EvalConfig::seed), so no
+ *    job observes another job's scheduling;
+ *  - results are written into index-addressed slots, never into a
+ *    completion-ordered container;
+ *  - the shared TraceCache is keyed by value, not by arrival order —
+ *    whichever worker generates a trace first, every worker reads
+ *    the same bytes.
+ *
+ * `--jobs 1` (SweepOptions::jobs == 1) bypasses the pool entirely
+ * and runs the jobs inline: the serial reference path used by the
+ * determinism tests.
+ */
+
+#ifndef SUIT_EXEC_SWEEP_HH
+#define SUIT_EXEC_SWEEP_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+#include "sim/evaluation.hh"
+#include "sim/trace_cache.hh"
+
+namespace suit::exec {
+
+/** One cell of an experiment grid. */
+struct SweepJob
+{
+    /** Free-form cell label (carried through to the results). */
+    std::string label;
+    /** Full evaluation configuration (CPU pointer not owned). */
+    suit::sim::EvalConfig config;
+    /** Workload to run (not owned; must outlive the sweep). */
+    const suit::trace::WorkloadProfile *profile = nullptr;
+};
+
+/** Engine configuration. */
+struct SweepOptions
+{
+    /**
+     * Worker count: 0 = ThreadPool::hardwareConcurrency(),
+     * 1 = serial in-line execution (reference path), n > 1 = pool of
+     * n workers.
+     */
+    int jobs = 0;
+    /** Task queue bound; 0 = 2 x workers. */
+    std::size_t queueCapacity = 0;
+};
+
+/** Executes SweepJob lists with deterministic result order. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions options = {});
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /**
+     * Run every job and return results in job order.  Bit-identical
+     * for any worker count.  Exceptions out of a job propagate
+     * (lowest job index first).
+     */
+    std::vector<suit::sim::DomainResult>
+    run(const std::vector<SweepJob> &jobs);
+
+    /** Effective worker count (1 when running serially). */
+    int jobs() const;
+
+    /**
+     * The engine's trace cache, shared by all jobs of all run()
+     * calls: repeated (cpu, workload, seed) cells — e.g. Table 6's
+     * strategy x offset grid — generate each trace once.
+     */
+    suit::sim::TraceCache &traceCache() { return traces_; }
+
+    /**
+     * Per-worker counters accumulated over every run() so far
+     * (empty in serial mode).
+     */
+    std::vector<WorkerStats> workerStats() const;
+
+    /**
+     * Render the per-worker counters as a footer table
+     * ("worker | jobs | queue wait | busy"), or a one-line serial
+     * notice in serial mode.
+     */
+    std::string workerFooter() const;
+
+  private:
+    SweepOptions opts_;
+    suit::sim::TraceCache traces_;
+    std::unique_ptr<ThreadPool> pool_; //!< null in serial mode
+};
+
+/**
+ * Derive the seed of grid cell @p index from @p root.
+ *
+ * Used by grid-enumerating frontends (suit_sweep) so that every cell
+ * gets a decorrelated stream while remaining a pure function of
+ * (root, index) — independent of worker count and scheduling.
+ */
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t index);
+
+} // namespace suit::exec
+
+namespace suit::sim {
+
+/**
+ * Parallel counterpart of runSuite(): one job per profile, executed
+ * on @p engine, rows returned in profile order.  Bit-identical to
+ * runSuite() for any worker count (verified by tests/exec).
+ *
+ * Declared in the sim namespace next to runSuite but defined in the
+ * suit_exec library, which layers above suit_sim — callers link
+ * suit_exec.
+ */
+std::vector<WorkloadRow>
+runSuiteParallel(const EvalConfig &config,
+                 const std::vector<suit::trace::WorkloadProfile> &profiles,
+                 suit::exec::SweepEngine &engine);
+
+/** Convenience overload running on a throwaway engine. */
+std::vector<WorkloadRow>
+runSuiteParallel(const EvalConfig &config,
+                 const std::vector<suit::trace::WorkloadProfile> &profiles,
+                 int jobs = 0);
+
+} // namespace suit::sim
+
+#endif // SUIT_EXEC_SWEEP_HH

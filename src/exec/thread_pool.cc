@@ -1,0 +1,151 @@
+#include "exec/thread_pool.hh"
+
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace suit::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedNs(Clock::time_point from, Clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+}
+
+} // namespace
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int workers, std::size_t queue_capacity)
+    : queue_(queue_capacity != 0
+                 ? queue_capacity
+                 : 2 * static_cast<std::size_t>(
+                           workers > 0 ? workers
+                                       : hardwareConcurrency()))
+{
+    const int count = workers > 0 ? workers : hardwareConcurrency();
+    cells_.reserve(static_cast<std::size_t>(count));
+    threads_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        cells_.push_back(std::make_unique<WorkerCell>());
+    for (int i = 0; i < count; ++i)
+        threads_.emplace_back(
+            [this, i] { workerMain(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    queue_.close();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerMain(std::size_t index)
+{
+    WorkerCell &cell = *cells_[index];
+    for (;;) {
+        const auto wait_start = Clock::now();
+        std::optional<Task> task = queue_.pop();
+        const auto job_start = Clock::now();
+        cell.queueWaitNs.fetch_add(elapsedNs(wait_start, job_start),
+                                   std::memory_order_relaxed);
+        if (!task)
+            return;
+        task->body();
+        cell.busyNs.fetch_add(elapsedNs(job_start, Clock::now()),
+                              std::memory_order_relaxed);
+        cell.jobsRun.fetch_add(1, std::memory_order_relaxed);
+        if (task->notify)
+            task->notify();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> job)
+{
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::move(job));
+    std::future<void> future = task->get_future();
+    const bool accepted =
+        queue_.push({[task] { (*task)(); }, nullptr});
+    SUIT_ASSERT(accepted, "submit() on a destroyed thread pool");
+    return future;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    // Exceptions land in index-addressed slots so the rethrow below
+    // picks the lowest failing index no matter how the workers were
+    // scheduled.
+    std::vector<std::exception_ptr> errors(n);
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool accepted = queue_.push(
+            {[&, i] {
+                 try {
+                     body(i);
+                 } catch (...) {
+                     errors[i] = std::current_exception();
+                 }
+             },
+             [&] {
+                 std::lock_guard lock(done_mu);
+                 ++done;
+                 done_cv.notify_one();
+             }});
+        SUIT_ASSERT(accepted,
+                    "parallelFor() on a destroyed thread pool");
+    }
+
+    std::unique_lock lock(done_mu);
+    done_cv.wait(lock, [&] { return done == n; });
+
+    for (std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+}
+
+std::vector<WorkerStats>
+ThreadPool::stats() const
+{
+    std::vector<WorkerStats> out;
+    out.reserve(cells_.size());
+    for (const auto &cell : cells_) {
+        WorkerStats s;
+        s.jobsRun = cell->jobsRun.load(std::memory_order_relaxed);
+        s.queueWaitS =
+            1e-9 * static_cast<double>(
+                       cell->queueWaitNs.load(std::memory_order_relaxed));
+        s.busyS =
+            1e-9 * static_cast<double>(
+                       cell->busyNs.load(std::memory_order_relaxed));
+        out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace suit::exec

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for experiment execution.
+ *
+ * Design points:
+ *  - a bounded MPMC queue (BoundedQueue) between submitters and
+ *    workers, so grid enumeration is backpressured rather than
+ *    buffered without limit;
+ *  - exceptions thrown by a job are captured and rethrown to the
+ *    caller (from the job's future, or from parallelFor() — lowest
+ *    job index first, so failure reporting is deterministic too);
+ *  - per-worker counters (jobs run, queue wait, busy time) as the
+ *    first observability hook into experiment execution.
+ *
+ * Determinism contract: the pool itself never reorders *results* —
+ * parallelFor()/mapReduce() write into index-addressed slots and
+ * reduce in index order, so a pool of any size produces bit-identical
+ * output to a serial loop as long as each job is a pure function of
+ * its index.
+ */
+
+#ifndef SUIT_EXEC_THREAD_POOL_HH
+#define SUIT_EXEC_THREAD_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/bounded_queue.hh"
+
+namespace suit::exec {
+
+/** Per-worker execution counters (snapshot, see ThreadPool::stats). */
+struct WorkerStats
+{
+    /** Jobs executed by this worker. */
+    std::uint64_t jobsRun = 0;
+    /** Seconds spent blocked on the queue waiting for work. */
+    double queueWaitS = 0.0;
+    /** Seconds spent executing jobs. */
+    double busyS = 0.0;
+};
+
+/** Fixed-size thread pool over a bounded task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers worker thread count; 0 selects
+     *        hardwareConcurrency().
+     * @param queue_capacity task queue bound; 0 selects
+     *        2 x workers.
+     */
+    explicit ThreadPool(int workers = 0, std::size_t queue_capacity = 0);
+
+    /** Joins all workers; queued jobs are drained first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+    /**
+     * Enqueue @p job; blocks while the queue is full.  The returned
+     * future completes when the job ran and rethrows anything the job
+     * threw.
+     */
+    std::future<void> submit(std::function<void()> job);
+
+    /**
+     * Run body(0) .. body(n-1) across the workers and wait.
+     *
+     * If any bodies throw, the exception of the lowest-index failing
+     * job is rethrown after all jobs finished (deterministic
+     * regardless of scheduling).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map every index through @p map on the pool, then fold the
+     * results serially in index order: the reduction is bit-identical
+     * to `for (i) acc = reduce(acc, map(i))` for any worker count.
+     */
+    template <typename Result, typename MapFn, typename ReduceFn>
+    Result mapReduce(std::size_t n, Result init, MapFn map,
+                     ReduceFn reduce)
+    {
+        using Value = std::invoke_result_t<MapFn, std::size_t>;
+        std::vector<std::optional<Value>> slots(n);
+        parallelFor(n, [&](std::size_t i) { slots[i].emplace(map(i)); });
+        Result acc = std::move(init);
+        for (std::optional<Value> &slot : slots)
+            acc = reduce(std::move(acc), std::move(*slot));
+        return acc;
+    }
+
+    /** Snapshot of the per-worker counters. */
+    std::vector<WorkerStats> stats() const;
+
+    /** std::thread::hardware_concurrency with a >= 1 floor. */
+    static int hardwareConcurrency();
+
+  private:
+    /** Counter cell updated only by its owning worker (atomically
+     *  relaxed, so concurrent stats() snapshots are race-free). */
+    struct WorkerCell
+    {
+        std::atomic<std::uint64_t> jobsRun{0};
+        std::atomic<std::uint64_t> queueWaitNs{0};
+        std::atomic<std::uint64_t> busyNs{0};
+    };
+
+    /** A queued job plus a completion hook that fires *after* the
+     *  worker's counters were updated, so a caller woken by it sees
+     *  consistent stats. */
+    struct Task
+    {
+        std::function<void()> body;
+        std::function<void()> notify;
+    };
+
+    void workerMain(std::size_t index);
+
+    BoundedQueue<Task> queue_;
+    std::vector<std::unique_ptr<WorkerCell>> cells_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace suit::exec
+
+#endif // SUIT_EXEC_THREAD_POOL_HH

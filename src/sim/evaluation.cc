@@ -1,46 +1,18 @@
 #include "sim/evaluation.hh"
 
 #include <algorithm>
-#include <map>
-#include <tuple>
-#include <memory>
 
-#include "trace/generator.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace suit::sim {
 
 using suit::power::DomainLayout;
-using suit::trace::Trace;
-using suit::trace::TraceGenerator;
 using suit::trace::WorkloadProfile;
 
-namespace {
-
-/**
- * Traces are pure functions of (profile, seed, stream); benchmark
- * harnesses re-run the same workloads under many configurations, so
- * memoise generation.
- */
-const Trace &
-cachedTrace(const WorkloadProfile &profile, std::uint64_t seed,
-            int stream)
-{
-    using Key = std::tuple<std::string, std::uint64_t, int>;
-    static std::map<Key, std::unique_ptr<Trace>> cache;
-    auto &slot = cache[{profile.name, seed, stream}];
-    if (!slot) {
-        slot = std::make_unique<Trace>(
-            TraceGenerator(seed).generate(profile, stream));
-    }
-    return *slot;
-}
-
-} // namespace
-
 DomainResult
-runWorkload(const EvalConfig &config, const WorkloadProfile &profile)
+runWorkload(const EvalConfig &config, const WorkloadProfile &profile,
+            TraceCache &traces)
 {
     SUIT_ASSERT(config.cpu != nullptr, "evaluation needs a CPU model");
     SUIT_ASSERT(config.cores >= 1, "need at least one core");
@@ -51,7 +23,7 @@ runWorkload(const EvalConfig &config, const WorkloadProfile &profile)
 
     std::vector<CoreWork> work;
     for (int s = 0; s < streams; ++s)
-        work.push_back({&cachedTrace(profile, config.seed, s),
+        work.push_back({&traces.get(profile, config.seed, s),
                         &profile});
 
     SimConfig sim_cfg;
@@ -64,6 +36,12 @@ runWorkload(const EvalConfig &config, const WorkloadProfile &profile)
 
     DomainSimulator sim(sim_cfg, std::move(work));
     return sim.run();
+}
+
+DomainResult
+runWorkload(const EvalConfig &config, const WorkloadProfile &profile)
+{
+    return runWorkload(config, profile, globalTraceCache());
 }
 
 std::vector<WorkloadRow>

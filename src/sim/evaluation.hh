@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/domain_sim.hh"
+#include "sim/trace_cache.hh"
 
 namespace suit::sim {
 
@@ -54,11 +55,22 @@ struct WorkloadRow
  * On a shared-domain CPU all utilised cores execute independent
  * streams of the workload inside one domain; on per-core-domain CPUs
  * the result is core-count independent and a single domain is run.
+ *
+ * Trace generation is memoised in @p traces (thread-safe); the
+ * two-argument overload uses the process-wide globalTraceCache().
+ * runWorkload itself is a pure function of (config, profile) — safe
+ * to call from multiple threads, which is what the suit::exec sweep
+ * engine does.
  */
+DomainResult runWorkload(const EvalConfig &config,
+                         const suit::trace::WorkloadProfile &profile,
+                         TraceCache &traces);
+
+/** As above, memoising traces in the process-wide cache. */
 DomainResult runWorkload(const EvalConfig &config,
                          const suit::trace::WorkloadProfile &profile);
 
-/** Run every profile in @p profiles. */
+/** Run every profile in @p profiles (serial reference path). */
 std::vector<WorkloadRow>
 runSuite(const EvalConfig &config,
          const std::vector<suit::trace::WorkloadProfile> &profiles);

@@ -1,0 +1,57 @@
+#include "sim/trace_cache.hh"
+
+#include "trace/generator.hh"
+
+namespace suit::sim {
+
+using suit::trace::Trace;
+using suit::trace::TraceGenerator;
+using suit::trace::WorkloadProfile;
+
+const Trace &
+TraceCache::get(const WorkloadProfile &profile, std::uint64_t seed,
+                int stream)
+{
+    Entry *entry;
+    {
+        std::lock_guard lock(mu_);
+        entry = &entries_[{profile.name, seed, stream}];
+    }
+    // Generation happens outside the map lock: distinct traces build
+    // concurrently; racing get()s on the *same* key serialise on the
+    // entry's once_flag and generate exactly once.
+    bool generated = false;
+    std::call_once(entry->once, [&] {
+        entry->trace = std::make_unique<Trace>(
+            TraceGenerator(seed).generate(profile, stream));
+        generated = true;
+    });
+    if (!generated) {
+        std::lock_guard lock(mu_);
+        ++hits_;
+    }
+    return *entry->trace;
+}
+
+std::size_t
+TraceCache::entries() const
+{
+    std::lock_guard lock(mu_);
+    return entries_.size();
+}
+
+std::uint64_t
+TraceCache::hits() const
+{
+    std::lock_guard lock(mu_);
+    return hits_;
+}
+
+TraceCache &
+globalTraceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+} // namespace suit::sim

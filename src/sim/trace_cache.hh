@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Thread-safe memoisation of generated traces.
+ *
+ * Traces are pure functions of (profile, seed, stream); the benchmark
+ * harnesses re-run the same workloads under many configurations
+ * (Table 6 alone revisits each (CPU, workload, seed) pair once per
+ * strategy x offset cell), so generation is memoised.  The previous
+ * cache was a function-local static map inside runWorkload() —
+ * correct serially, a data race under the parallel sweep engine.
+ * This class replaces it: the map is mutex-protected and each entry
+ * is generated exactly once via std::call_once, without holding the
+ * map lock during generation (so distinct traces generate in
+ * parallel).
+ */
+
+#ifndef SUIT_SIM_TRACE_CACHE_HH
+#define SUIT_SIM_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "trace/profile.hh"
+#include "trace/trace.hh"
+
+namespace suit::sim {
+
+/** Keyed store of generated traces, safe for concurrent lookup. */
+class TraceCache
+{
+  public:
+    TraceCache() = default;
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * The trace for (@p profile, @p seed, @p stream), generating it
+     * on first use.  The returned reference stays valid for the
+     * cache's lifetime (entries are never evicted).
+     */
+    const suit::trace::Trace &get(
+        const suit::trace::WorkloadProfile &profile,
+        std::uint64_t seed, int stream);
+
+    /** Number of distinct traces generated so far. */
+    std::size_t entries() const;
+
+    /** get() calls answered without generating (telemetry). */
+    std::uint64_t hits() const;
+
+  private:
+    /** Cache key: profiles are identified by name (the profile
+     *  database owns one immutable profile per name). */
+    using Key = std::tuple<std::string, std::uint64_t, int>;
+
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<suit::trace::Trace> trace;
+    };
+
+    mutable std::mutex mu_;
+    std::map<Key, Entry> entries_;
+    std::uint64_t hits_ = 0;
+};
+
+/**
+ * The process-wide cache used by runWorkload() when no explicit
+ * cache is passed (keeps the serial single-run tools allocation-free
+ * across repeated calls, exactly like the old static map).
+ */
+TraceCache &globalTraceCache();
+
+} // namespace suit::sim
+
+#endif // SUIT_SIM_TRACE_CACHE_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests of the suit_exec primitives: bounded queue semantics
+ * (FIFO, backpressure, close), thread-pool lifecycle, exception
+ * propagation out of jobs, parallelFor edge cases and deterministic
+ * mapReduce reduction order.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/bounded_queue.hh"
+#include "exec/thread_pool.hh"
+
+namespace {
+
+using suit::exec::BoundedQueue;
+using suit::exec::ThreadPool;
+using suit::exec::WorkerStats;
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BoundedQueue, CapacityFloorIsOne)
+{
+    BoundedQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueue, PushBlocksWhenFullUntilPop)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+
+    std::atomic<bool> third_pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(3));
+        third_pushed = true;
+    });
+
+    // The producer must be stuck: the queue is at capacity.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(third_pushed);
+
+    EXPECT_EQ(q.pop(), 1);
+    producer.join();
+    EXPECT_TRUE(third_pushed);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(7));
+    q.close();
+    EXPECT_FALSE(q.push(8)); // rejected after close
+    EXPECT_EQ(q.pop(), 7);   // queued item still drained
+    EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingConsumer)
+{
+    BoundedQueue<int> q(1);
+    std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join();
+}
+
+TEST(ThreadPool, StartupShutdownIdle)
+{
+    // Pools of several sizes come up and join cleanly without ever
+    // receiving a job.
+    for (int workers : {1, 2, 4}) {
+        ThreadPool pool(workers);
+        EXPECT_EQ(pool.workers(), workers);
+    }
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.workers(), ThreadPool::hardwareConcurrency());
+}
+
+TEST(ThreadPool, SubmitRunsJobAndFutureCompletes)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    auto f = pool.submit([&] { ++ran; });
+    f.get();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        [] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesOutOfParallelFor)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(16, [](std::size_t i) {
+            if (i % 5 == 3)
+                throw std::runtime_error(
+                    "index " + std::to_string(i));
+        });
+        FAIL() << "parallelFor swallowed the job exception";
+    } catch (const std::runtime_error &e) {
+        // Lowest failing index (3) wins regardless of scheduling.
+        EXPECT_STREQ(e.what(), "index 3");
+    }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForSingleElement)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(1, 0);
+    pool.parallelFor(1, [&](std::size_t i) { hits[i] = 1; });
+    EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ThreadPool, ParallelForOddSizedRange)
+{
+    // 37 indices over 4 workers: every index runs exactly once.
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(37);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForBackpressuredByQueueBound)
+{
+    // Queue bound of 2 with many more jobs than capacity: all jobs
+    // still run (submit blocks instead of dropping).
+    ThreadPool pool(2, 2);
+    std::atomic<int> ran{0};
+    pool.parallelFor(64, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 64);
+}
+
+TEST(ThreadPool, MapReduceSum)
+{
+    ThreadPool pool(3);
+    const long total = pool.mapReduce(
+        100, 0L, [](std::size_t i) { return static_cast<long>(i); },
+        [](long acc, long v) { return acc + v; });
+    EXPECT_EQ(total, 99L * 100L / 2L);
+}
+
+TEST(ThreadPool, MapReduceReducesInIndexOrder)
+{
+    // String concatenation is non-commutative: any reduction order
+    // other than 0..n-1 produces a different value.
+    ThreadPool pool(4);
+    const std::string joined = pool.mapReduce(
+        10, std::string(),
+        [](std::size_t i) { return std::to_string(i); },
+        [](std::string acc, std::string v) { return acc + v; });
+    EXPECT_EQ(joined, "0123456789");
+}
+
+TEST(ThreadPool, WorkerStatsAccountForAllJobs)
+{
+    ThreadPool pool(3);
+    pool.parallelFor(50, [](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+    const std::vector<WorkerStats> stats = pool.stats();
+    ASSERT_EQ(stats.size(), 3u);
+    std::uint64_t total = 0;
+    for (const WorkerStats &s : stats) {
+        total += s.jobsRun;
+        EXPECT_GE(s.busyS, 0.0);
+        EXPECT_GE(s.queueWaitS, 0.0);
+    }
+    EXPECT_EQ(total, 50u);
+}
+
+} // namespace

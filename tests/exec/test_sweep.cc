@@ -1,0 +1,181 @@
+/**
+ * @file
+ * SweepEngine tests: bit-identical parallel-vs-serial results on a
+ * reduced Table-6 grid, deterministic result ordering, trace-cache
+ * reuse across repeated cells and deriveSeed purity.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/params.hh"
+#include "exec/sweep.hh"
+#include "power/cpu_model.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit;
+using exec::SweepEngine;
+using exec::SweepJob;
+using sim::DomainResult;
+using sim::EvalConfig;
+using sim::WorkloadRow;
+
+/** Reduced Table-6 workload subset (keeps the test under seconds). */
+std::vector<trace::WorkloadProfile>
+subset()
+{
+    std::vector<trace::WorkloadProfile> out;
+    for (const char *name :
+         {"557.xz", "502.gcc", "520.omnetpp", "538.imagick", "Nginx"})
+        out.push_back(trace::profileByName(name));
+    return out;
+}
+
+/** Bitwise equality of every field of two domain results. */
+void
+expectIdentical(const DomainResult &a, const DomainResult &b)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_EQ(a.cores[i].workload, b.cores[i].workload);
+        EXPECT_EQ(a.cores[i].durationS, b.cores[i].durationS);
+        EXPECT_EQ(a.cores[i].baselineDurationS,
+                  b.cores[i].baselineDurationS);
+    }
+    EXPECT_EQ(a.powerFactor, b.powerFactor);
+    EXPECT_EQ(a.efficientShare, b.efficientShare);
+    EXPECT_EQ(a.cfShare, b.cfShare);
+    EXPECT_EQ(a.cvShare, b.cvShare);
+    EXPECT_EQ(a.traps, b.traps);
+    EXPECT_EQ(a.emulations, b.emulations);
+    EXPECT_EQ(a.pstateSwitches, b.pstateSwitches);
+    EXPECT_EQ(a.thrashDetections, b.thrashDetections);
+}
+
+TEST(SweepEngine, ParallelSuiteBitIdenticalToSerialRunSuite)
+{
+    // The acceptance-criterion test: a reduced Table-6 grid (two CPU
+    // configurations, 5 workloads) run through runSuiteParallel with
+    // 4 workers must reproduce serial runSuite() bit for bit.
+    const power::CpuModel cpu_a = power::cpuA_i9_9900k();
+    const power::CpuModel cpu_c = power::cpuC_xeon4208();
+    const auto profiles = subset();
+
+    for (const power::CpuModel *cpu : {&cpu_a, &cpu_c}) {
+        EvalConfig cfg;
+        cfg.cpu = cpu;
+        cfg.cores = cpu == &cpu_a ? 4 : 1;
+        cfg.offsetMv = -97.0;
+        cfg.params = core::optimalParams(*cpu);
+
+        const std::vector<WorkloadRow> serial =
+            sim::runSuite(cfg, profiles);
+        const std::vector<WorkloadRow> parallel =
+            sim::runSuiteParallel(cfg, profiles, 4);
+
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].workload, parallel[i].workload);
+            expectIdentical(serial[i].result, parallel[i].result);
+        }
+    }
+}
+
+TEST(SweepEngine, SerialModeMatchesRunSuiteToo)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const auto profiles = subset();
+
+    EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.params = core::optimalParams(cpu);
+
+    exec::SweepEngine engine({1, 0});
+    EXPECT_EQ(engine.jobs(), 1);
+    const auto serial = sim::runSuite(cfg, profiles);
+    const auto inline_rows =
+        sim::runSuiteParallel(cfg, profiles, engine);
+    ASSERT_EQ(serial.size(), inline_rows.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i].result, inline_rows[i].result);
+}
+
+TEST(SweepEngine, ResultsArriveInJobOrder)
+{
+    // Jobs with very different run times (4-core shared domain vs a
+    // single light domain) still land at their own index.
+    const power::CpuModel cpu_a = power::cpuA_i9_9900k();
+    const auto &xz = trace::profileByName("557.xz");
+    const auto &omnetpp = trace::profileByName("520.omnetpp");
+
+    EvalConfig heavy;
+    heavy.cpu = &cpu_a;
+    heavy.cores = 4;
+    heavy.params = core::optimalParams(cpu_a);
+    EvalConfig light = heavy;
+    light.cores = 1;
+
+    std::vector<SweepJob> jobs = {{"heavy", heavy, &xz},
+                                  {"light", light, &omnetpp},
+                                  {"heavy2", heavy, &omnetpp},
+                                  {"light2", light, &xz}};
+
+    SweepEngine engine({4, 0});
+    const std::vector<DomainResult> results = engine.run(jobs);
+    ASSERT_EQ(results.size(), 4u);
+    // Shared-domain 4-core jobs produce 4 core rows, light ones 1 —
+    // a misordered result vector is immediately visible.
+    EXPECT_EQ(results[0].cores.size(), 4u);
+    EXPECT_EQ(results[1].cores.size(), 1u);
+    EXPECT_EQ(results[2].cores.size(), 4u);
+    EXPECT_EQ(results[3].cores.size(), 1u);
+}
+
+TEST(SweepEngine, TraceCacheReusedAcrossRepeatedCells)
+{
+    // Table-6 shape: the same (cpu, workload, seed) pair revisited
+    // under different strategies must generate its trace once.
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const auto &gcc = trace::profileByName("502.gcc");
+
+    EvalConfig fv;
+    fv.cpu = &cpu;
+    fv.params = core::optimalParams(cpu);
+    fv.strategy = core::StrategyKind::CombinedFv;
+    EvalConfig emu = fv;
+    emu.strategy = core::StrategyKind::Emulation;
+    EvalConfig off70 = fv;
+    off70.offsetMv = -70.0;
+
+    SweepEngine engine({2, 0});
+    engine.run({{"fv", fv, &gcc},
+                {"e", emu, &gcc},
+                {"fv70", off70, &gcc}});
+    EXPECT_EQ(engine.traceCache().entries(), 1u);
+    EXPECT_GE(engine.traceCache().hits(), 2u);
+}
+
+TEST(SweepEngine, WorkerFooterListsEveryWorker)
+{
+    SweepEngine engine({3, 0});
+    const std::string footer = engine.workerFooter();
+    EXPECT_NE(footer.find("#0"), std::string::npos);
+    EXPECT_NE(footer.find("#2"), std::string::npos);
+    EXPECT_NE(footer.find("queue wait"), std::string::npos);
+
+    SweepEngine serial({1, 0});
+    EXPECT_NE(serial.workerFooter().find("serial"),
+              std::string::npos);
+}
+
+TEST(DeriveSeed, PureAndDecorrelated)
+{
+    EXPECT_EQ(exec::deriveSeed(42, 7), exec::deriveSeed(42, 7));
+    EXPECT_NE(exec::deriveSeed(42, 7), exec::deriveSeed(42, 8));
+    EXPECT_NE(exec::deriveSeed(42, 7), exec::deriveSeed(43, 7));
+}
+
+} // namespace

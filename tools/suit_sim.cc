@@ -8,19 +8,25 @@
  *   suit_sim --cpu A --cores 4 --workload 502.gcc
  *   suit_sim --trace mytrace.sfb --strategy hybrid
  *   suit_sim --workload 508.namd --nosimd
+ *   suit_sim --workload spec --jobs 4      # whole suite, 4 workers
  */
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/controller.hh"
 #include "core/params.hh"
+#include "exec/sweep.hh"
 #include "sim/evaluation.hh"
 #include "trace/generator.hh"
 #include "trace/io.hh"
 #include "trace/profile.hh"
 #include "util/args.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
+#include "util/table.hh"
 
 namespace {
 
@@ -59,6 +65,70 @@ strategyByName(const std::string &name)
                 name.c_str());
 }
 
+/**
+ * Expand a --workload value into a profile list: "spec" / "all" name
+ * the built-in suites, a comma-separated list selects individual
+ * profiles, anything else is a single workload.
+ */
+std::vector<trace::WorkloadProfile>
+workloadsByName(const std::string &value)
+{
+    if (value == "spec")
+        return trace::specProfiles();
+    if (value == "all")
+        return trace::allProfiles();
+    std::vector<trace::WorkloadProfile> out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string name =
+            value.substr(start, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - start);
+        if (!name.empty())
+            out.push_back(trace::profileByName(name));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Run a multi-workload suite in parallel and print per-row results. */
+int
+runSuiteMode(const sim::EvalConfig &cfg,
+             const std::vector<trace::WorkloadProfile> &profiles,
+             int jobs, bool verbose)
+{
+    exec::SweepEngine engine({jobs, 0});
+    const std::vector<sim::WorkloadRow> rows =
+        sim::runSuiteParallel(cfg, profiles, engine);
+
+    util::TablePrinter t({"Workload", "Perf", "Power", "Eff", "onE"});
+    for (const sim::WorkloadRow &r : rows)
+        t.addRow({r.workload,
+                  util::sformat("%+.2f%%", 100 * r.result.perfDelta()),
+                  util::sformat("%+.2f%%",
+                                100 * r.result.powerDelta()),
+                  util::sformat("%+.2f%%",
+                                100 * r.result.efficiencyDelta()),
+                  util::sformat("%.1f%%",
+                                100 * r.result.efficientShare)});
+    t.print();
+
+    const sim::SuiteSummary sum = sim::SuiteSummary::of(rows);
+    std::printf("\nSuite gmean: perf %+.2f%%, power %+.2f%%, eff "
+                "%+.2f%% (median eff %+.2f%%)\n",
+                100 * sum.gmeanPerf, 100 * sum.gmeanPower,
+                100 * sum.gmeanEff, 100 * sum.medianEff);
+    if (verbose) {
+        std::printf("\nSweep execution (%d worker%s, %zu jobs):\n%s",
+                    engine.jobs(), engine.jobs() == 1 ? "" : "s",
+                    profiles.size(), engine.workerFooter().c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -68,7 +138,8 @@ main(int argc, char **argv)
                          "simulate SUIT on a workload (paper Sec. 6)");
     args.addOption("cpu", "C", "CPU model: A, B, C or i5");
     args.addOption("workload", "557.xz",
-                   "built-in workload profile name, or 'list'");
+                   "built-in workload profile name, a comma-separated "
+                   "list, 'spec', 'all', or 'list'");
     args.addOption("trace", "", "run a recorded .sft/.sfb trace "
                                 "instead of a built-in profile");
     args.addOption("strategy", "fV",
@@ -77,6 +148,9 @@ main(int argc, char **argv)
     args.addOption("cores", "1",
                    "utilised cores (shared-domain CPUs only)");
     args.addOption("seed", "1", "trace / jitter seed");
+    args.addOption("jobs", "0",
+                   "parallel workers for multi-workload runs (0 = "
+                   "hardware threads, 1 = serial reference)");
     args.addFlag("nosimd", "model a binary compiled without SIMD");
     args.addFlag("verbose", "also print switch/trap counters");
     if (!args.parse(argc, argv))
@@ -98,6 +172,25 @@ main(int argc, char **argv)
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
     cfg.mode = args.getFlag("nosimd") ? sim::RunMode::NoSimdCompile
                                       : sim::RunMode::Suit;
+
+    // Multi-workload selection runs as a parallel suite.
+    if (args.get("trace").empty()) {
+        const std::string &wl = args.get("workload");
+        if (wl == "spec" || wl == "all" ||
+            wl.find(',') != std::string::npos) {
+            if (args.get("strategy") != "auto")
+                cfg.strategy = strategyByName(args.get("strategy"));
+            else
+                util::fatal("--strategy auto needs a single "
+                            "workload");
+            std::printf("suite '%s' on %s, strategy %s, %.0f mV:\n",
+                        wl.c_str(), cpu.name().c_str(),
+                        core::toString(cfg.strategy), cfg.offsetMv);
+            return runSuiteMode(cfg, workloadsByName(wl),
+                                static_cast<int>(args.getInt("jobs")),
+                                args.getFlag("verbose"));
+        }
+    }
 
     sim::DomainResult result;
     std::string workload_name;

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * suit_sweep — run a user-specified Cartesian configuration grid on
+ * the suit::exec SweepEngine and emit one CSV row per cell.
+ *
+ * The grid is cpu x cores x strategy x offset x workload x rep; each
+ * axis takes a comma-separated list.  Repetition r > 0 of cell i
+ * draws its seed from exec::deriveSeed(root, cell index), so
+ * re-running the same grid with the same --seed is bit-identical for
+ * any --jobs value.
+ *
+ * Examples:
+ *   suit_sweep                               # CPU C, fV, SPEC suite
+ *   suit_sweep --cpu A,B,C --strategy e,fV --offset -70,-97 \
+ *              --workload spec --jobs 8 --out sweep.csv
+ *   suit_sweep --cpu A --cores 1,2,4 --workload Nginx,VLC --reps 5
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "core/strategy.hh"
+#include "exec/sweep.hh"
+#include "power/cpu_model.hh"
+#include "sim/evaluation.hh"
+#include "trace/profile.hh"
+#include "util/args.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace suit;
+using exec::SweepEngine;
+using exec::SweepJob;
+
+/** Split a comma-separated option value into its items. */
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string item =
+            value.substr(start, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+power::CpuModel
+cpuByName(const std::string &name)
+{
+    if (name == "A" || name == "i9-9900K")
+        return power::cpuA_i9_9900k();
+    if (name == "B" || name == "7700X")
+        return power::cpuB_ryzen7700x();
+    if (name == "C" || name == "4208")
+        return power::cpuC_xeon4208();
+    if (name == "i5" || name == "i5-1035G1")
+        return power::cpu_i5_1035g1();
+    util::fatal("unknown CPU '%s' (use A, B, C or i5)", name.c_str());
+}
+
+core::StrategyKind
+strategyByName(const std::string &name)
+{
+    if (name == "e" || name == "emulation")
+        return core::StrategyKind::Emulation;
+    if (name == "f" || name == "frequency")
+        return core::StrategyKind::Frequency;
+    if (name == "V" || name == "voltage")
+        return core::StrategyKind::Voltage;
+    if (name == "fV" || name == "combined")
+        return core::StrategyKind::CombinedFv;
+    if (name == "hybrid" || name == "e+fV")
+        return core::StrategyKind::Hybrid;
+    util::fatal("unknown strategy '%s' (e, f, V, fV, hybrid)",
+                name.c_str());
+}
+
+std::vector<trace::WorkloadProfile>
+workloadsByName(const std::string &value)
+{
+    if (value == "spec")
+        return trace::specProfiles();
+    if (value == "all")
+        return trace::allProfiles();
+    std::vector<trace::WorkloadProfile> out;
+    for (const std::string &name : splitList(value))
+        out.push_back(trace::profileByName(name));
+    return out;
+}
+
+/** CSV metadata of one cell, parallel to the job list. */
+struct CellMeta
+{
+    std::string cpu;
+    int cores;
+    std::string strategy;
+    double offsetMv;
+    std::string workload;
+    std::uint64_t seed;
+    long rep;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "suit_sweep",
+        "run a configuration grid in parallel, emit CSV");
+    args.addOption("cpu", "C", "CPU models (comma list of A, B, C, i5)");
+    args.addOption("cores", "1",
+                   "utilised-core counts (comma list; shared-domain "
+                   "CPUs only)");
+    args.addOption("strategy", "fV",
+                   "operating strategies (comma list of e, f, V, fV, "
+                   "hybrid)");
+    args.addOption("offset", "-97",
+                   "undervolt offsets in mV (comma list)");
+    args.addOption("workload", "spec",
+                   "workloads: comma list of names, 'spec' or 'all'");
+    args.addOption("reps", "1",
+                   "repetitions per cell with derived seeds");
+    args.addOption("seed", "1", "root seed of the grid");
+    args.addOption("out", "-", "output CSV file ('-' = stdout)");
+    args.addOption("jobs", "0",
+                   "parallel sweep workers (0 = hardware threads, "
+                   "1 = serial reference)");
+    args.addFlag("nosimd", "model binaries compiled without SIMD");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    // Own every axis value for the duration of the sweep (jobs hold
+    // pointers into these).
+    std::vector<power::CpuModel> cpus;
+    for (const std::string &name : splitList(args.get("cpu")))
+        cpus.push_back(cpuByName(name));
+    const std::vector<trace::WorkloadProfile> profiles =
+        workloadsByName(args.get("workload"));
+    const std::vector<std::string> core_list =
+        splitList(args.get("cores"));
+    const std::vector<std::string> strategy_list =
+        splitList(args.get("strategy"));
+    const std::vector<std::string> offset_list =
+        splitList(args.get("offset"));
+    const long reps = args.getInt("reps");
+    const std::uint64_t root =
+        static_cast<std::uint64_t>(args.getInt("seed"));
+    if (cpus.empty() || profiles.empty() || core_list.empty() ||
+        strategy_list.empty() || offset_list.empty() || reps < 1)
+        util::fatal("every grid axis needs at least one value");
+
+    // Enumerate the grid in deterministic nested order.
+    std::vector<SweepJob> jobs;
+    std::vector<CellMeta> meta;
+    std::uint64_t cell = 0;
+    for (const power::CpuModel &cpu : cpus) {
+        for (const std::string &cores_s : core_list) {
+            const int cores = static_cast<int>(std::stol(cores_s));
+            for (const std::string &strat_s : strategy_list) {
+                const core::StrategyKind strategy =
+                    strategyByName(strat_s);
+                for (const std::string &off_s : offset_list) {
+                    const double offset = std::stod(off_s);
+                    for (const auto &p : profiles) {
+                        for (long r = 0; r < reps; ++r, ++cell) {
+                            sim::EvalConfig cfg;
+                            cfg.cpu = &cpu;
+                            cfg.cores = cores;
+                            cfg.offsetMv = offset;
+                            cfg.strategy = strategy;
+                            cfg.params = core::optimalParams(cpu);
+                            cfg.mode =
+                                args.getFlag("nosimd")
+                                    ? sim::RunMode::NoSimdCompile
+                                    : sim::RunMode::Suit;
+                            cfg.seed =
+                                r == 0 ? root
+                                       : exec::deriveSeed(root, cell);
+                            jobs.push_back({p.name, cfg, &p});
+                            meta.push_back({cpu.label(), cores,
+                                            strat_s, offset, p.name,
+                                            cfg.seed, r});
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    util::inform("suit_sweep: %zu cells on %s", jobs.size(),
+                 args.get("jobs") == "1" ? "1 worker (serial)"
+                                         : "parallel workers");
+
+    SweepEngine engine(
+        {static_cast<int>(args.getInt("jobs")), 0});
+    const std::vector<sim::DomainResult> results = engine.run(jobs);
+
+    std::FILE *out = stdout;
+    if (args.get("out") != "-") {
+        out = std::fopen(args.get("out").c_str(), "w");
+        if (out == nullptr)
+            util::fatal("cannot open '%s' for writing",
+                        args.get("out").c_str());
+    }
+
+    std::fprintf(out,
+                 "cpu,cores,strategy,offset_mv,workload,seed,rep,"
+                 "perf_delta,power_delta,eff_delta,on_efficient,"
+                 "cf_share,cv_share,traps,emulations,pstate_switches,"
+                 "thrash_detections\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CellMeta &m = meta[i];
+        const sim::DomainResult &r = results[i];
+        std::fprintf(
+            out,
+            "%s,%d,%s,%g,%s,%llu,%ld,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,"
+            "%llu,%llu,%llu,%llu\n",
+            m.cpu.c_str(), m.cores, m.strategy.c_str(), m.offsetMv,
+            m.workload.c_str(),
+            static_cast<unsigned long long>(m.seed), m.rep,
+            r.perfDelta(), r.powerDelta(), r.efficiencyDelta(),
+            r.efficientShare, r.cfShare, r.cvShare,
+            static_cast<unsigned long long>(r.traps),
+            static_cast<unsigned long long>(r.emulations),
+            static_cast<unsigned long long>(r.pstateSwitches),
+            static_cast<unsigned long long>(r.thrashDetections));
+    }
+    if (out != stdout)
+        std::fclose(out);
+
+    // Footer goes to stderr so it never pollutes CSV-on-stdout.
+    std::fprintf(stderr,
+                 "sweep execution (%d worker%s, %zu jobs, %zu traces "
+                 "generated, %llu cache hits):\n%s",
+                 engine.jobs(), engine.jobs() == 1 ? "" : "s",
+                 jobs.size(), engine.traceCache().entries(),
+                 static_cast<unsigned long long>(
+                     engine.traceCache().hits()),
+                 engine.workerFooter().c_str());
+    return 0;
+}
