@@ -1,0 +1,237 @@
+#include "exec/checkpoint.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "sim/result_io.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace suit::exec {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'U', 'I', 'T', 'J', 'R', 'N', 'L'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
+
+void
+putU32(std::uint32_t v, std::string &out)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::uint64_t v, std::string &out)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+/** Record payload for one cell outcome. */
+std::string
+encodePayload(const CellRecord &record)
+{
+    std::string payload;
+    putU64(record.index, payload);
+    payload.push_back(record.failed ? 1 : 0);
+    if (record.failed) {
+        putU32(static_cast<std::uint32_t>(record.error.size()),
+               payload);
+        payload.append(record.error);
+    } else {
+        suit::sim::serializeResult(record.result, payload);
+    }
+    return payload;
+}
+
+/** Frame @p payload as [length][checksum][payload] onto @p out. */
+void
+encodeRecord(const std::string &payload, std::string &out)
+{
+    putU32(static_cast<std::uint32_t>(payload.size()), out);
+    putU32(static_cast<std::uint32_t>(
+               fnv1a64(payload.data(), payload.size()) & 0xFFFFFFFFu),
+           out);
+    out.append(payload);
+}
+
+/**
+ * Decode one framed record payload.  Returns false on any structural
+ * problem (the caller treats it as a torn tail).
+ */
+bool
+decodePayload(const char *data, std::size_t size, CellRecord &out)
+{
+    if (size < 9)
+        return false;
+    out.index = getU64(data);
+    const std::uint8_t status =
+        static_cast<std::uint8_t>(data[8]);
+    if (status > 1)
+        return false;
+    out.failed = status == 1;
+    std::size_t offset = 9;
+    if (out.failed) {
+        if (size - offset < 4)
+            return false;
+        const std::uint32_t len = getU32(data + offset);
+        offset += 4;
+        if (size - offset < len)
+            return false;
+        out.error.assign(data + offset, len);
+        offset += len;
+    } else {
+        if (!suit::sim::deserializeResult(data, size, offset,
+                                          out.result))
+            return false;
+    }
+    return offset == size;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+void
+CheckpointJournal::start(const std::string &path,
+                         const GridFingerprint &fp,
+                         std::vector<CellRecord> seed)
+{
+    std::lock_guard lock(mu_);
+    path_ = path;
+    image_.clear();
+    image_.append(kMagic, sizeof(kMagic));
+    putU32(kVersion, image_);
+    putU32(0, image_); // reserved
+    putU64(fp.hash, image_);
+    putU64(fp.cells, image_);
+    for (const CellRecord &record : seed)
+        encodeRecord(encodePayload(record), image_);
+    writeImage();
+}
+
+void
+CheckpointJournal::append(const CellRecord &record)
+{
+    std::lock_guard lock(mu_);
+    if (path_.empty())
+        return;
+    encodeRecord(encodePayload(record), image_);
+    writeImage();
+}
+
+void
+CheckpointJournal::writeImage()
+{
+    const std::string tmp = path_ + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        throw JournalError(suit::util::sformat(
+            "cannot write checkpoint '%s': %s", tmp.c_str(),
+            std::strerror(errno)));
+    const bool wrote =
+        std::fwrite(image_.data(), 1, image_.size(), f) ==
+            image_.size() &&
+        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    std::fclose(f);
+    if (!wrote || std::rename(tmp.c_str(), path_.c_str()) != 0)
+        throw JournalError(suit::util::sformat(
+            "cannot write checkpoint '%s': %s", path_.c_str(),
+            std::strerror(errno)));
+}
+
+JournalContents
+CheckpointJournal::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw JournalError(suit::util::sformat(
+            "cannot open checkpoint '%s': %s", path.c_str(),
+            std::strerror(errno)));
+    std::string bytes;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        throw JournalError(suit::util::sformat(
+            "cannot read checkpoint '%s'", path.c_str()));
+
+    if (bytes.size() < kHeaderSize ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        throw JournalError(suit::util::sformat(
+            "'%s' is not a SUIT checkpoint journal", path.c_str()));
+    const std::uint32_t version = getU32(bytes.data() + 8);
+    if (version != kVersion)
+        throw JournalError(suit::util::sformat(
+            "checkpoint '%s' has unsupported version %u (expected "
+            "%u)",
+            path.c_str(), version, kVersion));
+
+    JournalContents contents;
+    contents.fingerprint.hash = getU64(bytes.data() + 16);
+    contents.fingerprint.cells = getU64(bytes.data() + 24);
+
+    std::size_t offset = kHeaderSize;
+    while (offset < bytes.size()) {
+        const std::size_t remaining = bytes.size() - offset;
+        if (remaining < 8)
+            break; // torn frame header
+        const std::uint32_t len = getU32(bytes.data() + offset);
+        const std::uint32_t checksum =
+            getU32(bytes.data() + offset + 4);
+        if (remaining - 8 < len)
+            break; // torn payload
+        const char *payload = bytes.data() + offset + 8;
+        if ((fnv1a64(payload, len) & 0xFFFFFFFFu) != checksum)
+            break; // corrupt payload
+        CellRecord record;
+        if (!decodePayload(payload, len, record))
+            break;
+        contents.records.push_back(std::move(record));
+        offset += 8 + len;
+    }
+    contents.droppedBytes = bytes.size() - offset;
+    return contents;
+}
+
+} // namespace suit::exec

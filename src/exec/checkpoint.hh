@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Crash-safe checkpoint journal for sweep grids.
+ *
+ * A CheckpointJournal persists one record per completed (or
+ * terminally failed) grid cell so an interrupted sweep can resume
+ * without re-running finished cells.  The on-disk layout is an
+ * append-structured stream:
+ *
+ *   header:  magic "SUITJRNL", format version, grid fingerprint
+ *            (axis hash + cell count)
+ *   records: [payload length u32][payload checksum u32][payload]
+ *   payload: [cell index u64][status u8]
+ *            status 0 (ok):     serialized DomainResult
+ *            status 1 (failed): error string (u32 length + bytes)
+ *
+ * Durability: every append() rewrites the journal image to
+ * `<path>.tmp`, flushes it to the kernel (fflush + fsync) and
+ * atomically rename()s it over `<path>`.  A kill at *any* instant —
+ * including mid-record — therefore leaves either the previous or the
+ * new journal on disk, never a torn one.  The loader is nevertheless
+ * defensive: records are length- and checksum-framed, and load()
+ * keeps the longest valid prefix of a truncated or corrupted file
+ * (reporting the dropped byte count) instead of refusing it, so even
+ * a journal damaged outside our control resumes as far as possible.
+ *
+ * The grid fingerprint ties a journal to the exact grid that
+ * produced it: SweepEngine hashes every cell's CPU, core count,
+ * strategy (kind + parameters), offset, run mode, workload and seed.
+ * Resuming against a journal whose fingerprint differs is refused —
+ * silently mixing results of two different grids would be far worse
+ * than re-running one.
+ */
+
+#ifndef SUIT_EXEC_CHECKPOINT_HH
+#define SUIT_EXEC_CHECKPOINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/domain_sim.hh"
+
+namespace suit::exec {
+
+/** FNV-1a over a byte range; chainable via @p seed. */
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t seed = 0xCBF29CE484222325ULL);
+
+/** Identity of a sweep grid: cell count + hash over every axis. */
+struct GridFingerprint
+{
+    /** Number of grid cells. */
+    std::uint64_t cells = 0;
+    /** Order-sensitive hash over every cell's configuration. */
+    std::uint64_t hash = 0;
+
+    bool operator==(const GridFingerprint &) const = default;
+};
+
+/** One journal entry: the outcome of a single grid cell. */
+struct CellRecord
+{
+    /** Grid cell index (position in the job list). */
+    std::uint64_t index = 0;
+    /** True if the cell exhausted its retries and was given up on. */
+    bool failed = false;
+    /** Failure description (failed records only). */
+    std::string error;
+    /** Cell result (ok records only). */
+    suit::sim::DomainResult result;
+};
+
+/** Unusable journal file (bad magic/version, unreadable, mismatch). */
+class JournalError : public std::runtime_error
+{
+  public:
+    explicit JournalError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Everything recovered from a journal file. */
+struct JournalContents
+{
+    /** Fingerprint of the grid the journal belongs to. */
+    GridFingerprint fingerprint;
+    /** Complete records, in file order. */
+    std::vector<CellRecord> records;
+    /**
+     * Bytes of a torn or corrupt tail that were dropped during
+     * recovery (0 for a clean journal).
+     */
+    std::size_t droppedBytes = 0;
+};
+
+/**
+ * Append-only results journal with atomic-rewrite durability.
+ *
+ * A default-constructed journal is inert: append() is a no-op, so
+ * engine code can call it unconditionally.  append() is thread-safe —
+ * sweep workers complete cells concurrently.
+ */
+class CheckpointJournal
+{
+  public:
+    CheckpointJournal() = default;
+
+    CheckpointJournal(const CheckpointJournal &) = delete;
+    CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+    /** True once start() bound the journal to a file. */
+    bool active() const { return !path_.empty(); }
+
+    /**
+     * Bind to @p path and write a fresh header (plus @p seed records
+     * recovered by a resume), replacing any existing file.
+     */
+    void start(const std::string &path, const GridFingerprint &fp,
+               std::vector<CellRecord> seed = {});
+
+    /** Append one record and flush it to disk (thread-safe). */
+    void append(const CellRecord &record);
+
+    /**
+     * Parse the journal at @p path.
+     *
+     * @throws JournalError if the file is missing, unreadable, or
+     *         not a journal (bad magic / unsupported version).
+     *         Truncated or corrupt *records* do not throw: the valid
+     *         prefix is returned and droppedBytes reports the loss.
+     */
+    static JournalContents load(const std::string &path);
+
+  private:
+    /** Write image_ via temp file + flush + atomic rename. */
+    void writeImage();
+
+    std::mutex mu_;
+    std::string path_;
+    std::string image_; //!< serialized header + records
+};
+
+} // namespace suit::exec
+
+#endif // SUIT_EXEC_CHECKPOINT_HH

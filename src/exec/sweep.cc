@@ -1,5 +1,10 @@
 #include "exec/sweep.hh"
 
+#include <algorithm>
+#include <bit>
+#include <exception>
+#include <mutex>
+
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -9,6 +14,22 @@ namespace suit::exec {
 
 using suit::sim::DomainResult;
 using suit::sim::EvalConfig;
+
+namespace {
+
+std::string
+describeException(const std::exception_ptr &err)
+{
+    try {
+        std::rethrow_exception(err);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+} // namespace
 
 SweepEngine::SweepEngine(SweepOptions options) : opts_(options)
 {
@@ -34,22 +55,146 @@ SweepEngine::jobs() const
 std::vector<DomainResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
-    std::vector<DomainResult> results(jobs.size());
+    RunPolicy fail_fast;
+    fail_fast.strict = true;
+    return run(jobs, fail_fast).results;
+}
+
+SweepOutcome
+SweepEngine::run(const std::vector<SweepJob> &jobs,
+                 const RunPolicy &policy)
+{
     const auto cell = [&](std::size_t i) {
         const SweepJob &job = jobs[i];
         SUIT_ASSERT(job.profile != nullptr,
                     "sweep job %zu ('%s') has no workload", i,
                     job.label.c_str());
-        results[i] =
-            suit::sim::runWorkload(job.config, *job.profile, traces_);
+        return suit::sim::runWorkload(job.config, *job.profile,
+                                      traces_);
     };
-    if (pool_) {
-        pool_->parallelFor(jobs.size(), cell);
-    } else {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            cell(i);
+    SweepOutcome outcome =
+        runCells(jobs.size(), cell, policy, fingerprintJobs(jobs));
+    for (CellFailure &failure : outcome.failures)
+        failure.label = jobs[failure.index].label;
+    return outcome;
+}
+
+SweepOutcome
+SweepEngine::runCells(
+    std::size_t n,
+    const std::function<suit::sim::DomainResult(std::size_t)> &cell,
+    const RunPolicy &policy, const GridFingerprint &fingerprint)
+{
+    SUIT_ASSERT(policy.retries >= 0, "negative retry count %d",
+                policy.retries);
+    if (policy.resume && policy.checkpointPath.empty())
+        throw JournalError("resume requires a checkpoint path");
+
+    SweepOutcome out;
+    out.results.resize(n);
+    out.done.assign(n, 0);
+
+    CheckpointJournal journal;
+    if (!policy.checkpointPath.empty()) {
+        std::vector<CellRecord> seed;
+        if (policy.resume) {
+            JournalContents loaded =
+                CheckpointJournal::load(policy.checkpointPath);
+            if (!(loaded.fingerprint == fingerprint))
+                throw JournalError(suit::util::sformat(
+                    "checkpoint '%s' belongs to a different grid "
+                    "(journal: %llu cells, fingerprint %016llx; this "
+                    "run: %llu cells, fingerprint %016llx) — "
+                    "refusing to mix results",
+                    policy.checkpointPath.c_str(),
+                    static_cast<unsigned long long>(
+                        loaded.fingerprint.cells),
+                    static_cast<unsigned long long>(
+                        loaded.fingerprint.hash),
+                    static_cast<unsigned long long>(fingerprint.cells),
+                    static_cast<unsigned long long>(fingerprint.hash)));
+            if (loaded.droppedBytes != 0)
+                suit::util::warn(
+                    "checkpoint '%s': dropped %zu trailing bytes of "
+                    "a torn record; the affected cell will re-run",
+                    policy.checkpointPath.c_str(),
+                    loaded.droppedBytes);
+            // Completed cells seed the results; failed records are
+            // dropped so the resume re-attempts those cells.
+            for (CellRecord &record : loaded.records) {
+                if (record.failed || record.index >= n ||
+                    out.done[record.index])
+                    continue;
+                out.results[record.index] = std::move(record.result);
+                out.done[record.index] = 1;
+                ++out.restored;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                if (out.done[i])
+                    seed.push_back({i, false, "", out.results[i]});
+            }
+        }
+        journal.start(policy.checkpointPath, fingerprint,
+                      std::move(seed));
     }
-    return results;
+
+    std::atomic<std::size_t> executed{0};
+    std::atomic<std::size_t> skipped{0};
+    std::mutex failures_mu;
+    std::vector<CellFailure> failures;
+
+    const auto runOne = [&](std::size_t i) {
+        if (out.done[i])
+            return; // restored from the journal
+        if (policy.stop != nullptr &&
+            policy.stop->load(std::memory_order_relaxed)) {
+            skipped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        const int attempts = policy.retries + 1;
+        std::exception_ptr error;
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+            try {
+                out.results[i] = cell(i);
+                out.done[i] = 1;
+                executed.fetch_add(1, std::memory_order_relaxed);
+                journal.append({i, false, "", out.results[i]});
+                error = nullptr;
+                break;
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+        if (error) {
+            if (policy.strict)
+                std::rethrow_exception(error);
+            const std::string what = describeException(error);
+            {
+                std::lock_guard lock(failures_mu);
+                failures.push_back({i, "", what, attempts});
+            }
+            journal.append({i, true, what, {}});
+        }
+        if (policy.onCellDone)
+            policy.onCellDone(i);
+    };
+
+    if (pool_) {
+        pool_->parallelFor(n, runOne);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            runOne(i);
+    }
+
+    out.executed = executed.load();
+    out.skipped = skipped.load();
+    out.interrupted = policy.stop != nullptr && policy.stop->load();
+    std::sort(failures.begin(), failures.end(),
+              [](const CellFailure &a, const CellFailure &b) {
+                  return a.index < b.index;
+              });
+    out.failures = std::move(failures);
+    return out;
 }
 
 std::vector<WorkerStats>
@@ -86,6 +231,44 @@ SweepEngine::workerFooter() const
                   "%llu", static_cast<unsigned long long>(total_jobs)),
               "", suit::util::sformat("%.3f s", total_busy)});
     return t.render();
+}
+
+GridFingerprint
+fingerprintJobs(const std::vector<SweepJob> &jobs)
+{
+    std::uint64_t hash = fnv1a64(nullptr, 0);
+    const auto mix_u64 = [&](std::uint64_t v) {
+        unsigned char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] =
+                static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+        hash = fnv1a64(bytes, sizeof(bytes), hash);
+    };
+    const auto mix_double = [&](double d) {
+        mix_u64(std::bit_cast<std::uint64_t>(d));
+    };
+    const auto mix_string = [&](const std::string &s) {
+        mix_u64(s.size());
+        hash = fnv1a64(s.data(), s.size(), hash);
+    };
+
+    for (const SweepJob &job : jobs) {
+        const EvalConfig &cfg = job.config;
+        mix_string(job.label);
+        mix_string(cfg.cpu != nullptr ? cfg.cpu->name() : "");
+        mix_string(cfg.cpu != nullptr ? cfg.cpu->label() : "");
+        mix_u64(static_cast<std::uint64_t>(cfg.cores));
+        mix_double(cfg.offsetMv);
+        mix_u64(static_cast<std::uint64_t>(cfg.mode));
+        mix_u64(static_cast<std::uint64_t>(cfg.strategy));
+        mix_double(cfg.params.deadlineUs);
+        mix_double(cfg.params.timeSpanUs);
+        mix_u64(static_cast<std::uint64_t>(cfg.params.maxExceptionCount));
+        mix_double(cfg.params.deadlineFactor);
+        mix_u64(cfg.seed);
+        mix_string(job.profile != nullptr ? job.profile->name : "");
+    }
+    return {jobs.size(), hash};
 }
 
 std::uint64_t

@@ -26,11 +26,14 @@
 #ifndef SUIT_EXEC_SWEEP_HH
 #define SUIT_EXEC_SWEEP_HH
 
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/checkpoint.hh"
 #include "exec/thread_pool.hh"
 #include "sim/evaluation.hh"
 #include "sim/trace_cache.hh"
@@ -61,6 +64,82 @@ struct SweepOptions
     std::size_t queueCapacity = 0;
 };
 
+/**
+ * Fault-tolerance and checkpointing policy of one run() invocation.
+ *
+ * The default policy matches PR-1 semantics minus fail-fast: no
+ * journal, no retries, failures recorded instead of thrown.  Set
+ * `strict` to restore exception propagation.
+ */
+struct RunPolicy
+{
+    /** Journal file; empty = no checkpointing. */
+    std::string checkpointPath;
+    /**
+     * Load an existing journal first and only run the cells it does
+     * not cover.  Requires checkpointPath; refuses (JournalError) a
+     * journal whose grid fingerprint differs.  Previously *failed*
+     * cells are re-attempted.
+     */
+    bool resume = false;
+    /** Extra attempts for a throwing cell before giving up on it. */
+    int retries = 0;
+    /**
+     * Fail-fast: rethrow the lowest-index cell exception (after
+     * retries) instead of recording the cell as failed.
+     */
+    bool strict = false;
+    /**
+     * Cooperative interrupt: once *stop is true, cells that have not
+     * started are skipped (in-flight cells finish and are journaled).
+     * Used for SIGINT-safe shutdown in suit_sweep.
+     */
+    const std::atomic<bool> *stop = nullptr;
+    /**
+     * Called after each cell settles (completed or failed), with the
+     * cell index.  Runs on worker threads; must be thread-safe.
+     */
+    std::function<void(std::size_t)> onCellDone;
+};
+
+/** One grid cell that exhausted its retries. */
+struct CellFailure
+{
+    /** Cell index in the job list. */
+    std::size_t index = 0;
+    /** Cell label (empty for runCells()). */
+    std::string label;
+    /** what() of the final attempt's exception. */
+    std::string error;
+    /** Attempts made (1 + retries). */
+    int attempts = 0;
+};
+
+/** Outcome of a policy-driven run. */
+struct SweepOutcome
+{
+    /** Index-addressed results; failed/skipped slots are default. */
+    std::vector<suit::sim::DomainResult> results;
+    /** 1 where results[i] holds a completed cell. */
+    std::vector<std::uint8_t> done;
+    /** Cells given up on after retries, sorted by index. */
+    std::vector<CellFailure> failures;
+    /** Cells executed by this invocation. */
+    std::size_t executed = 0;
+    /** Cells restored from the journal (resume only). */
+    std::size_t restored = 0;
+    /** Cells skipped because the stop flag was raised. */
+    std::size_t skipped = 0;
+    /** True if the stop flag ended the run early. */
+    bool interrupted = false;
+
+    /** Every cell completed. */
+    bool complete() const
+    {
+        return failures.empty() && skipped == 0;
+    }
+};
+
 /** Executes SweepJob lists with deterministic result order. */
 class SweepEngine
 {
@@ -78,6 +157,30 @@ class SweepEngine
      */
     std::vector<suit::sim::DomainResult>
     run(const std::vector<SweepJob> &jobs);
+
+    /**
+     * Run every job under @p policy: optional checkpoint journal,
+     * resume, per-cell retries and graceful failure recording.
+     * Completed slots are bit-identical to a serial fail-fast run for
+     * any worker count and any number of prior interruptions.
+     *
+     * @throws JournalError on an unusable or mismatching journal;
+     *         rethrows cell exceptions only when policy.strict.
+     */
+    SweepOutcome run(const std::vector<SweepJob> &jobs,
+                     const RunPolicy &policy);
+
+    /**
+     * Policy-driven execution of @p n abstract cells (the core of
+     * run(jobs, policy), exposed for tests and non-SweepJob grids).
+     * @p fingerprint identifies the grid in the journal.
+     */
+    SweepOutcome
+    runCells(std::size_t n,
+             const std::function<suit::sim::DomainResult(std::size_t)>
+                 &cell,
+             const RunPolicy &policy,
+             const GridFingerprint &fingerprint);
 
     /** Effective worker count (1 when running serially). */
     int jobs() const;
@@ -107,6 +210,14 @@ class SweepEngine
     suit::sim::TraceCache traces_;
     std::unique_ptr<ThreadPool> pool_; //!< null in serial mode
 };
+
+/**
+ * Fingerprint of a job list: an order-sensitive hash over every
+ * cell's CPU, core count, strategy kind + parameters, offset, run
+ * mode, seed, workload and label.  Two grids resume-compatibly iff
+ * their fingerprints match.
+ */
+GridFingerprint fingerprintJobs(const std::vector<SweepJob> &jobs);
 
 /**
  * Derive the seed of grid cell @p index from @p root.

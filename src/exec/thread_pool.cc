@@ -13,6 +13,14 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/**
+ * The pool whose worker the current thread is (null on non-worker
+ * threads).  Lets parallelFor() detect the nested-use deadlock: a
+ * job that re-enters parallelFor() on its own pool both competes for
+ * the bounded queue and waits on jobs only this pool can run.
+ */
+thread_local const ThreadPool *tls_worker_pool = nullptr;
+
 std::uint64_t
 elapsedNs(Clock::time_point from, Clock::time_point to)
 {
@@ -49,6 +57,15 @@ ThreadPool::ThreadPool(int workers, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
+    if (joined_)
+        return;
+    joined_ = true;
     queue_.close();
     for (std::thread &t : threads_)
         t.join();
@@ -57,15 +74,19 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerMain(std::size_t index)
 {
+    tls_worker_pool = this;
     WorkerCell &cell = *cells_[index];
     for (;;) {
         const auto wait_start = Clock::now();
         std::optional<Task> task = queue_.pop();
+        if (!task)
+            return;
+        // Only waits that yielded a task count: the final blocked
+        // pop() that observes shutdown is idle time, not queue wait,
+        // and used to inflate the footer's "queue wait" column.
         const auto job_start = Clock::now();
         cell.queueWaitNs.fetch_add(elapsedNs(wait_start, job_start),
                                    std::memory_order_relaxed);
-        if (!task)
-            return;
         task->body();
         cell.busyNs.fetch_add(elapsedNs(job_start, Clock::now()),
                               std::memory_order_relaxed);
@@ -91,6 +112,15 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &body)
 {
+    // A worker of this pool calling back into parallelFor() would
+    // block on the bounded queue / completion latch while occupying
+    // the only threads that could make progress — a silent deadlock.
+    // Workers of *other* pools are fine.
+    SUIT_ASSERT(tls_worker_pool != this,
+                "nested parallelFor() from inside a worker of the "
+                "same pool would deadlock; run the inner loop inline "
+                "or on a separate pool");
+
     if (n == 0)
         return;
 

@@ -63,6 +63,15 @@ class ThreadPool
     /** Joins all workers; queued jobs are drained first. */
     ~ThreadPool();
 
+    /**
+     * Close the queue and join every worker (idempotent; the
+     * destructor calls it too).  After shutdown() the pool accepts
+     * no new work, but stats() still reads the final counters —
+     * which is what the footer rendering and the shutdown-accounting
+     * tests rely on.
+     */
+    void shutdown();
+
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
@@ -82,6 +91,11 @@ class ThreadPool
      * If any bodies throw, the exception of the lowest-index failing
      * job is rethrown after all jobs finished (deterministic
      * regardless of scheduling).
+     *
+     * Must not be called from a worker of this same pool: that
+     * deadlocks on the bounded queue, and is detected with a panic
+     * instead of a hang.  Calling it from a worker of a *different*
+     * pool is allowed.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
@@ -134,6 +148,7 @@ class ThreadPool
     BoundedQueue<Task> queue_;
     std::vector<std::unique_ptr<WorkerCell>> cells_;
     std::vector<std::thread> threads_;
+    bool joined_ = false; //!< shutdown() already ran
 };
 
 } // namespace suit::exec

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Binary serialization of simulation results.
+ *
+ * The exec checkpoint journal persists one DomainResult per completed
+ * sweep cell and must restore it *bit-identically*: a resumed sweep
+ * has to produce the same CSV bytes as an uninterrupted run.  Doubles
+ * are therefore stored as their raw IEEE-754 bit patterns (via
+ * std::bit_cast), never through text round-trips, and all integers
+ * are written little-endian with fixed widths so a journal is
+ * readable across builds.
+ *
+ * The format is length-checked on the way in: deserializeResult()
+ * returns false (instead of crashing or reading past the end) when
+ * the buffer is truncated or structurally malformed, which is what
+ * the journal loader relies on to recover from torn tail records.
+ */
+
+#ifndef SUIT_SIM_RESULT_IO_HH
+#define SUIT_SIM_RESULT_IO_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sim/domain_sim.hh"
+
+namespace suit::sim {
+
+/** Append the binary image of @p result to @p out. */
+void serializeResult(const DomainResult &result, std::string &out);
+
+/**
+ * Decode one DomainResult from @p data starting at @p offset.
+ *
+ * On success advances @p offset past the consumed bytes and returns
+ * true.  On truncated or malformed input returns false; @p offset
+ * and @p out are then unspecified.
+ */
+bool deserializeResult(const char *data, std::size_t size,
+                       std::size_t &offset, DomainResult &out);
+
+} // namespace suit::sim
+
+#endif // SUIT_SIM_RESULT_IO_HH

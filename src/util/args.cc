@@ -1,5 +1,7 @@
 #include "util/args.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,6 +9,36 @@
 #include "util/logging.hh"
 
 namespace suit::util {
+
+ParseStatus
+tryParseLong(const std::string &text, long &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return ParseStatus::BadFormat;
+    if (errno == ERANGE)
+        return ParseStatus::OutOfRange;
+    out = value;
+    return ParseStatus::Ok;
+}
+
+ParseStatus
+tryParseDouble(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return ParseStatus::BadFormat;
+    // ERANGE covers both overflow (to +/-HUGE_VAL) and subnormal
+    // underflow; only the former loses the user's magnitude.
+    if (errno == ERANGE && std::isinf(value))
+        return ParseStatus::OutOfRange;
+    out = value;
+    return ParseStatus::Ok;
+}
 
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description))
@@ -96,24 +128,36 @@ double
 ArgParser::getDouble(const std::string &name) const
 {
     const std::string &v = get(name);
-    char *end = nullptr;
-    const double d = std::strtod(v.c_str(), &end);
-    if (end == v.c_str() || *end != '\0')
+    double d = 0.0;
+    switch (tryParseDouble(v, d)) {
+      case ParseStatus::Ok:
+        return d;
+      case ParseStatus::OutOfRange:
+        fatal("option --%s value '%s' is out of range",
+              name.c_str(), v.c_str());
+      case ParseStatus::BadFormat:
+      default:
         fatal("option --%s expects a number, got '%s'", name.c_str(),
               v.c_str());
-    return d;
+    }
 }
 
 long
 ArgParser::getInt(const std::string &name) const
 {
     const std::string &v = get(name);
-    char *end = nullptr;
-    const long l = std::strtol(v.c_str(), &end, 10);
-    if (end == v.c_str() || *end != '\0')
+    long l = 0;
+    switch (tryParseLong(v, l)) {
+      case ParseStatus::Ok:
+        return l;
+      case ParseStatus::OutOfRange:
+        fatal("option --%s value '%s' is out of range",
+              name.c_str(), v.c_str());
+      case ParseStatus::BadFormat:
+      default:
         fatal("option --%s expects an integer, got '%s'",
               name.c_str(), v.c_str());
-    return l;
+    }
 }
 
 bool

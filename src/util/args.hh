@@ -16,6 +16,31 @@
 
 namespace suit::util {
 
+/** Outcome of the checked number parsers. */
+enum class ParseStatus
+{
+    Ok,
+    /** Not a number, or trailing junk ("x", "12x", ""). */
+    BadFormat,
+    /** Syntactically valid but outside the target type's range. */
+    OutOfRange,
+};
+
+/**
+ * Parse @p text as a base-10 long.  Unlike raw strtol this rejects
+ * trailing junk and reports overflow (errno == ERANGE) instead of
+ * silently saturating at LONG_MIN/LONG_MAX.  @p out is only written
+ * on ParseStatus::Ok.
+ */
+ParseStatus tryParseLong(const std::string &text, long &out);
+
+/**
+ * Parse @p text as a double; rejects trailing junk and reports
+ * overflow to +/-inf.  Subnormal underflow is accepted.  @p out is
+ * only written on ParseStatus::Ok.
+ */
+ParseStatus tryParseDouble(const std::string &text, double &out);
+
 /** Declarative option parser. */
 class ArgParser
 {

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Checkpoint/resume tests: journal round trip, torn-tail and corrupt
+ * record recovery, fingerprint mismatch refusal, kill-and-resume
+ * determinism on a real grid, retry and failed-cell accounting, and
+ * cooperative stop semantics.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/params.hh"
+#include "exec/checkpoint.hh"
+#include "exec/sweep.hh"
+#include "power/cpu_model.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit;
+using exec::CellRecord;
+using exec::CheckpointJournal;
+using exec::GridFingerprint;
+using exec::JournalContents;
+using exec::JournalError;
+using exec::RunPolicy;
+using exec::SweepEngine;
+using exec::SweepJob;
+using exec::SweepOutcome;
+using sim::DomainResult;
+
+/** Unique scratch path that is removed again on destruction. */
+class ScratchFile
+{
+  public:
+    explicit ScratchFile(const std::string &name)
+        : path_(::testing::TempDir() + "suit_ckpt_" + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~ScratchFile()
+    {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A recognisable synthetic result. */
+DomainResult
+makeResult(double tag)
+{
+    DomainResult r;
+    sim::CoreResult core;
+    core.workload = "synthetic";
+    core.durationS = tag;
+    core.baselineDurationS = 2.0 * tag;
+    r.cores.push_back(core);
+    r.powerFactor = 0.5 + tag;
+    r.efficientShare = 0.25;
+    r.traps = static_cast<std::uint64_t>(tag * 100.0);
+    return r;
+}
+
+/** Bitwise equality of every field of two domain results. */
+void
+expectIdentical(const DomainResult &a, const DomainResult &b)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_EQ(a.cores[i].workload, b.cores[i].workload);
+        EXPECT_EQ(a.cores[i].durationS, b.cores[i].durationS);
+        EXPECT_EQ(a.cores[i].baselineDurationS,
+                  b.cores[i].baselineDurationS);
+    }
+    EXPECT_EQ(a.powerFactor, b.powerFactor);
+    EXPECT_EQ(a.efficientShare, b.efficientShare);
+    EXPECT_EQ(a.cfShare, b.cfShare);
+    EXPECT_EQ(a.cvShare, b.cvShare);
+    EXPECT_EQ(a.traps, b.traps);
+    EXPECT_EQ(a.emulations, b.emulations);
+    EXPECT_EQ(a.pstateSwitches, b.pstateSwitches);
+    EXPECT_EQ(a.thrashDetections, b.thrashDetections);
+}
+
+/** Reduced 2-strategy x 2-workload grid on CPU C. */
+std::vector<SweepJob>
+smallGrid(const power::CpuModel &cpu)
+{
+    static const auto &omnetpp = trace::profileByName("520.omnetpp");
+    static const auto &nginx = trace::profileByName("Nginx");
+
+    std::vector<SweepJob> jobs;
+    for (const core::StrategyKind strategy :
+         {core::StrategyKind::CombinedFv,
+          core::StrategyKind::Emulation}) {
+        for (const auto *profile : {&omnetpp, &nginx}) {
+            sim::EvalConfig cfg;
+            cfg.cpu = &cpu;
+            cfg.strategy = strategy;
+            cfg.params = core::optimalParams(cpu);
+            jobs.push_back({profile->name, cfg, profile});
+        }
+    }
+    return jobs;
+}
+
+TEST(CheckpointJournal, RoundTripsRecordsAndFingerprint)
+{
+    ScratchFile file("roundtrip.bin");
+    const GridFingerprint fp{4, 0xDEADBEEFCAFEF00DULL};
+
+    CheckpointJournal journal;
+    journal.start(file.path(), fp);
+    journal.append({0, false, "", makeResult(0.125)});
+    journal.append({2, false, "", makeResult(0.5)});
+    journal.append({3, true, "cell exploded", {}});
+
+    const JournalContents loaded =
+        CheckpointJournal::load(file.path());
+    EXPECT_EQ(loaded.fingerprint, fp);
+    EXPECT_EQ(loaded.droppedBytes, 0u);
+    ASSERT_EQ(loaded.records.size(), 3u);
+    EXPECT_EQ(loaded.records[0].index, 0u);
+    EXPECT_FALSE(loaded.records[0].failed);
+    expectIdentical(loaded.records[0].result, makeResult(0.125));
+    expectIdentical(loaded.records[1].result, makeResult(0.5));
+    EXPECT_TRUE(loaded.records[2].failed);
+    EXPECT_EQ(loaded.records[2].index, 3u);
+    EXPECT_EQ(loaded.records[2].error, "cell exploded");
+}
+
+TEST(CheckpointJournal, TruncatedTailKeepsEarlierRecords)
+{
+    ScratchFile file("truncated.bin");
+    CheckpointJournal journal;
+    journal.start(file.path(), {3, 7});
+    journal.append({0, false, "", makeResult(1.0)});
+    journal.append({1, false, "", makeResult(2.0)});
+    journal.append({2, false, "", makeResult(3.0)});
+
+    // Simulate a torn final record (e.g. a journal copied mid-write
+    // by an external tool).
+    std::string bytes = readFile(file.path());
+    writeFile(file.path(), bytes.substr(0, bytes.size() - 5));
+
+    const JournalContents loaded =
+        CheckpointJournal::load(file.path());
+    ASSERT_EQ(loaded.records.size(), 2u);
+    EXPECT_GT(loaded.droppedBytes, 0u);
+    expectIdentical(loaded.records[1].result, makeResult(2.0));
+}
+
+TEST(CheckpointJournal, CorruptRecordStopsRecoveryAtItsOffset)
+{
+    ScratchFile file("corrupt.bin");
+    CheckpointJournal journal;
+    journal.start(file.path(), {2, 7});
+    journal.append({0, false, "", makeResult(1.0)});
+    const std::size_t first_end = readFile(file.path()).size();
+    journal.append({1, false, "", makeResult(2.0)});
+
+    // Flip one payload byte of the second record: its checksum no
+    // longer matches, so recovery keeps only the first record.
+    std::string bytes = readFile(file.path());
+    bytes[first_end + 12] =
+        static_cast<char>(bytes[first_end + 12] ^ 0x5A);
+    writeFile(file.path(), bytes);
+
+    const JournalContents loaded =
+        CheckpointJournal::load(file.path());
+    ASSERT_EQ(loaded.records.size(), 1u);
+    EXPECT_GT(loaded.droppedBytes, 0u);
+}
+
+TEST(CheckpointJournal, RejectsForeignAndMissingFiles)
+{
+    ScratchFile file("foreign.bin");
+    EXPECT_THROW(CheckpointJournal::load(file.path()), JournalError);
+    writeFile(file.path(), "definitely not a journal, too short");
+    EXPECT_THROW(CheckpointJournal::load(file.path()), JournalError);
+}
+
+TEST(SweepEngine, KillAndResumeBitIdenticalToSerialRun)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const std::vector<SweepJob> jobs = smallGrid(cpu);
+    ScratchFile file("resume.bin");
+
+    // Uninterrupted serial reference.
+    SweepEngine reference({1, 0});
+    const std::vector<DomainResult> expected = reference.run(jobs);
+
+    // First run: interrupted after two completed cells (the
+    // cooperative-stop path SIGINT uses in suit_sweep).
+    std::atomic<bool> stop{false};
+    std::atomic<int> completed{0};
+    RunPolicy first;
+    first.checkpointPath = file.path();
+    first.onCellDone = [&](std::size_t) {
+        if (completed.fetch_add(1) + 1 >= 2)
+            stop.store(true);
+    };
+    first.stop = &stop;
+    SweepEngine interrupted_engine({1, 0});
+    const SweepOutcome partial =
+        interrupted_engine.run(jobs, first);
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_EQ(partial.executed, 2u);
+    EXPECT_EQ(partial.skipped, 2u);
+
+    // Resume on a fresh engine with a different worker count: only
+    // the missing cells run, and every slot matches the serial
+    // reference bit for bit.
+    RunPolicy second;
+    second.checkpointPath = file.path();
+    second.resume = true;
+    SweepEngine resumed_engine({4, 0});
+    const SweepOutcome full = resumed_engine.run(jobs, second);
+    EXPECT_TRUE(full.complete());
+    EXPECT_EQ(full.restored, 2u);
+    EXPECT_EQ(full.executed, 2u);
+    ASSERT_EQ(full.results.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(full.done[i]);
+        expectIdentical(full.results[i], expected[i]);
+    }
+
+    // A second resume restores everything and runs nothing.
+    SweepEngine idle_engine({2, 0});
+    const SweepOutcome idle = idle_engine.run(jobs, second);
+    EXPECT_EQ(idle.restored, expected.size());
+    EXPECT_EQ(idle.executed, 0u);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        expectIdentical(idle.results[i], expected[i]);
+}
+
+TEST(SweepEngine, ResumeRefusesMismatchedFingerprint)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    std::vector<SweepJob> jobs = smallGrid(cpu);
+    ScratchFile file("mismatch.bin");
+
+    RunPolicy checkpointed;
+    checkpointed.checkpointPath = file.path();
+    SweepEngine engine({1, 0});
+    engine.run(jobs, checkpointed);
+
+    // Same cell count, different offset axis: a different grid.
+    std::vector<SweepJob> other = jobs;
+    for (SweepJob &job : other)
+        job.config.offsetMv = -70.0;
+    RunPolicy resume;
+    resume.checkpointPath = file.path();
+    resume.resume = true;
+    SweepEngine resumed({1, 0});
+    EXPECT_THROW(resumed.run(other, resume), JournalError);
+
+    // The unmodified grid still resumes.
+    const SweepOutcome ok = resumed.run(jobs, resume);
+    EXPECT_EQ(ok.restored, jobs.size());
+}
+
+TEST(SweepEngine, ResumeWithoutPathIsAnError)
+{
+    SweepEngine engine({1, 0});
+    RunPolicy policy;
+    policy.resume = true;
+    EXPECT_THROW(engine.runCells(
+                     1, [](std::size_t) { return DomainResult{}; },
+                     policy, {1, 1}),
+                 JournalError);
+}
+
+TEST(SweepEngine, RetriesEventuallySucceed)
+{
+    SweepEngine engine({1, 0});
+    std::atomic<int> attempts{0};
+    RunPolicy policy;
+    policy.retries = 2;
+    const SweepOutcome out = engine.runCells(
+        3,
+        [&](std::size_t i) {
+            if (i == 1 && attempts.fetch_add(1) < 2)
+                throw std::runtime_error("flaky");
+            return makeResult(static_cast<double>(i));
+        },
+        policy, {3, 1});
+    EXPECT_TRUE(out.complete());
+    EXPECT_EQ(out.executed, 3u);
+    EXPECT_EQ(attempts.load(), 3); // two failures + one success
+    expectIdentical(out.results[1], makeResult(1.0));
+}
+
+TEST(SweepEngine, FailedCellIsRecordedNotFatal)
+{
+    ScratchFile file("failed.bin");
+    SweepEngine engine({1, 0});
+    RunPolicy policy;
+    policy.retries = 1;
+    policy.checkpointPath = file.path();
+    const SweepOutcome out = engine.runCells(
+        3,
+        [&](std::size_t i) -> DomainResult {
+            if (i == 1)
+                throw std::runtime_error("cell 1 is cursed");
+            return makeResult(static_cast<double>(i));
+        },
+        policy, {3, 1});
+
+    EXPECT_EQ(out.executed, 2u);
+    ASSERT_EQ(out.failures.size(), 1u);
+    EXPECT_EQ(out.failures[0].index, 1u);
+    EXPECT_EQ(out.failures[0].attempts, 2);
+    EXPECT_EQ(out.failures[0].error, "cell 1 is cursed");
+    EXPECT_FALSE(out.done[1]);
+    EXPECT_TRUE(out.done[0]);
+    EXPECT_TRUE(out.done[2]);
+
+    // The journal records the failure...
+    const JournalContents loaded =
+        CheckpointJournal::load(file.path());
+    ASSERT_EQ(loaded.records.size(), 3u);
+
+    // ...and a resume re-attempts exactly the failed cell.
+    RunPolicy resume;
+    resume.checkpointPath = file.path();
+    resume.resume = true;
+    const SweepOutcome healed = engine.runCells(
+        3,
+        [&](std::size_t i) { return makeResult(10.0 + i); },
+        resume, {3, 1});
+    EXPECT_TRUE(healed.complete());
+    EXPECT_EQ(healed.restored, 2u);
+    EXPECT_EQ(healed.executed, 1u);
+    expectIdentical(healed.results[0], makeResult(0.0));
+    expectIdentical(healed.results[1], makeResult(11.0));
+}
+
+TEST(SweepEngine, StrictModeRethrowsLowestIndex)
+{
+    SweepEngine engine({4, 0});
+    RunPolicy policy;
+    policy.strict = true;
+    try {
+        engine.runCells(
+            16,
+            [](std::size_t i) -> DomainResult {
+                if (i % 5 == 3)
+                    throw std::runtime_error(
+                        "index " + std::to_string(i));
+                return makeResult(static_cast<double>(i));
+            },
+            policy, {16, 1});
+        FAIL() << "strict run swallowed the cell exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "index 3");
+    }
+}
+
+TEST(SweepEngine, PresetStopFlagSkipsEverything)
+{
+    ScratchFile file("stopped.bin");
+    std::atomic<bool> stop{true};
+    RunPolicy policy;
+    policy.checkpointPath = file.path();
+    policy.stop = &stop;
+    SweepEngine engine({2, 0});
+    const SweepOutcome out = engine.runCells(
+        8, [](std::size_t i) { return makeResult(double(i)); },
+        policy, {8, 1});
+    EXPECT_TRUE(out.interrupted);
+    EXPECT_EQ(out.executed, 0u);
+    EXPECT_EQ(out.skipped, 8u);
+    EXPECT_TRUE(
+        CheckpointJournal::load(file.path()).records.empty());
+}
+
+TEST(FingerprintJobs, SensitiveToEveryAxis)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const std::vector<SweepJob> base = smallGrid(cpu);
+    const GridFingerprint fp = exec::fingerprintJobs(base);
+    EXPECT_EQ(fp.cells, base.size());
+    EXPECT_EQ(exec::fingerprintJobs(base), fp); // pure
+
+    std::vector<SweepJob> changed = base;
+    changed[0].config.seed = 99;
+    EXPECT_NE(exec::fingerprintJobs(changed).hash, fp.hash);
+    changed = base;
+    changed[0].config.offsetMv = -70.0;
+    EXPECT_NE(exec::fingerprintJobs(changed).hash, fp.hash);
+    changed = base;
+    changed[0].config.cores = 4;
+    EXPECT_NE(exec::fingerprintJobs(changed).hash, fp.hash);
+    changed = base;
+    changed.pop_back();
+    EXPECT_NE(exec::fingerprintJobs(changed), fp);
+}
+
+} // namespace

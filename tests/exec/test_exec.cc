@@ -189,6 +189,69 @@ TEST(ThreadPool, MapReduceReducesInIndexOrder)
     EXPECT_EQ(joined, "0123456789");
 }
 
+TEST(ThreadPool, ShutdownIsIdempotentAndKeepsStatsReadable)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(8, [](std::size_t) {});
+    pool.shutdown();
+    pool.shutdown(); // second call is a no-op
+
+    std::uint64_t total = 0;
+    for (const WorkerStats &s : pool.stats())
+        total += s.jobsRun;
+    EXPECT_EQ(total, 8u);
+}
+
+TEST(ThreadPool, ShutdownWaitDoesNotCountAsQueueWait)
+{
+    // Regression: the final pop() that returns nullopt at shutdown
+    // used to add its entire blocked time to queueWaitNs, inflating
+    // the "queue wait" footer column by however long the pool sat
+    // idle before destruction.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; }).get();
+
+    // Let the workers idle well past any legitimate queue wait.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    pool.shutdown();
+
+    for (const WorkerStats &s : pool.stats())
+        EXPECT_LT(s.queueWaitS, 0.15)
+            << "shutdown idle time leaked into queue wait";
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolDeathTest, NestedParallelForPanicsInsteadOfHanging)
+{
+    // Regression: a job calling parallelFor() on its own pool used
+    // to deadlock on the bounded queue.  It must abort with a clear
+    // message instead.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ThreadPool pool(2);
+            pool.submit([&] {
+                    pool.parallelFor(4, [](std::size_t) {});
+                })
+                .get();
+        },
+        "nested parallelFor");
+}
+
+TEST(ThreadPool, NestedParallelForAcrossDifferentPoolsIsAllowed)
+{
+    // Only same-pool re-entry deadlocks; an inner loop on a separate
+    // pool has its own workers and must keep working.
+    ThreadPool outer(2);
+    ThreadPool inner(2);
+    std::atomic<int> ran{0};
+    outer.parallelFor(4, [&](std::size_t) {
+        inner.parallelFor(4, [&](std::size_t) { ++ran; });
+    });
+    EXPECT_EQ(ran, 16);
+}
+
 TEST(ThreadPool, WorkerStatsAccountForAllJobs)
 {
     ThreadPool pool(3);

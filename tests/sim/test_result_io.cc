@@ -1,0 +1,142 @@
+/**
+ * @file
+ * DomainResult binary serialization tests: bit-exact round trips
+ * (including awkward doubles), stateLog preservation, and rejection
+ * of truncated or malformed buffers instead of over-reads.
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/result_io.hh"
+
+namespace {
+
+using suit::sim::CoreResult;
+using suit::sim::DomainResult;
+using suit::sim::deserializeResult;
+using suit::sim::PStateChange;
+using suit::sim::serializeResult;
+
+DomainResult
+sample()
+{
+    DomainResult r;
+    CoreResult a;
+    a.workload = "557.xz";
+    a.durationS = 1.25e-3;
+    a.baselineDurationS = 0.1 + 0.2; // not exactly 0.3
+    CoreResult b;
+    b.workload = "Nginx";
+    b.durationS = -0.0; // sign of zero must survive
+    b.baselineDurationS = std::numeric_limits<double>::denorm_min();
+    r.cores = {a, b};
+    r.stateLog.push_back(
+        {123456789ULL, suit::power::SuitPState::Efficient, false});
+    r.stateLog.push_back(
+        {987654321ULL, suit::power::SuitPState::ConservativeVolt,
+         true});
+    r.powerFactor = 0.918273645546372819;
+    r.efficientShare = 2.0 / 3.0;
+    r.cfShare = 0.25;
+    r.cvShare = 1.0 / 12.0;
+    r.traps = 0xFFFFFFFFFFFFFFFFULL;
+    r.emulations = 42;
+    r.pstateSwitches = 7;
+    r.thrashDetections = 1;
+    return r;
+}
+
+void
+expectBitIdentical(const DomainResult &x, const DomainResult &y)
+{
+    ASSERT_EQ(x.cores.size(), y.cores.size());
+    for (std::size_t i = 0; i < x.cores.size(); ++i) {
+        EXPECT_EQ(x.cores[i].workload, y.cores[i].workload);
+        EXPECT_EQ(std::signbit(x.cores[i].durationS),
+                  std::signbit(y.cores[i].durationS));
+        EXPECT_EQ(x.cores[i].durationS, y.cores[i].durationS);
+        EXPECT_EQ(x.cores[i].baselineDurationS,
+                  y.cores[i].baselineDurationS);
+    }
+    ASSERT_EQ(x.stateLog.size(), y.stateLog.size());
+    for (std::size_t i = 0; i < x.stateLog.size(); ++i) {
+        EXPECT_EQ(x.stateLog[i].when, y.stateLog[i].when);
+        EXPECT_EQ(x.stateLog[i].to, y.stateLog[i].to);
+        EXPECT_EQ(x.stateLog[i].trap, y.stateLog[i].trap);
+    }
+    EXPECT_EQ(x.powerFactor, y.powerFactor);
+    EXPECT_EQ(x.efficientShare, y.efficientShare);
+    EXPECT_EQ(x.cfShare, y.cfShare);
+    EXPECT_EQ(x.cvShare, y.cvShare);
+    EXPECT_EQ(x.traps, y.traps);
+    EXPECT_EQ(x.emulations, y.emulations);
+    EXPECT_EQ(x.pstateSwitches, y.pstateSwitches);
+    EXPECT_EQ(x.thrashDetections, y.thrashDetections);
+}
+
+TEST(ResultIo, RoundTripIsBitIdentical)
+{
+    const DomainResult original = sample();
+    std::string bytes;
+    serializeResult(original, bytes);
+
+    DomainResult decoded;
+    std::size_t offset = 0;
+    ASSERT_TRUE(deserializeResult(bytes.data(), bytes.size(), offset,
+                                  decoded));
+    EXPECT_EQ(offset, bytes.size());
+    expectBitIdentical(original, decoded);
+}
+
+TEST(ResultIo, ConsecutiveResultsShareOneBuffer)
+{
+    const DomainResult first = sample();
+    DomainResult second;
+    second.powerFactor = 1.5;
+
+    std::string bytes;
+    serializeResult(first, bytes);
+    serializeResult(second, bytes);
+
+    std::size_t offset = 0;
+    DomainResult a, b;
+    ASSERT_TRUE(
+        deserializeResult(bytes.data(), bytes.size(), offset, a));
+    ASSERT_TRUE(
+        deserializeResult(bytes.data(), bytes.size(), offset, b));
+    EXPECT_EQ(offset, bytes.size());
+    expectBitIdentical(first, a);
+    expectBitIdentical(second, b);
+}
+
+TEST(ResultIo, EveryTruncationIsRejected)
+{
+    std::string bytes;
+    serializeResult(sample(), bytes);
+    // No prefix of the encoding may decode: each truncation must
+    // return false instead of fabricating data or reading past the
+    // end.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        DomainResult out;
+        std::size_t offset = 0;
+        EXPECT_FALSE(
+            deserializeResult(bytes.data(), len, offset, out))
+            << "truncation to " << len << " bytes decoded";
+    }
+}
+
+TEST(ResultIo, AbsurdElementCountIsRejected)
+{
+    // A corrupt 2^60 core count must fail cleanly, not reserve().
+    std::string bytes(8, '\xFF');
+    DomainResult out;
+    std::size_t offset = 0;
+    EXPECT_FALSE(
+        deserializeResult(bytes.data(), bytes.size(), offset, out));
+}
+
+} // namespace

@@ -111,4 +111,63 @@ TEST(ArgsDeathTest, NonNumericValueIsFatal)
                 ::testing::ExitedWithCode(1), "expects a number");
 }
 
+TEST(ArgsDeathTest, IntegerOverflowIsFatalNotSaturated)
+{
+    // Regression: strtol used to saturate silently at LONG_MAX.
+    ArgParser p = makeParser();
+    Argv a({"--cores", "99999999999999999999999999"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EXIT(p.getInt("cores"), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ArgsDeathTest, DoubleOverflowIsFatalNotInfinity)
+{
+    // Regression: strtod used to return +inf silently on overflow.
+    ArgParser p = makeParser();
+    Argv a({"--offset", "-1e99999"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EXIT(p.getDouble("offset"), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ArgsDeathTest, TrailingJunkIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"--cores", "12x"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EXIT(p.getInt("cores"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(Args, CheckedParsersReportStatus)
+{
+    using suit::util::ParseStatus;
+    using suit::util::tryParseDouble;
+    using suit::util::tryParseLong;
+
+    long l = 0;
+    EXPECT_EQ(tryParseLong("42", l), ParseStatus::Ok);
+    EXPECT_EQ(l, 42);
+    EXPECT_EQ(tryParseLong("-7", l), ParseStatus::Ok);
+    EXPECT_EQ(l, -7);
+    EXPECT_EQ(tryParseLong("", l), ParseStatus::BadFormat);
+    EXPECT_EQ(tryParseLong("x", l), ParseStatus::BadFormat);
+    EXPECT_EQ(tryParseLong("12x", l), ParseStatus::BadFormat);
+    EXPECT_EQ(tryParseLong("9999999999999999999999", l),
+              ParseStatus::OutOfRange);
+    // Failed parses must not clobber the previous value.
+    EXPECT_EQ(l, -7);
+
+    double d = 0.0;
+    EXPECT_EQ(tryParseDouble("-97.5", d), ParseStatus::Ok);
+    EXPECT_DOUBLE_EQ(d, -97.5);
+    EXPECT_EQ(tryParseDouble("1e10", d), ParseStatus::Ok);
+    EXPECT_EQ(tryParseDouble("deep", d), ParseStatus::BadFormat);
+    EXPECT_EQ(tryParseDouble("1.5mv", d), ParseStatus::BadFormat);
+    EXPECT_EQ(tryParseDouble("1e99999", d), ParseStatus::OutOfRange);
+    // Subnormal underflow is accepted, not an error.
+    EXPECT_EQ(tryParseDouble("1e-320", d), ParseStatus::Ok);
+}
+
 } // namespace

@@ -98,11 +98,26 @@ workloadsByName(const std::string &value)
 int
 runSuiteMode(const sim::EvalConfig &cfg,
              const std::vector<trace::WorkloadProfile> &profiles,
-             int jobs, bool verbose)
+             int jobs, const exec::RunPolicy &policy, bool verbose)
 {
+    std::vector<exec::SweepJob> sweep_jobs;
+    sweep_jobs.reserve(profiles.size());
+    for (const trace::WorkloadProfile &p : profiles)
+        sweep_jobs.push_back({p.name, cfg, &p});
+
     exec::SweepEngine engine({jobs, 0});
-    const std::vector<sim::WorkloadRow> rows =
-        sim::runSuiteParallel(cfg, profiles, engine);
+    exec::SweepOutcome outcome;
+    try {
+        outcome = engine.run(sweep_jobs, policy);
+    } catch (const exec::JournalError &e) {
+        util::fatal("%s", e.what());
+    }
+
+    std::vector<sim::WorkloadRow> rows;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        if (outcome.done[i])
+            rows.push_back({profiles[i].name, outcome.results[i]});
+    }
 
     util::TablePrinter t({"Workload", "Perf", "Power", "Eff", "onE"});
     for (const sim::WorkloadRow &r : rows)
@@ -116,17 +131,31 @@ runSuiteMode(const sim::EvalConfig &cfg,
                                 100 * r.result.efficientShare)});
     t.print();
 
-    const sim::SuiteSummary sum = sim::SuiteSummary::of(rows);
-    std::printf("\nSuite gmean: perf %+.2f%%, power %+.2f%%, eff "
-                "%+.2f%% (median eff %+.2f%%)\n",
-                100 * sum.gmeanPerf, 100 * sum.gmeanPower,
-                100 * sum.gmeanEff, 100 * sum.medianEff);
-    if (verbose) {
-        std::printf("\nSweep execution (%d worker%s, %zu jobs):\n%s",
-                    engine.jobs(), engine.jobs() == 1 ? "" : "s",
-                    profiles.size(), engine.workerFooter().c_str());
+    // A suite geomean over a subset would be silently wrong — only
+    // print it once every workload completed.
+    if (rows.size() == profiles.size()) {
+        const sim::SuiteSummary sum = sim::SuiteSummary::of(rows);
+        std::printf("\nSuite gmean: perf %+.2f%%, power %+.2f%%, eff "
+                    "%+.2f%% (median eff %+.2f%%)\n",
+                    100 * sum.gmeanPerf, 100 * sum.gmeanPower,
+                    100 * sum.gmeanEff, 100 * sum.medianEff);
+    } else {
+        std::printf("\nSuite summary withheld: %zu of %zu workloads "
+                    "completed\n",
+                    rows.size(), profiles.size());
     }
-    return 0;
+    for (const exec::CellFailure &f : outcome.failures)
+        std::fprintf(stderr, "failed workload %s: %s (%d attempt%s)\n",
+                     f.label.c_str(), f.error.c_str(), f.attempts,
+                     f.attempts == 1 ? "" : "s");
+    if (verbose) {
+        std::printf("\nSweep execution (%d worker%s, %zu jobs, %zu "
+                    "run, %zu restored):\n%s",
+                    engine.jobs(), engine.jobs() == 1 ? "" : "s",
+                    profiles.size(), outcome.executed,
+                    outcome.restored, engine.workerFooter().c_str());
+    }
+    return outcome.failures.empty() ? 0 : 2;
 }
 
 } // namespace
@@ -151,6 +180,18 @@ main(int argc, char **argv)
     args.addOption("jobs", "0",
                    "parallel workers for multi-workload runs (0 = "
                    "hardware threads, 1 = serial reference)");
+    args.addOption("checkpoint", "",
+                   "journal completed suite workloads to this file "
+                   "(multi-workload runs only)");
+    args.addFlag("resume",
+                 "load the --checkpoint journal and run only the "
+                 "missing workloads");
+    args.addOption("retries", "0",
+                   "re-attempts for a failing workload before "
+                   "recording it as failed");
+    args.addFlag("strict",
+                 "fail fast: abort the suite on the first workload "
+                 "failure");
     args.addFlag("nosimd", "model a binary compiled without SIMD");
     args.addFlag("verbose", "also print switch/trap counters");
     if (!args.parse(argc, argv))
@@ -183,14 +224,28 @@ main(int argc, char **argv)
             else
                 util::fatal("--strategy auto needs a single "
                             "workload");
+            exec::RunPolicy policy;
+            policy.checkpointPath = args.get("checkpoint");
+            policy.resume = args.getFlag("resume");
+            const long retries = args.getInt("retries");
+            if (retries < 0)
+                util::fatal("--retries must be >= 0, got %ld",
+                            retries);
+            policy.retries = static_cast<int>(retries);
+            policy.strict = args.getFlag("strict");
+            if (policy.resume && policy.checkpointPath.empty())
+                util::fatal("--resume needs --checkpoint <path>");
             std::printf("suite '%s' on %s, strategy %s, %.0f mV:\n",
                         wl.c_str(), cpu.name().c_str(),
                         core::toString(cfg.strategy), cfg.offsetMv);
             return runSuiteMode(cfg, workloadsByName(wl),
                                 static_cast<int>(args.getInt("jobs")),
-                                args.getFlag("verbose"));
+                                policy, args.getFlag("verbose"));
         }
     }
+    if (!args.get("checkpoint").empty() || args.getFlag("resume"))
+        util::fatal("--checkpoint/--resume apply to multi-workload "
+                    "suite runs only");
 
     sim::DomainResult result;
     std::string workload_name;

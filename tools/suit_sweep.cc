@@ -9,19 +9,36 @@
  * re-running the same grid with the same --seed is bit-identical for
  * any --jobs value.
  *
+ * Long campaigns are crash-safe: with --checkpoint every finished
+ * cell is journaled to disk (atomic write-temp-then-rename, so a
+ * kill at any instant leaves a valid journal), and --resume re-runs
+ * only the cells the journal does not cover — the final CSV is
+ * byte-identical to an uninterrupted run.  Ctrl-C requests a
+ * graceful stop: in-flight cells finish and are journaled, the rest
+ * are skipped, and the exit code is 130 (a second Ctrl-C kills
+ * immediately; the journal stays valid).  A throwing cell is retried
+ * --retries times and then recorded as failed instead of aborting
+ * the sweep, unless --strict restores fail-fast.
+ *
  * Examples:
  *   suit_sweep                               # CPU C, fV, SPEC suite
  *   suit_sweep --cpu A,B,C --strategy e,fV --offset -70,-97 \
  *              --workload spec --jobs 8 --out sweep.csv
  *   suit_sweep --cpu A --cores 1,2,4 --workload Nginx,VLC --reps 5
+ *   suit_sweep --workload all --checkpoint sweep.ckpt --out s.csv
+ *   suit_sweep --workload all --checkpoint sweep.ckpt --resume \
+ *              --out s.csv                   # after an interruption
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/params.hh"
 #include "core/strategy.hh"
+#include "exec/checkpoint.hh"
 #include "exec/sweep.hh"
 #include "power/cpu_model.hh"
 #include "sim/evaluation.hh"
@@ -35,6 +52,18 @@ namespace {
 using namespace suit;
 using exec::SweepEngine;
 using exec::SweepJob;
+
+/** Raised by the first SIGINT; the sweep then stops gracefully. */
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void
+onSigint(int)
+{
+    g_interrupted.store(true);
+    // A second Ctrl-C terminates immediately.  The journal survives
+    // that too: appends are atomic rename()s.
+    std::signal(SIGINT, SIG_DFL);
+}
 
 /** Split a comma-separated option value into its items. */
 std::vector<std::string>
@@ -55,6 +84,34 @@ splitList(const std::string &value)
         start = comma + 1;
     }
     return out;
+}
+
+/** Checked parse of one --cores list item (must be >= 1). */
+int
+coreCountByName(const std::string &value)
+{
+    long cores = 0;
+    if (util::tryParseLong(value, cores) != util::ParseStatus::Ok)
+        util::fatal("--cores expects positive integers, got '%s'",
+                    value.c_str());
+    if (cores < 1)
+        util::fatal("--cores values must be >= 1, got %ld", cores);
+    if (cores > 1024)
+        util::fatal("--cores value %ld is not a plausible core "
+                    "count",
+                    cores);
+    return static_cast<int>(cores);
+}
+
+/** Checked parse of one --offset list item (mV). */
+double
+offsetByName(const std::string &value)
+{
+    double offset = 0.0;
+    if (util::tryParseDouble(value, offset) != util::ParseStatus::Ok)
+        util::fatal("--offset expects numbers in mV, got '%s'",
+                    value.c_str());
+    return offset;
 }
 
 power::CpuModel
@@ -139,6 +196,21 @@ main(int argc, char **argv)
     args.addOption("jobs", "0",
                    "parallel sweep workers (0 = hardware threads, "
                    "1 = serial reference)");
+    args.addOption("checkpoint", "",
+                   "journal completed cells to this file "
+                   "(crash-safe)");
+    args.addFlag("resume",
+                 "load the --checkpoint journal and run only the "
+                 "missing cells");
+    args.addOption("retries", "0",
+                   "re-attempts for a failing cell before recording "
+                   "it as failed");
+    args.addFlag("strict",
+                 "fail fast: abort the sweep on the first cell "
+                 "failure");
+    args.addOption("stop-after", "0",
+                   "stop gracefully after N completed cells (testing "
+                   "aid; 0 = run to completion)");
     args.addFlag("nosimd", "model binaries compiled without SIMD");
     if (!args.parse(argc, argv))
         return 0;
@@ -150,12 +222,14 @@ main(int argc, char **argv)
         cpus.push_back(cpuByName(name));
     const std::vector<trace::WorkloadProfile> profiles =
         workloadsByName(args.get("workload"));
-    const std::vector<std::string> core_list =
-        splitList(args.get("cores"));
+    std::vector<int> core_list;
+    for (const std::string &value : splitList(args.get("cores")))
+        core_list.push_back(coreCountByName(value));
     const std::vector<std::string> strategy_list =
         splitList(args.get("strategy"));
-    const std::vector<std::string> offset_list =
-        splitList(args.get("offset"));
+    std::vector<double> offset_list;
+    for (const std::string &value : splitList(args.get("offset")))
+        offset_list.push_back(offsetByName(value));
     const long reps = args.getInt("reps");
     const std::uint64_t root =
         static_cast<std::uint64_t>(args.getInt("seed"));
@@ -163,18 +237,25 @@ main(int argc, char **argv)
         strategy_list.empty() || offset_list.empty() || reps < 1)
         util::fatal("every grid axis needs at least one value");
 
+    const long retries = args.getInt("retries");
+    if (retries < 0)
+        util::fatal("--retries must be >= 0, got %ld", retries);
+    const long stop_after = args.getInt("stop-after");
+    if (stop_after < 0)
+        util::fatal("--stop-after must be >= 0, got %ld", stop_after);
+    if (args.getFlag("resume") && args.get("checkpoint").empty())
+        util::fatal("--resume needs --checkpoint <path>");
+
     // Enumerate the grid in deterministic nested order.
     std::vector<SweepJob> jobs;
     std::vector<CellMeta> meta;
     std::uint64_t cell = 0;
     for (const power::CpuModel &cpu : cpus) {
-        for (const std::string &cores_s : core_list) {
-            const int cores = static_cast<int>(std::stol(cores_s));
+        for (const int cores : core_list) {
             for (const std::string &strat_s : strategy_list) {
                 const core::StrategyKind strategy =
                     strategyByName(strat_s);
-                for (const std::string &off_s : offset_list) {
-                    const double offset = std::stod(off_s);
+                for (const double offset : offset_list) {
                     for (const auto &p : profiles) {
                         for (long r = 0; r < reps; ++r, ++cell) {
                             sim::EvalConfig cfg;
@@ -205,9 +286,31 @@ main(int argc, char **argv)
                  args.get("jobs") == "1" ? "1 worker (serial)"
                                          : "parallel workers");
 
+    std::signal(SIGINT, onSigint);
+    std::atomic<std::size_t> completed{0};
+
+    exec::RunPolicy policy;
+    policy.checkpointPath = args.get("checkpoint");
+    policy.resume = args.getFlag("resume");
+    policy.retries = static_cast<int>(retries);
+    policy.strict = args.getFlag("strict");
+    policy.stop = &g_interrupted;
+    if (stop_after > 0) {
+        policy.onCellDone = [&, stop_after](std::size_t) {
+            if (completed.fetch_add(1) + 1 >=
+                static_cast<std::size_t>(stop_after))
+                g_interrupted.store(true);
+        };
+    }
+
     SweepEngine engine(
         {static_cast<int>(args.getInt("jobs")), 0});
-    const std::vector<sim::DomainResult> results = engine.run(jobs);
+    exec::SweepOutcome outcome;
+    try {
+        outcome = engine.run(jobs, policy);
+    } catch (const exec::JournalError &e) {
+        util::fatal("%s", e.what());
+    }
 
     std::FILE *out = stdout;
     if (args.get("out") != "-") {
@@ -222,9 +325,11 @@ main(int argc, char **argv)
                  "perf_delta,power_delta,eff_delta,on_efficient,"
                  "cf_share,cv_share,traps,emulations,pstate_switches,"
                  "thrash_detections\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+        if (!outcome.done[i])
+            continue; // failed or skipped: reported on stderr below
         const CellMeta &m = meta[i];
-        const sim::DomainResult &r = results[i];
+        const sim::DomainResult &r = outcome.results[i];
         std::fprintf(
             out,
             "%s,%d,%s,%g,%s,%llu,%ld,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,"
@@ -244,12 +349,36 @@ main(int argc, char **argv)
 
     // Footer goes to stderr so it never pollutes CSV-on-stdout.
     std::fprintf(stderr,
-                 "sweep execution (%d worker%s, %zu jobs, %zu traces "
-                 "generated, %llu cache hits):\n%s",
+                 "sweep execution (%d worker%s, %zu jobs, %zu run, "
+                 "%zu restored, %zu traces generated, %llu cache "
+                 "hits):\n%s",
                  engine.jobs(), engine.jobs() == 1 ? "" : "s",
-                 jobs.size(), engine.traceCache().entries(),
+                 jobs.size(), outcome.executed, outcome.restored,
+                 engine.traceCache().entries(),
                  static_cast<unsigned long long>(
                      engine.traceCache().hits()),
                  engine.workerFooter().c_str());
-    return 0;
+    for (const exec::CellFailure &f : outcome.failures)
+        std::fprintf(stderr,
+                     "failed cell %zu (%s, %s/%s, seed %llu): %s "
+                     "(%d attempt%s)\n",
+                     f.index, f.label.c_str(),
+                     meta[f.index].cpu.c_str(),
+                     meta[f.index].strategy.c_str(),
+                     static_cast<unsigned long long>(
+                         meta[f.index].seed),
+                     f.error.c_str(), f.attempts,
+                     f.attempts == 1 ? "" : "s");
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "sweep interrupted: %zu cell%s not run; "
+                     "re-run with --checkpoint %s --resume to "
+                     "finish\n",
+                     outcome.skipped, outcome.skipped == 1 ? "" : "s",
+                     policy.checkpointPath.empty()
+                         ? "<path>"
+                         : policy.checkpointPath.c_str());
+        return 130;
+    }
+    return outcome.failures.empty() ? 0 : 2;
 }
