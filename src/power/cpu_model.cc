@@ -83,6 +83,19 @@ CpuModel::powerFactor(SuitPState p, double offset_mv) const
     return 1.0;
 }
 
+PStateFactors
+CpuModel::factorsAt(double offset_mv) const
+{
+    PStateFactors f;
+    for (const SuitPState p : {SuitPState::Efficient,
+                               SuitPState::ConservativeFreq,
+                               SuitPState::ConservativeVolt}) {
+        f.perf[pstateIndex(p)] = perfFactor(p, offset_mv);
+        f.power[pstateIndex(p)] = powerFactor(p, offset_mv);
+    }
+    return f;
+}
+
 namespace {
 
 /**
@@ -131,6 +144,7 @@ cpuB_ryzen7700x()
     CpuModel::Config c;
     c.name = "AMD Ryzen 7 7700X";
     c.label = "B";
+    c.vendor = Vendor::Amd;
     c.coreCount = 8;
     c.domains = DomainLayout::PerCoreFrequency;
     c.conservativeCurve =

@@ -28,6 +28,13 @@
 
 namespace suit::power {
 
+/** CPU vendor family (selects e.g. the Table 4 no-SIMD row). */
+enum class Vendor
+{
+    Intel,
+    Amd,
+};
+
 /** DVFS domain granularity of a CPU. */
 enum class DomainLayout
 {
@@ -53,6 +60,41 @@ enum class SuitPState
 /** Printable name of a SuitPState ("E", "Cf", "CV"). */
 const char *toString(SuitPState p);
 
+/** Dense table index of a p-state (E = 0, Cf = 1, CV = 2). */
+constexpr int
+pstateIndex(SuitPState p)
+{
+    switch (p) {
+      case SuitPState::Efficient:
+        return 0;
+      case SuitPState::ConservativeFreq:
+        return 1;
+      case SuitPState::ConservativeVolt:
+        return 2;
+    }
+    return 2;
+}
+
+/** Number of SUIT p-states (table dimension). */
+constexpr int kNumSuitPStates = 3;
+
+/**
+ * Precomputed perfFactor()/powerFactor() values of every p-state for
+ * one (CPU, undervolt offset) pair, indexed by pstateIndex().
+ *
+ * perfFactor() walks the measured undervolt response and inverts the
+ * DVFS curve for the Cf point on every call; loop-resident code (the
+ * domain simulator advances these factors once per simulated event)
+ * uses this table instead.  The entries are the exact doubles the
+ * per-call functions return, so switching to the table cannot change
+ * any downstream arithmetic.
+ */
+struct PStateFactors
+{
+    double perf[kNumSuitPStates] = {1.0, 1.0, 1.0};
+    double power[kNumSuitPStates] = {1.0, 1.0, 1.0};
+};
+
 /** Full description of one evaluated CPU. */
 class CpuModel
 {
@@ -62,6 +104,7 @@ class CpuModel
     {
         std::string name;       //!< marketing name
         std::string label;      //!< paper label: "A", "B", "C"
+        Vendor vendor = Vendor::Intel;
         int coreCount = 1;      //!< physical cores
         DomainLayout domains = DomainLayout::SharedAll;
         DvfsCurve conservativeCurve;
@@ -79,6 +122,8 @@ class CpuModel
     /** @{ Plain accessors. */
     const std::string &name() const { return cfg_.name; }
     const std::string &label() const { return cfg_.label; }
+    Vendor vendor() const { return cfg_.vendor; }
+    bool isAmd() const { return cfg_.vendor == Vendor::Amd; }
     int coreCount() const { return cfg_.coreCount; }
     DomainLayout domains() const { return cfg_.domains; }
     const DvfsCurve &conservativeCurve() const
@@ -124,6 +169,13 @@ class CpuModel
      * is 1; Cf is derived from the CMOS model at (V_E, f_Cf).
      */
     double powerFactor(SuitPState p, double offset_mv) const;
+
+    /**
+     * All perf/power factors for @p offset_mv in one table: entry
+     * [pstateIndex(p)] is bit-identical to calling perfFactor() /
+     * powerFactor() with @p p directly.
+     */
+    PStateFactors factorsAt(double offset_mv) const;
 
   private:
     Config cfg_;

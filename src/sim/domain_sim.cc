@@ -9,26 +9,14 @@
 namespace suit::sim {
 
 using suit::core::StrategyKind;
+using suit::power::kNumSuitPStates;
+using suit::power::pstateIndex;
 using suit::power::SuitPState;
 using suit::util::Tick;
 
 namespace {
 
 constexpr Tick kNever = std::numeric_limits<Tick>::max();
-
-int
-stateIndex(SuitPState p)
-{
-    switch (p) {
-      case SuitPState::Efficient:
-        return 0;
-      case SuitPState::ConservativeFreq:
-        return 1;
-      case SuitPState::ConservativeVolt:
-        return 2;
-    }
-    return 2;
-}
 
 /** Does moving between two p-states change the clock frequency? */
 bool
@@ -107,6 +95,23 @@ DomainSimulator::DomainSimulator(const SimConfig &config,
         pstate_ = SuitPState::ConservativeVolt;
         disabled_ = false;
     }
+
+    // Fast-path invariant tables.  Every entry is produced by the
+    // same per-call function the reference loop uses, so the fast
+    // loop feeds bit-identical doubles into the same arithmetic.
+    for (Core &core : cores_) {
+        for (const SuitPState p :
+             {SuitPState::Efficient, SuitPState::ConservativeFreq,
+              SuitPState::ConservativeVolt}) {
+            core.rate[pstateIndex(p)] = instrRate(core, p);
+        }
+    }
+    if (cfg_.mode != RunMode::Baseline) {
+        const suit::power::PStateFactors f =
+            cfg_.cpu->factorsAt(cfg_.offsetMv);
+        for (int i = 0; i < kNumSuitPStates; ++i)
+            powerTbl_[i] = f.power[i];
+    }
 }
 
 DomainSimulator::~DomainSimulator() = default;
@@ -123,13 +128,12 @@ DomainSimulator::instrRate(const Core &core, SuitPState p) const
     // SUIT hardware ships the 4-cycle IMUL in every mode (Sec. 6.2).
     rate *= 1.0 - suit::trace::imulLatencyOverhead(profile.imulFraction);
 
-    const bool amd = cfg_.cpu->label() == "B";
     if (cfg_.mode == RunMode::NoSimdCompile ||
         (cfg_.mode == RunMode::Suit &&
          cfg_.strategy == StrategyKind::Emulation)) {
         // No-SIMD compilation, or emulation standing in for the SIMD
         // work (paper Sec. 6.2, "Instruction Emulation").
-        rate *= 1.0 + profile.noSimdFor(amd);
+        rate *= 1.0 + profile.noSimdFor(cfg_.cpu->isAmd());
     }
     return rate;
 }
@@ -173,9 +177,17 @@ DomainSimulator::setTimerInterrupt(Tick reload)
 }
 
 void
+DomainSimulator::invalidateArrivals()
+{
+    for (Core &core : cores_)
+        core.arrivalValid = false;
+}
+
+void
 DomainSimulator::cancelPending()
 {
     pending_.reset();
+    invalidateArrivals();
 }
 
 void
@@ -217,6 +229,7 @@ DomainSimulator::changePStateWait(SuitPState target)
     ++switches_;
     if (cfg_.recordStateLog)
         stateLog_.push_back({until, pstate_, false});
+    invalidateArrivals();
 }
 
 void
@@ -241,6 +254,7 @@ DomainSimulator::changePStateAsync(SuitPState target)
     p.completeAt = now_ + delay;
     p.runUntil = p.completeAt - std::min(stall, delay);
     pending_ = p;
+    invalidateArrivals();
 }
 
 void
@@ -252,6 +266,7 @@ DomainSimulator::completePending()
     ++switches_;
     if (cfg_.recordStateLog)
         stateLog_.push_back({now_, pstate_, false});
+    invalidateArrivals();
 }
 
 Tick
@@ -264,7 +279,7 @@ DomainSimulator::emulationCostTicks(suit::isa::FaultableKind kind) const
 }
 
 void
-DomainSimulator::advanceTo(Tick t)
+DomainSimulator::advanceToRef(Tick t)
 {
     SUIT_ASSERT(t >= now_, "time cannot run backwards");
     if (t == now_)
@@ -280,7 +295,7 @@ DomainSimulator::advanceTo(Tick t)
             suit::util::ticksToSeconds(t - core.lastUpdate);
         powerIntegralS_ += pf * dt_s;
         activeTimeS_ += dt_s;
-        stateTimeS_[stateIndex(pstate_)] += dt_s;
+        stateTimeS_[pstateIndex(pstate_)] += dt_s;
 
         // Instruction progress: clip stalls and the transition's
         // frozen window out of [lastUpdate, t).
@@ -305,7 +320,7 @@ DomainSimulator::advanceTo(Tick t)
 }
 
 Tick
-DomainSimulator::coreArrival(const Core &core) const
+DomainSimulator::coreArrivalRef(const Core &core) const
 {
     if (core.done)
         return kNever;
@@ -323,6 +338,79 @@ DomainSimulator::coreArrival(const Core &core) const
 }
 
 void
+DomainSimulator::advanceToFast(Tick t)
+{
+    SUIT_ASSERT(t >= now_, "time cannot run backwards");
+    if (t == now_)
+        return;
+
+    const int sidx = pstateIndex(pstate_);
+    const double pf = powerTbl_[sidx];
+    for (Core &core : cores_) {
+        if (core.done) {
+            core.lastUpdate = t;
+            continue;
+        }
+        const double dt_s =
+            suit::util::ticksToSeconds(t - core.lastUpdate);
+        powerIntegralS_ += pf * dt_s;
+        activeTimeS_ += dt_s;
+        stateTimeS_[sidx] += dt_s;
+
+        const Tick lo = std::max(core.lastUpdate, core.resumeTime);
+        const Tick hi = t;
+        if (lo < hi) {
+            // The core progressed: remainingInstr changes, so the
+            // cached arrival would no longer match a recompute.
+            // (When lo >= hi it provably would — resumeTime >= t
+            // means a recompute starts from the same resumeTime with
+            // the same remainingInstr — so the cache stays valid.)
+            double progress_s = suit::util::ticksToSeconds(hi - lo);
+            if (pending_) {
+                const Tick f_lo = std::max(lo, pending_->runUntil);
+                const Tick f_hi = std::min(hi, pending_->completeAt);
+                if (f_lo < f_hi)
+                    progress_s -=
+                        suit::util::ticksToSeconds(f_hi - f_lo);
+            }
+            core.remainingInstr -= progress_s * core.rate[sidx];
+            core.remainingInstr = std::max(core.remainingInstr, 0.0);
+            core.arrivalValid = false;
+        }
+        core.lastUpdate = t;
+    }
+    now_ = t;
+}
+
+Tick
+DomainSimulator::coreArrivalFast(const Core &core) const
+{
+    if (core.done)
+        return kNever;
+    const Tick start = std::max(now_, core.resumeTime);
+    const Tick cap =
+        pending_ ? pending_->runUntil : kNever;
+    if (pending_ && start >= cap)
+        return kNever; // frozen: the completion event goes first
+    const double rate = core.rate[pstateIndex(pstate_)];
+    const double need_s = core.remainingInstr / rate;
+    const Tick arrival = start + suit::util::secondsToTicks(need_s);
+    if (pending_ && arrival > cap)
+        return kNever;
+    return arrival;
+}
+
+Tick
+DomainSimulator::arrivalOf(Core &core)
+{
+    if (!core.arrivalValid) {
+        core.cachedArrival = coreArrivalFast(core);
+        core.arrivalValid = true;
+    }
+    return core.cachedArrival;
+}
+
+void
 DomainSimulator::consumeEvent(Core &core)
 {
     const auto &events = core.work.trace->events();
@@ -332,12 +420,11 @@ DomainSimulator::consumeEvent(Core &core)
             static_cast<double>(events[core.nextEvent].gap);
     } else {
         // Drain the instructions after the last faultable one.
-        const std::uint64_t last_index =
-            core.work.trace->eventIndex(events.size() - 1);
-        core.remainingInstr = static_cast<double>(
-            core.work.trace->totalInstructions() - last_index - 1);
+        core.remainingInstr =
+            static_cast<double>(core.work.trace->tailInstructions());
         core.pastLastEvent = true;
     }
+    core.arrivalValid = false;
 }
 
 void
@@ -399,8 +486,85 @@ DomainSimulator::handleFaultableInstruction(std::size_t i)
     consumeEvent(core);
 }
 
+bool
+DomainSimulator::nativeWindowOpen(const Core &core) const
+{
+    if (core.done || core.pastLastEvent)
+        return false;
+    if (core.resumeTime > now_)
+        return false;
+    // Events execute natively in Baseline mode always, and in Suit
+    // mode while the instructions are enabled.  The Suit batch also
+    // requires the deadline timer to be armed so the window-closing
+    // expiry check below is meaningful (the strategies always arm it
+    // when enabling, but the loop must not rely on that).
+    if (cfg_.mode == RunMode::Suit && (disabled_ || !timer_.armed()))
+        return false;
+    if (cfg_.mode == RunMode::NoSimdCompile)
+        return false; // pastLastEvent from construction; belt and braces
+    if (pending_ && now_ >= pending_->runUntil)
+        return false; // frozen by the transition
+    return true;
+}
+
+void
+DomainSimulator::runNativeWindow(Core &core, std::uint64_t &budget)
+{
+    const int sidx = pstateIndex(pstate_);
+    const double rate = core.rate[sidx];
+    const double pf = powerTbl_[sidx];
+    const bool suit_mode = cfg_.mode == RunMode::Suit;
+    const Tick run_cap = pending_ ? pending_->runUntil : kNever;
+    const Tick complete_at = pending_ ? pending_->completeAt : kNever;
+    const auto &events = core.work.trace->events();
+
+    Tick t = now_;
+    while (!core.pastLastEvent) {
+        const Tick arrival =
+            t + suit::util::secondsToTicks(core.remainingInstr / rate);
+        // Stop where another event source outranks the core arrival
+        // (the loop's tie order: transitions > timers > cores).
+        if (suit_mode && arrival >= timer_.expiry())
+            break;
+        if (pending_ && (arrival > run_cap || arrival >= complete_at))
+            break;
+        SUIT_ASSERT(budget-- > 0, "simulation step budget exhausted");
+        if (arrival > t) {
+            // Replay the reference accumulator sequence per event —
+            // regrouping the sums would change the floating-point
+            // results.
+            const double dt_s = suit::util::ticksToSeconds(arrival - t);
+            powerIntegralS_ += pf * dt_s;
+            activeTimeS_ += dt_s;
+            stateTimeS_[sidx] += dt_s;
+        }
+        t = arrival;
+        if (suit_mode)
+            timer_.touch(t);
+        // Native execution of the event (consumeEvent() inlined).
+        ++core.nextEvent;
+        if (core.nextEvent < events.size()) {
+            core.remainingInstr =
+                static_cast<double>(events[core.nextEvent].gap);
+        } else {
+            core.remainingInstr = static_cast<double>(
+                core.work.trace->tailInstructions());
+            core.pastLastEvent = true;
+        }
+    }
+    now_ = t;
+    core.lastUpdate = t;
+    core.arrivalValid = false;
+}
+
 DomainResult
 DomainSimulator::run()
+{
+    return cfg_.referencePath ? runReference() : runFast();
+}
+
+DomainResult
+DomainSimulator::runReference()
 {
     std::size_t active = cores_.size();
     // Generous runaway guard: every event can cause only a bounded
@@ -427,7 +591,7 @@ DomainSimulator::run()
             kind = 1;
         }
         for (std::size_t i = 0; i < cores_.size(); ++i) {
-            const Tick a = coreArrival(cores_[i]);
+            const Tick a = coreArrivalRef(cores_[i]);
             if (a < best) {
                 best = a;
                 kind = 2;
@@ -436,7 +600,7 @@ DomainSimulator::run()
         }
         SUIT_ASSERT(kind >= 0, "deadlock: no runnable event");
 
-        advanceTo(best);
+        advanceToRef(best);
 
         switch (kind) {
           case 0:
@@ -463,6 +627,98 @@ DomainSimulator::run()
         }
     }
 
+    return collectResult();
+}
+
+DomainResult
+DomainSimulator::runFast()
+{
+    std::size_t active = cores_.size();
+    // Same runaway guard as the reference loop; the batched window
+    // charges one step per consumed event, so a batch never spends
+    // more budget than the reference loop would for the same events.
+    std::uint64_t budget = 10000;
+    for (const Core &core : cores_)
+        budget += 20 * core.work.trace->eventCount() + 1000;
+
+    // Batched native windows are restricted to single-core domains:
+    // with several cores, advanceTo() interleaves every core's
+    // floating-point progress at every event, so batching one core
+    // would regroup the other cores' sums (see DESIGN.md).
+    const bool single_core = cores_.size() == 1;
+
+    while (active > 0) {
+        if (single_core) {
+            Core &core = cores_[0];
+            if (nativeWindowOpen(core))
+                runNativeWindow(core, budget);
+            // The window stops at the first event another source
+            // outranks (timer expiry, pending transition) and never
+            // finishes the run: the tail drain below marks the core
+            // done through the generic step.
+        }
+
+        SUIT_ASSERT(budget-- > 0, "simulation step budget exhausted");
+
+        // Earliest event wins; transitions outrank timers outrank
+        // core arrivals at equal times so rates are always current.
+        Tick best = kNever;
+        int kind = -1; // 0 transition, 1 timer, 2 core
+        std::size_t core_idx = 0;
+
+        if (pending_ && pending_->completeAt < best) {
+            best = pending_->completeAt;
+            kind = 0;
+        }
+        if (timer_.armed() && timer_.expiry() < best) {
+            best = timer_.expiry();
+            kind = 1;
+        }
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            const Tick a = arrivalOf(cores_[i]);
+            if (a < best) {
+                best = a;
+                kind = 2;
+                core_idx = i;
+            }
+        }
+        SUIT_ASSERT(kind >= 0, "deadlock: no runnable event");
+
+        advanceToFast(best);
+
+        switch (kind) {
+          case 0:
+            completePending();
+            break;
+          case 1:
+            if (timer_.checkExpired(now_)) {
+                SUIT_ASSERT(strategy_ != nullptr,
+                            "timer fired without a strategy");
+                strategy_->onTimerInterrupt(*this);
+            }
+            break;
+          case 2: {
+            Core &core = cores_[core_idx];
+            if (core.pastLastEvent) {
+                core.done = true;
+                core.finishTime = now_;
+                core.cachedArrival = kNever;
+                core.arrivalValid = true;
+                --active;
+            } else {
+                handleFaultableInstruction(core_idx);
+            }
+            break;
+          }
+        }
+    }
+
+    return collectResult();
+}
+
+DomainResult
+DomainSimulator::collectResult()
+{
     DomainResult result;
     for (const Core &core : cores_) {
         CoreResult cr;

@@ -136,6 +136,15 @@ struct SimConfig
     std::uint64_t seed = 1;
     /** Record the p-state/trap timeline into the result. */
     bool recordStateLog = false;
+    /**
+     * Run the pre-optimization reference event loop instead of the
+     * fast path (invariant tables, arrival cache, batched native
+     * windows).  Both paths produce bit-identical DomainResults —
+     * the golden-identity test suite serializes and compares them
+     * across the full configuration matrix — so this flag exists
+     * only for that verification and for benchmarking the speedup.
+     */
+    bool referencePath = false;
 };
 
 /**
@@ -180,6 +189,22 @@ class DomainSimulator final : public suit::core::CpuControl
         suit::util::Tick resumeTime = 0; //!< stalled until
         suit::util::Tick lastUpdate = 0; //!< progress integrated to
         suit::util::Tick finishTime = 0;
+
+        /**
+         * Fast-path invariant: instrRate() per p-state.  Filled once
+         * in the constructor — the rate depends only on the profile,
+         * the CPU model, the run mode and the offset, all of which
+         * are run constants.
+         */
+        double rate[suit::power::kNumSuitPStates] = {};
+        /**
+         * Fast-path arrival cache: the last coreArrival() result.
+         * Valid only while nothing the arrival depends on changed;
+         * see DESIGN.md ("Domain-simulator hot path") for the
+         * invalidation rules.
+         */
+        suit::util::Tick cachedArrival = 0;
+        bool arrivalValid = false;
     };
 
     /** A p-state transition in flight. */
@@ -212,16 +237,50 @@ class DomainSimulator final : public suit::core::CpuControl
     std::uint64_t switches_ = 0;
     std::vector<PStateChange> stateLog_;
 
+    /**
+     * Fast-path invariant: powerFactorOf() per p-state, indexed by
+     * suit::power::pstateIndex().  Defaults cover RunMode::Baseline.
+     */
+    double powerTbl_[suit::power::kNumSuitPStates] = {1.0, 1.0, 1.0};
+
     /** Instruction rate of a core at a p-state (instr/s). */
     double instrRate(const Core &core,
                      suit::power::SuitPState p) const;
     /** Power factor of a p-state under this run mode. */
     double powerFactorOf(suit::power::SuitPState p) const;
 
-    /** Advance global time to @p t, integrating progress and power. */
-    void advanceTo(suit::util::Tick t);
-    /** Arrival time of core @p i's next faultable event. */
-    suit::util::Tick coreArrival(const Core &core) const;
+    /**
+     * @{ Reference event loop: the pre-optimization implementation,
+     * kept verbatim as the bit-exactness oracle for the fast path
+     * (SimConfig::referencePath).
+     */
+    DomainResult runReference();
+    void advanceToRef(suit::util::Tick t);
+    suit::util::Tick coreArrivalRef(const Core &core) const;
+    /** @} */
+
+    /**
+     * @{ Fast event loop: cached rate/power tables, incremental
+     * arrival scheduling and batched native windows.  Produces
+     * bit-identical results to the reference loop (argued in
+     * DESIGN.md, enforced by the golden-identity suite).
+     */
+    DomainResult runFast();
+    void advanceToFast(suit::util::Tick t);
+    suit::util::Tick coreArrivalFast(const Core &core) const;
+    /** Cached coreArrivalFast(); recomputes when invalidated. */
+    suit::util::Tick arrivalOf(Core &core);
+    /** Drop every core's cached arrival (rate/stall/pending edit). */
+    void invalidateArrivals();
+    /** May the next events of @p core run as one native batch? */
+    bool nativeWindowOpen(const Core &core) const;
+    /** Consume consecutive native events of a single-core domain. */
+    void runNativeWindow(Core &core, std::uint64_t &budget);
+    /** @} */
+
+    /** Assemble the DomainResult (shared by both loops). */
+    DomainResult collectResult();
+
     /** Handle core @p i reaching its faultable instruction. */
     void handleFaultableInstruction(std::size_t i);
     /** Load the next gap after consuming an event. */

@@ -33,6 +33,7 @@ runWorkload(const EvalConfig &config, const WorkloadProfile &profile,
     sim_cfg.strategy = config.strategy;
     sim_cfg.params = config.params;
     sim_cfg.seed = config.seed * 7919 + 17;
+    sim_cfg.referencePath = config.referencePath;
 
     DomainSimulator sim(sim_cfg, std::move(work));
     return sim.run();

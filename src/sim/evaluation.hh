@@ -38,6 +38,13 @@ struct EvalConfig
     suit::core::StrategyParams params;
     /** Root seed for trace generation and delay jitter. */
     std::uint64_t seed = 1;
+    /**
+     * Run the simulator's pre-optimization reference event loop
+     * (SimConfig::referencePath); for golden-identity tests and
+     * speedup benchmarks only.  Deliberately not part of the sweep
+     * fingerprint — both paths produce bit-identical results.
+     */
+    bool referencePath = false;
 };
 
 /** Result of one workload under one configuration. */

@@ -12,10 +12,19 @@ const Trace &
 TraceCache::get(const WorkloadProfile &profile, std::uint64_t seed,
                 int stream)
 {
+    const KeyView key{profile.name, seed, stream};
     Entry *entry;
     {
         std::lock_guard lock(mu_);
-        entry = &entries_[{profile.name, seed, stream}];
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            entry = &it->second;
+        } else {
+            // Only a miss pays for materialising the owning key.
+            entry = &entries_
+                         .try_emplace(Key{profile.name, seed, stream})
+                         .first->second;
+        }
     }
     // Generation happens outside the map lock: distinct traces build
     // concurrently; racing get()s on the *same* key serialise on the
@@ -26,10 +35,8 @@ TraceCache::get(const WorkloadProfile &profile, std::uint64_t seed,
             TraceGenerator(seed).generate(profile, stream));
         generated = true;
     });
-    if (!generated) {
-        std::lock_guard lock(mu_);
-        ++hits_;
-    }
+    if (!generated)
+        hits_.fetch_add(1, std::memory_order_relaxed);
     return *entry->trace;
 }
 
@@ -43,8 +50,7 @@ TraceCache::entries() const
 std::uint64_t
 TraceCache::hits() const
 {
-    std::lock_guard lock(mu_);
-    return hits_;
+    return hits_.load(std::memory_order_relaxed);
 }
 
 TraceCache &

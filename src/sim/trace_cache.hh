@@ -12,17 +12,25 @@
  * is generated exactly once via std::call_once, without holding the
  * map lock during generation (so distinct traces generate in
  * parallel).
+ *
+ * Lookups are hit-dominated under the sweep engine (thousands of
+ * get() calls against a few dozen distinct traces), so the hot path
+ * is kept allocation-free: the map is hashed and uses a transparent
+ * key view, so a hit neither copies the profile name nor walks an
+ * ordered tree, and the hit counter is a relaxed atomic rather than
+ * a second mutex acquisition.
  */
 
 #ifndef SUIT_SIM_TRACE_CACHE_HH
 #define SUIT_SIM_TRACE_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <tuple>
+#include <string_view>
+#include <unordered_map>
 
 #include "trace/profile.hh"
 #include "trace/trace.hh"
@@ -41,7 +49,8 @@ class TraceCache
     /**
      * The trace for (@p profile, @p seed, @p stream), generating it
      * on first use.  The returned reference stays valid for the
-     * cache's lifetime (entries are never evicted).
+     * cache's lifetime (entries are never evicted; the map is
+     * node-based, so rehashing does not move entries).
      */
     const suit::trace::Trace &get(
         const suit::trace::WorkloadProfile &profile,
@@ -54,9 +63,80 @@ class TraceCache
     std::uint64_t hits() const;
 
   private:
-    /** Cache key: profiles are identified by name (the profile
-     *  database owns one immutable profile per name). */
-    using Key = std::tuple<std::string, std::uint64_t, int>;
+    /**
+     * Borrowed view of a cache key; lookups build this instead of a
+     * std::string-owning key, so a cache hit performs no allocation.
+     * Profiles are identified by name (the profile database owns one
+     * immutable profile per name).
+     */
+    struct KeyView
+    {
+        std::string_view name;
+        std::uint64_t seed = 0;
+        int stream = 0;
+    };
+
+    /** Owning key stored in the map. */
+    struct Key
+    {
+        std::string name;
+        std::uint64_t seed = 0;
+        int stream = 0;
+
+        KeyView view() const { return {name, seed, stream}; }
+    };
+
+    /** Transparent FNV-1a hash over (name bytes, seed, stream). */
+    struct KeyHash
+    {
+        using is_transparent = void;
+
+        std::size_t operator()(const KeyView &k) const
+        {
+            std::uint64_t h = 1469598103934665603ULL;
+            const auto mix = [&h](unsigned char byte) {
+                h ^= byte;
+                h *= 1099511628211ULL;
+            };
+            for (const char c : k.name)
+                mix(static_cast<unsigned char>(c));
+            for (int i = 0; i < 8; ++i)
+                mix(static_cast<unsigned char>(k.seed >> (8 * i)));
+            const auto stream = static_cast<std::uint32_t>(k.stream);
+            for (int i = 0; i < 4; ++i)
+                mix(static_cast<unsigned char>(stream >> (8 * i)));
+            return static_cast<std::size_t>(h);
+        }
+
+        std::size_t operator()(const Key &k) const
+        {
+            return (*this)(k.view());
+        }
+    };
+
+    /** Transparent equality between owning keys and views. */
+    struct KeyEq
+    {
+        using is_transparent = void;
+
+        bool operator()(const KeyView &a, const KeyView &b) const
+        {
+            return a.seed == b.seed && a.stream == b.stream &&
+                   a.name == b.name;
+        }
+        bool operator()(const Key &a, const KeyView &b) const
+        {
+            return (*this)(a.view(), b);
+        }
+        bool operator()(const KeyView &a, const Key &b) const
+        {
+            return (*this)(a, b.view());
+        }
+        bool operator()(const Key &a, const Key &b) const
+        {
+            return (*this)(a.view(), b.view());
+        }
+    };
 
     struct Entry
     {
@@ -65,8 +145,8 @@ class TraceCache
     };
 
     mutable std::mutex mu_;
-    std::map<Key, Entry> entries_;
-    std::uint64_t hits_ = 0;
+    std::unordered_map<Key, Entry, KeyHash, KeyEq> entries_;
+    std::atomic<std::uint64_t> hits_{0};
 };
 
 /**

@@ -41,6 +41,21 @@ Trace::faultableRate() const
 }
 
 std::uint64_t
+Trace::tailInstructions() const
+{
+    if (events_.empty())
+        return totalInstructions_;
+    const std::uint64_t last_index = prefixIndex_.back();
+    SUIT_ASSERT(last_index < totalInstructions_,
+                "trace '%s' is inconsistent: last event at index %llu "
+                "but the stream is only %llu instructions long",
+                name_.c_str(),
+                static_cast<unsigned long long>(last_index),
+                static_cast<unsigned long long>(totalInstructions_));
+    return totalInstructions_ - last_index - 1;
+}
+
+std::uint64_t
 Trace::eventIndex(std::size_t i) const
 {
     SUIT_ASSERT(i < prefixIndex_.size(), "event index %zu out of range",

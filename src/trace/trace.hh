@@ -78,7 +78,18 @@ class Trace
      */
     std::uint64_t eventIndex(std::size_t i) const;
 
+    /**
+     * Ordinary instructions after the last faultable event (the tail
+     * the simulator drains once every event is consumed).  Panics —
+     * instead of wrapping around to ~2^64 — on an inconsistent trace
+     * whose last event index reaches past totalInstructions(); the
+     * constructor rejects such traces, so tripping this means the
+     * trace was corrupted after construction.
+     */
+    std::uint64_t tailInstructions() const;
+
   private:
+    friend class TraceTestPeer; //!< test-only corruption hook
     std::string name_;
     std::uint64_t totalInstructions_ = 0;
     double ipc_ = 1.0;

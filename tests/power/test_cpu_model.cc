@@ -84,6 +84,37 @@ TEST(CpuModels, PowerFactorOrdering)
     EXPECT_DOUBLE_EQ(cv, 1.0);
 }
 
+TEST(CpuModels, VendorIdentifiesAmdPart)
+{
+    // Only B (the Ryzen 7700X) is AMD; the simulator's hot path
+    // selects the Table 4 no-SIMD row through isAmd() instead of a
+    // per-event string compare on label().
+    EXPECT_EQ(cpuA_i9_9900k().vendor(), Vendor::Intel);
+    EXPECT_EQ(cpuB_ryzen7700x().vendor(), Vendor::Amd);
+    EXPECT_EQ(cpuC_xeon4208().vendor(), Vendor::Intel);
+    EXPECT_EQ(cpu_i5_1035g1().vendor(), Vendor::Intel);
+    EXPECT_TRUE(cpuB_ryzen7700x().isAmd());
+    EXPECT_FALSE(cpuC_xeon4208().isAmd());
+}
+
+TEST(CpuModels, FactorsTableIsBitIdenticalToPerCallFunctions)
+{
+    for (const CpuModel &cpu :
+         {cpuA_i9_9900k(), cpuB_ryzen7700x(), cpuC_xeon4208()}) {
+        for (const double offset : {-50.0, -70.0, -97.0}) {
+            const PStateFactors f = cpu.factorsAt(offset);
+            for (const SuitPState p :
+                 {SuitPState::Efficient, SuitPState::ConservativeFreq,
+                  SuitPState::ConservativeVolt}) {
+                EXPECT_DOUBLE_EQ(f.perf[pstateIndex(p)],
+                                 cpu.perfFactor(p, offset));
+                EXPECT_DOUBLE_EQ(f.power[pstateIndex(p)],
+                                 cpu.powerFactor(p, offset));
+            }
+        }
+    }
+}
+
 TEST(CpuModels, ZeroOffsetIsNeutral)
 {
     const CpuModel cpu = cpuA_i9_9900k();

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Golden bit-identity suite for the domain-simulator fast path.
+ *
+ * The optimised event loop (invariant tables, incremental arrival
+ * scheduling, batched native windows) must reproduce the reference
+ * loop byte-for-byte: every DomainResult — including the optional
+ * p-state timeline — is serialised through sim::result_io and
+ * compared against the SimConfig::referencePath run of the same
+ * configuration.  The matrix spans the three paper machines, every
+ * run mode and strategy, one- and four-core layouts and two
+ * undervolt offsets.
+ *
+ * This binary carries the `exec` ctest label: the parallel-fleet
+ * case exercises the sweep engine, so it also runs under
+ * -DSUIT_SANITIZE=thread.
+ */
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/params.hh"
+#include "exec/sweep.hh"
+#include "sim/domain_sim.hh"
+#include "sim/evaluation.hh"
+#include "sim/result_io.hh"
+#include "sim/trace_cache.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit;
+using sim::EvalConfig;
+using sim::RunMode;
+
+/**
+ * A small synthetic workload.  @p dense drives the within-burst
+ * event density up so the batched-native-window path sees long runs
+ * of consecutive events; the sparse variant exercises the
+ * timer-bounded window endings.
+ */
+trace::WorkloadProfile
+goldenProfile(const std::string &name, bool dense)
+{
+    trace::WorkloadProfile p;
+    p.name = name;
+    p.suite = trace::Suite::SpecFp;
+    p.totalInstructions = 400'000'000;
+    p.ipc = 1.4;
+    p.bursts.meanBurstEvents = dense ? 60 : 5;
+    p.bursts.meanWithinBurstGap = dense ? 400 : 1500;
+    p.bursts.interBurstGapLogMean = std::log(dense ? 4e6 : 2e7);
+    p.bursts.interBurstGapLogSigma = 0.4;
+    p.imulFraction = 0.0006;
+    p.noSimdDelta = -0.18;
+    p.noSimdDeltaAmd = -0.12;
+    p.eventWeight = dense ? 3.0 : 1.0;
+    p.kindMix[static_cast<std::size_t>(isa::FaultableKind::VOR)] = 0.7;
+    p.kindMix[static_cast<std::size_t>(isa::FaultableKind::AESENC)] =
+        0.3;
+    return p;
+}
+
+/** Serialize one runWorkload() outcome. */
+std::string
+resultBytes(const EvalConfig &config, const trace::WorkloadProfile &p,
+            sim::TraceCache &traces)
+{
+    std::string bytes;
+    sim::serializeResult(sim::runWorkload(config, p, traces), bytes);
+    return bytes;
+}
+
+/** Every (mode, strategy) combination the simulator dispatches on. */
+struct ModeCase
+{
+    const char *label;
+    RunMode mode;
+    core::StrategyKind strategy;
+};
+
+const std::vector<ModeCase> &
+modeCases()
+{
+    static const std::vector<ModeCase> cases = {
+        {"baseline", RunMode::Baseline, core::StrategyKind::CombinedFv},
+        {"nosimd", RunMode::NoSimdCompile,
+         core::StrategyKind::CombinedFv},
+        {"suit-e", RunMode::Suit, core::StrategyKind::Emulation},
+        {"suit-f", RunMode::Suit, core::StrategyKind::Frequency},
+        {"suit-V", RunMode::Suit, core::StrategyKind::Voltage},
+        {"suit-fV", RunMode::Suit, core::StrategyKind::CombinedFv},
+        {"suit-e+fV", RunMode::Suit, core::StrategyKind::Hybrid},
+    };
+    return cases;
+}
+
+TEST(GoldenIdentity, FastPathMatchesReferenceAcrossMatrix)
+{
+    const std::vector<power::CpuModel> cpus = {
+        power::cpuA_i9_9900k(), power::cpuB_ryzen7700x(),
+        power::cpuC_xeon4208()};
+    const std::vector<trace::WorkloadProfile> profiles = {
+        goldenProfile("golden-dense", true),
+        goldenProfile("golden-sparse", false)};
+
+    sim::TraceCache traces;
+    int checked = 0;
+    for (const power::CpuModel &cpu : cpus) {
+        for (const int cores : {1, 4}) {
+            for (const double offset : {-70.0, -97.0}) {
+                for (const ModeCase &mc : modeCases()) {
+                    for (const trace::WorkloadProfile &p : profiles) {
+                        EvalConfig cfg;
+                        cfg.cpu = &cpu;
+                        cfg.cores = cores;
+                        cfg.offsetMv = offset;
+                        cfg.mode = mc.mode;
+                        cfg.strategy = mc.strategy;
+                        cfg.params = core::optimalParams(cpu);
+                        cfg.seed = 7;
+
+                        cfg.referencePath = false;
+                        const std::string fast =
+                            resultBytes(cfg, p, traces);
+                        cfg.referencePath = true;
+                        const std::string ref =
+                            resultBytes(cfg, p, traces);
+                        ASSERT_EQ(fast, ref)
+                            << "CPU " << cpu.label() << " cores="
+                            << cores << " offset=" << offset << " "
+                            << mc.label << " " << p.name;
+                        ++checked;
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_EQ(checked, 3 * 2 * 2 * 7 * 2);
+}
+
+/**
+ * The p-state timeline is the most fragile part of the result (one
+ * extra or reordered event shifts every later entry), so it gets a
+ * dedicated identity check with recordStateLog set — once on a
+ * single-core domain (batched windows) and once on a shared
+ * four-core domain (arrival cache under cross-core interleaving).
+ */
+TEST(GoldenIdentity, StateLogBitIdenticalWithRecordStateLog)
+{
+    const power::CpuModel cpuC = power::cpuC_xeon4208();
+    const power::CpuModel cpuA = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = goldenProfile("golden-dense", true);
+
+    struct DomainCase
+    {
+        const power::CpuModel *cpu;
+        int streams;
+    };
+    for (const DomainCase dc :
+         {DomainCase{&cpuC, 1}, DomainCase{&cpuA, 4}}) {
+        std::vector<trace::Trace> traces;
+        for (int s = 0; s < dc.streams; ++s)
+            traces.push_back(trace::TraceGenerator(11).generate(p, s));
+        std::vector<sim::CoreWork> work;
+        for (const trace::Trace &t : traces)
+            work.push_back({&t, &p});
+
+        sim::SimConfig cfg;
+        cfg.cpu = dc.cpu;
+        cfg.offsetMv = -97.0;
+        cfg.mode = RunMode::Suit;
+        cfg.strategy = core::StrategyKind::CombinedFv;
+        cfg.params = core::optimalParams(*dc.cpu);
+        cfg.seed = 23;
+        cfg.recordStateLog = true;
+
+        cfg.referencePath = false;
+        sim::DomainSimulator fast_sim(cfg, work);
+        const sim::DomainResult fast = fast_sim.run();
+        cfg.referencePath = true;
+        sim::DomainSimulator ref_sim(cfg, work);
+        const sim::DomainResult ref = ref_sim.run();
+
+        // The check must bite: a SUIT run of this workload switches
+        // p-states and traps many times.
+        ASSERT_FALSE(ref.stateLog.empty());
+
+        std::string fast_bytes;
+        std::string ref_bytes;
+        sim::serializeResult(fast, fast_bytes);
+        sim::serializeResult(ref, ref_bytes);
+        EXPECT_EQ(fast_bytes, ref_bytes)
+            << "CPU " << dc.cpu->label() << " streams=" << dc.streams;
+    }
+}
+
+/**
+ * Fleet check: the fast path under the parallel sweep engine must
+ * equal the reference path run serially.  Under -DSUIT_SANITIZE=thread
+ * this also race-checks the fast loop's per-simulator state.
+ */
+TEST(GoldenIdentity, ParallelFastMatchesSerialReference)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const std::vector<trace::WorkloadProfile> profiles = {
+        goldenProfile("golden-dense", true),
+        goldenProfile("golden-sparse", false),
+        goldenProfile("golden-mid", true)};
+
+    EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.cores = 4;
+    cfg.offsetMv = -97.0;
+    cfg.mode = RunMode::Suit;
+    cfg.strategy = core::StrategyKind::Hybrid;
+    cfg.params = core::optimalParams(cpu);
+    cfg.seed = 3;
+
+    cfg.referencePath = true;
+    const std::vector<sim::WorkloadRow> serial =
+        sim::runSuite(cfg, profiles);
+    cfg.referencePath = false;
+    const std::vector<sim::WorkloadRow> parallel =
+        sim::runSuiteParallel(cfg, profiles, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        std::string serial_bytes;
+        std::string parallel_bytes;
+        sim::serializeResult(serial[i].result, serial_bytes);
+        sim::serializeResult(parallel[i].result, parallel_bytes);
+        EXPECT_EQ(serial_bytes, parallel_bytes)
+            << profiles[i].name;
+    }
+}
+
+} // namespace

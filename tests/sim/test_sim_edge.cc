@@ -9,7 +9,22 @@
 
 #include "core/params.hh"
 #include "sim/domain_sim.hh"
+#include "sim/result_io.hh"
 #include "trace/profile.hh"
+
+namespace suit::trace {
+
+/** Friend hook corrupting a trace to exercise defensive asserts. */
+class TraceTestPeer
+{
+  public:
+    static void setTotalInstructions(Trace &t, std::uint64_t total)
+    {
+        t.totalInstructions_ = total;
+    }
+};
+
+} // namespace suit::trace
 
 namespace {
 
@@ -93,6 +108,47 @@ TEST(SimEdge, BackToBackEventsCauseOneTrap)
     DomainSimulator sim(cfgFor(cpu), {{&t, &p}});
     const DomainResult r = sim.run();
     EXPECT_EQ(r.traps, 1u); // the rest run with the set enabled
+}
+
+TEST(SimEdge, LastEventOnFinalInstructionHasZeroTailBothPaths)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const trace::WorkloadProfile p = plainProfile(1'000'000'000);
+    // gap = total - 1 puts the event on the very last instruction:
+    // the tail drain after it is exactly zero.
+    const trace::Trace t(
+        "tail0", p.totalInstructions, p.ipc,
+        {{p.totalInstructions - 1, isa::FaultableKind::VOR}});
+
+    SimConfig cfg = cfgFor(cpu);
+    DomainSimulator fast_sim(cfg, {{&t, &p}});
+    const DomainResult fast = fast_sim.run();
+    cfg.referencePath = true;
+    DomainSimulator ref_sim(cfg, {{&t, &p}});
+    const DomainResult ref = ref_sim.run();
+
+    EXPECT_EQ(fast.traps, 1u);
+    std::string fast_bytes;
+    std::string ref_bytes;
+    sim::serializeResult(fast, fast_bytes);
+    sim::serializeResult(ref, ref_bytes);
+    EXPECT_EQ(fast_bytes, ref_bytes);
+}
+
+TEST(SimEdge, CorruptedTracePanicsInsteadOfDrainingPhantomTail)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const trace::WorkloadProfile p = plainProfile(1'000'000'000);
+    trace::Trace t("corrupt", p.totalInstructions, p.ipc,
+                   {{p.totalInstructions - 2, isa::FaultableKind::VOR}});
+    // Shrink the stream under the event after construction.  The old
+    // tail drain computed totalInstructions() - last_index - 1
+    // unchecked, underflowing to ~2^64 phantom instructions; now the
+    // simulator must panic with a diagnosable message instead.
+    trace::TraceTestPeer::setTotalInstructions(t, 1000);
+
+    DomainSimulator sim(cfgFor(cpu), {{&t, &p}});
+    EXPECT_DEATH((void)sim.run(), "inconsistent");
 }
 
 TEST(SimEdge, BaselineModeIgnoresStrategyEntirely)

@@ -12,6 +12,24 @@
 #include "trace/trace.hh"
 #include "util/rng.hh"
 
+namespace suit::trace {
+
+/**
+ * Friend hook that corrupts a constructed trace, so the defensive
+ * asserts (which the constructor's own validation makes unreachable
+ * through the public interface) can be exercised.
+ */
+class TraceTestPeer
+{
+  public:
+    static void setTotalInstructions(Trace &t, std::uint64_t total)
+    {
+        t.totalInstructions_ = total;
+    }
+};
+
+} // namespace suit::trace
+
 namespace {
 
 using namespace suit::trace;
@@ -222,6 +240,41 @@ TEST(Generator, KindMixIsRespected)
             FaultableKind::AESENC)]) /
         static_cast<double>(t.eventCount());
     EXPECT_NEAR(aes_share, 0.85, 0.05);
+}
+
+TEST(TraceTest, TailInstructionsCountsTrailingStream)
+{
+    const Trace t("t", 1000, 1.0,
+                  {{10, FaultableKind::VOR},
+                   {5, FaultableKind::AESENC}});
+    // Last event sits at index 16; 1000 - 16 - 1 follow it.
+    EXPECT_EQ(t.tailInstructions(), 983u);
+
+    const Trace last_is_final("t", 18, 1.0,
+                              {{10, FaultableKind::VOR},
+                               {5, FaultableKind::AESENC}});
+    EXPECT_EQ(last_is_final.tailInstructions(), 1u);
+
+    const Trace empty("t", 1000, 1.0, {});
+    EXPECT_EQ(empty.tailInstructions(), 1000u);
+}
+
+TEST(TraceTest, ConstructorRejectsEventsPastStreamEnd)
+{
+    EXPECT_DEATH((void)Trace("bad", 10, 1.0,
+                             {{20, FaultableKind::VOR}}),
+                 "exceed");
+}
+
+TEST(TraceTest, TailInstructionsPanicsOnCorruptedTrace)
+{
+    Trace t("t", 1000, 1.0, {{998, FaultableKind::VOR}});
+    EXPECT_EQ(t.tailInstructions(), 1u);
+    // Shrink the stream under the last event: the old unchecked
+    // "total - last_index - 1" would wrap to ~2^64 here and send a
+    // simulator core draining 10^19 phantom instructions.
+    TraceTestPeer::setTotalInstructions(t, 500);
+    EXPECT_DEATH((void)t.tailInstructions(), "inconsistent");
 }
 
 TEST(ImulOverhead, MatchesPaperAnchors)

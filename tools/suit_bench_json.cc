@@ -1,0 +1,275 @@
+/**
+ * @file
+ * suit_bench_json — measure the domain-simulator hot path and write
+ * the tracked BENCH_simcore.json record.
+ *
+ * Runs the four simulator scenarios the micro-benchmarks cover
+ * (single-core SUIT on 502.gcc, the same run on the reference event
+ * loop, the event-dense 525.x264, and CPU A's shared four-core
+ * domain) with wall-clock timing, and emits one JSON document:
+ *
+ *   {
+ *     "schema": "suit-bench-simcore-v1",
+ *     "reps": 5,
+ *     "benchmarks": [
+ *       { "name": "domain_sim_single", "events": ...,
+ *         "best_ms": ..., "median_ms": ..., "events_per_sec": ... },
+ *       ...
+ *     ],
+ *     "speedup_vs_reference": ...
+ *   }
+ *
+ * No timestamps or host identifiers go into the file, so regenerating
+ * it on the same machine produces minimal diffs.  Examples:
+ *
+ *   suit_bench_json                      # writes BENCH_simcore.json
+ *   suit_bench_json --reps 9 --out /tmp/b.json
+ *   suit_bench_json --check BENCH_simcore.json   # schema validation
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "sim/domain_sim.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+#include "util/args.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace suit;
+
+/** One measured scenario. */
+struct BenchResult
+{
+    std::string name;
+    std::uint64_t events = 0;
+    double bestMs = 0.0;
+    double medianMs = 0.0;
+    double eventsPerSec = 0.0;
+};
+
+/** Time one simulator configuration over @p reps repetitions. */
+BenchResult
+timeScenario(const std::string &name, const sim::SimConfig &cfg,
+             const std::vector<sim::CoreWork> &work, int reps)
+{
+    std::uint64_t events = 0;
+    for (const sim::CoreWork &w : work)
+        events += w.trace->eventCount();
+
+    std::vector<double> times_ms;
+    times_ms.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        sim::DomainSimulator simulator(cfg, work);
+        const sim::DomainResult result = simulator.run();
+        const auto stop = std::chrono::steady_clock::now();
+        SUIT_ASSERT(!result.cores.empty(), "simulation returned no cores");
+        times_ms.push_back(
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+    }
+    std::sort(times_ms.begin(), times_ms.end());
+
+    BenchResult out;
+    out.name = name;
+    out.events = events;
+    out.bestMs = times_ms.front();
+    out.medianMs = times_ms[times_ms.size() / 2];
+    out.eventsPerSec = out.bestMs > 0.0
+                           ? static_cast<double>(events) /
+                                 (out.bestMs / 1e3)
+                           : 0.0;
+    return out;
+}
+
+/** The tracked scenario set (mirrors bench/micro_benchmarks.cc). */
+std::vector<BenchResult>
+runScenarios(int reps)
+{
+    std::vector<BenchResult> results;
+
+    const power::CpuModel cpu_c = power::cpuC_xeon4208();
+    const power::CpuModel cpu_a = power::cpuA_i9_9900k();
+
+    // Single-core SUIT run, fast and reference paths.
+    const auto &gcc = trace::profileByName("502.gcc");
+    const trace::Trace gcc_trace = trace::TraceGenerator(3).generate(gcc);
+    {
+        sim::SimConfig cfg;
+        cfg.cpu = &cpu_c;
+        cfg.params = core::optimalParams(cpu_c);
+        results.push_back(timeScenario(
+            "domain_sim_single", cfg, {{&gcc_trace, &gcc}}, reps));
+        cfg.referencePath = true;
+        results.push_back(timeScenario(
+            "domain_sim_reference", cfg, {{&gcc_trace, &gcc}}, reps));
+    }
+
+    // Event-dense workload (highest faultable density in the suite).
+    {
+        const auto &x264 = trace::profileByName("525.x264");
+        const trace::Trace t = trace::TraceGenerator(5).generate(x264);
+        sim::SimConfig cfg;
+        cfg.cpu = &cpu_c;
+        cfg.params = core::optimalParams(cpu_c);
+        results.push_back(
+            timeScenario("domain_sim_dense", cfg, {{&t, &x264}}, reps));
+    }
+
+    // Shared four-core domain (CPU A).
+    {
+        constexpr int kStreams = 4;
+        std::vector<trace::Trace> traces;
+        for (int s = 0; s < kStreams; ++s)
+            traces.push_back(trace::TraceGenerator(3).generate(gcc, s));
+        std::vector<sim::CoreWork> work;
+        for (const trace::Trace &t : traces)
+            work.push_back({&t, &gcc});
+        sim::SimConfig cfg;
+        cfg.cpu = &cpu_a;
+        cfg.params = core::optimalParams(cpu_a);
+        results.push_back(
+            timeScenario("domain_sim_shared", cfg, work, reps));
+    }
+
+    return results;
+}
+
+std::string
+renderJson(const std::vector<BenchResult> &results, int reps)
+{
+    double fast_ms = 0.0;
+    double ref_ms = 0.0;
+    std::string body;
+    for (const BenchResult &r : results) {
+        if (r.name == "domain_sim_single")
+            fast_ms = r.bestMs;
+        if (r.name == "domain_sim_reference")
+            ref_ms = r.bestMs;
+        if (!body.empty())
+            body += ",\n";
+        body += util::sformat(
+            "    { \"name\": \"%s\", \"events\": %llu, "
+            "\"best_ms\": %.3f, \"median_ms\": %.3f, "
+            "\"events_per_sec\": %.0f }",
+            r.name.c_str(),
+            static_cast<unsigned long long>(r.events), r.bestMs,
+            r.medianMs, r.eventsPerSec);
+    }
+    const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+    return util::sformat(
+        "{\n"
+        "  \"schema\": \"suit-bench-simcore-v1\",\n"
+        "  \"reps\": %d,\n"
+        "  \"benchmarks\": [\n%s\n  ],\n"
+        "  \"speedup_vs_reference\": %.2f\n"
+        "}\n",
+        reps, body.c_str(), speedup);
+}
+
+/**
+ * Schema check of an emitted file: the stable keys every consumer
+ * (the perf smoke test, the DESIGN.md tables) relies on must be
+ * present.  Returns a failure message, or empty on success.
+ */
+std::string
+validateJson(const std::string &text)
+{
+    const char *kRequired[] = {
+        "\"schema\": \"suit-bench-simcore-v1\"",
+        "\"reps\":",
+        "\"benchmarks\":",
+        "\"domain_sim_single\"",
+        "\"domain_sim_reference\"",
+        "\"domain_sim_dense\"",
+        "\"domain_sim_shared\"",
+        "\"events_per_sec\":",
+        "\"speedup_vs_reference\":",
+    };
+    for (const char *needle : kRequired) {
+        if (text.find(needle) == std::string::npos)
+            return util::sformat("missing required key %s", needle);
+    }
+    return {};
+}
+
+int
+runCheck(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        util::fatal("cannot open '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    const std::string err = validateJson(text);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s: invalid: %s\n", path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    std::printf("%s: ok (%zu bytes)\n", path.c_str(), text.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "suit_bench_json",
+        "domain-simulator benchmark record (BENCH_simcore.json)");
+    args.addOption("reps", "5", "timed repetitions per scenario");
+    args.addOption("out", "BENCH_simcore.json", "output path");
+    args.addOption("check", "",
+                   "validate an existing record instead of measuring");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const std::string check = args.get("check");
+    if (!check.empty())
+        return runCheck(check);
+
+    const long reps = args.getInt("reps");
+    if (reps < 1)
+        util::fatal("--reps must be >= 1");
+
+    const std::vector<BenchResult> results =
+        runScenarios(static_cast<int>(reps));
+    const std::string json =
+        renderJson(results, static_cast<int>(reps));
+
+    const std::string sanity = validateJson(json);
+    SUIT_ASSERT(sanity.empty(), "emitted record fails own schema: %s",
+                sanity.c_str());
+
+    const std::string out = args.get("out");
+    if (out == "-") {
+        std::fputs(json.c_str(), stdout);
+        return 0;
+    }
+    std::FILE *f = std::fopen(out.c_str(), "wb");
+    if (!f)
+        util::fatal("cannot write '%s'", out.c_str());
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+
+    for (const BenchResult &r : results)
+        std::fprintf(stderr, "%-22s %8.2f ms  %12.0f events/s\n",
+                     r.name.c_str(), r.bestMs, r.eventsPerSec);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+    return 0;
+}

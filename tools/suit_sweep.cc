@@ -348,15 +348,23 @@ main(int argc, char **argv)
         std::fclose(out);
 
     // Footer goes to stderr so it never pollutes CSV-on-stdout.
+    const std::size_t trace_entries = engine.traceCache().entries();
+    const std::uint64_t trace_hits = engine.traceCache().hits();
+    const std::uint64_t trace_gets =
+        trace_hits + static_cast<std::uint64_t>(trace_entries);
+    const double hit_rate =
+        trace_gets > 0
+            ? 100.0 * static_cast<double>(trace_hits) /
+                  static_cast<double>(trace_gets)
+            : 0.0;
     std::fprintf(stderr,
                  "sweep execution (%d worker%s, %zu jobs, %zu run, "
                  "%zu restored, %zu traces generated, %llu cache "
-                 "hits):\n%s",
+                 "hits, %.1f%% hit rate):\n%s",
                  engine.jobs(), engine.jobs() == 1 ? "" : "s",
                  jobs.size(), outcome.executed, outcome.restored,
-                 engine.traceCache().entries(),
-                 static_cast<unsigned long long>(
-                     engine.traceCache().hits()),
+                 trace_entries,
+                 static_cast<unsigned long long>(trace_hits), hit_rate,
                  engine.workerFooter().c_str());
     for (const exec::CellFailure &f : outcome.failures)
         std::fprintf(stderr,
