@@ -18,8 +18,10 @@ DeadlineTimer::arm(Tick now, Tick reload)
 void
 DeadlineTimer::touch(Tick now)
 {
-    if (armed_)
+    if (armed_) {
         expiry_ = now + reload_;
+        ++resets_;
+    }
 }
 
 void
@@ -41,6 +43,7 @@ DeadlineTimer::checkExpired(Tick now)
     if (!armed_ || now < expiry_)
         return false;
     armed_ = false;
+    ++expirations_;
     return true;
 }
 

@@ -12,6 +12,8 @@
 #ifndef SUIT_CORE_DEADLINE_HH
 #define SUIT_CORE_DEADLINE_HH
 
+#include <cstdint>
+
 #include "util/ticks.hh"
 
 namespace suit::core {
@@ -44,10 +46,19 @@ class DeadlineTimer
      */
     bool checkExpired(suit::util::Tick now);
 
+    /** @{ Lifetime observability counters (plain, always on). */
+    /** Count-down restarts: touch() calls that hit an armed timer. */
+    std::uint64_t resets() const { return resets_; }
+    /** Expirations delivered by checkExpired(). */
+    std::uint64_t expirations() const { return expirations_; }
+    /** @} */
+
   private:
     bool armed_ = false;
     suit::util::Tick reload_ = 0;
     suit::util::Tick expiry_ = 0;
+    std::uint64_t resets_ = 0;
+    std::uint64_t expirations_ = 0;
 };
 
 } // namespace suit::core

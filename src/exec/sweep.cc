@@ -5,6 +5,8 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -140,8 +142,13 @@ SweepEngine::runCells(
 
     std::atomic<std::size_t> executed{0};
     std::atomic<std::size_t> skipped{0};
+    std::atomic<std::uint64_t> retried{0};
     std::mutex failures_mu;
     std::vector<CellFailure> failures;
+
+    // Latched once per runCells(): workers latch the same session at
+    // thread start, so pool and serial mode trace identically.
+    obs::TraceSession *const trace = obs::activeTrace();
 
     const auto runOne = [&](std::size_t i) {
         if (out.done[i])
@@ -151,9 +158,14 @@ SweepEngine::runCells(
             skipped.fetch_add(1, std::memory_order_relaxed);
             return;
         }
+        const double cell_start = trace ? trace->hostNowUs() : 0.0;
         const int attempts = policy.retries + 1;
+        int attempts_made = 0;
         std::exception_ptr error;
         for (int attempt = 0; attempt < attempts; ++attempt) {
+            if (attempt > 0)
+                retried.fetch_add(1, std::memory_order_relaxed);
+            ++attempts_made;
             try {
                 out.results[i] = cell(i);
                 out.done[i] = 1;
@@ -164,6 +176,16 @@ SweepEngine::runCells(
             } catch (...) {
                 error = std::current_exception();
             }
+        }
+        if (trace) {
+            const int track = trace->threadTrack("main");
+            const double now_us = trace->hostNowUs();
+            trace->complete(
+                obs::TraceSession::kHostPid, track, cell_start,
+                now_us - cell_start, "cell", "sweep",
+                {{"index", static_cast<std::uint64_t>(i)},
+                 {"attempts", attempts_made},
+                 {"ok", error ? 0 : 1}});
         }
         if (error) {
             if (policy.strict)
@@ -194,6 +216,16 @@ SweepEngine::runCells(
                   return a.index < b.index;
               });
     out.failures = std::move(failures);
+
+    obs::Registry &reg = obs::metrics();
+    if (reg.enabled()) {
+        reg.add(reg.counter("sweep.cells.executed"), out.executed);
+        reg.add(reg.counter("sweep.cells.restored"), out.restored);
+        reg.add(reg.counter("sweep.cells.skipped"), out.skipped);
+        reg.add(reg.counter("sweep.cells.failed"),
+                out.failures.size());
+        reg.add(reg.counter("sweep.cells.retries"), retried.load());
+    }
     return out;
 }
 

@@ -5,6 +5,9 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace suit::exec {
@@ -76,17 +79,45 @@ ThreadPool::workerMain(std::size_t index)
 {
     tls_worker_pool = this;
     WorkerCell &cell = *cells_[index];
+
+    // Latched once per worker: the session (installed before the pool
+    // per the obs::CliScope contract) outlives every worker thread.
+    obs::TraceSession *trace = obs::activeTrace();
+    int track = 0;
+    if (trace) {
+        track = trace->threadTrack(
+            suit::util::sformat("worker %zu", index));
+        trace->begin(obs::TraceSession::kHostPid, track,
+                     trace->hostNowUs(), "worker", "exec",
+                     {{"index", static_cast<std::uint64_t>(index)}});
+    }
+    obs::Registry &reg = obs::metrics();
+    static const std::vector<double> kWaitUsBounds{
+        1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6};
+    static const std::vector<double> kDepthBounds{
+        0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+
     for (;;) {
         const auto wait_start = Clock::now();
         std::optional<Task> task = queue_.pop();
         if (!task)
-            return;
+            break;
         // Only waits that yielded a task count: the final blocked
         // pop() that observes shutdown is idle time, not queue wait,
         // and used to inflate the footer's "queue wait" column.
         const auto job_start = Clock::now();
-        cell.queueWaitNs.fetch_add(elapsedNs(wait_start, job_start),
-                                   std::memory_order_relaxed);
+        const std::uint64_t wait_ns = elapsedNs(wait_start, job_start);
+        cell.queueWaitNs.fetch_add(wait_ns, std::memory_order_relaxed);
+        if (reg.enabled()) {
+            static const obs::MetricId wait_us =
+                reg.histogram("exec.job_wait_us", kWaitUsBounds);
+            static const obs::MetricId depth =
+                reg.histogram("exec.queue_depth", kDepthBounds);
+            reg.observe(wait_us,
+                        static_cast<double>(wait_ns) * 1e-3);
+            reg.observe(depth,
+                        static_cast<double>(queue_.size()));
+        }
         task->body();
         cell.busyNs.fetch_add(elapsedNs(job_start, Clock::now()),
                               std::memory_order_relaxed);
@@ -94,6 +125,22 @@ ThreadPool::workerMain(std::size_t index)
         if (task->notify)
             task->notify();
     }
+
+    // Fold this worker's lifetime counters into the registry on the
+    // way out, so a CLI's --metrics dump aggregates the whole pool.
+    if (reg.enabled()) {
+        reg.add(reg.counter("exec.workers"));
+        reg.add(reg.counter("exec.jobs"),
+                cell.jobsRun.load(std::memory_order_relaxed));
+        reg.add(reg.counter("exec.queue_wait_us"),
+                cell.queueWaitNs.load(std::memory_order_relaxed) /
+                    1000);
+        reg.add(reg.counter("exec.busy_us"),
+                cell.busyNs.load(std::memory_order_relaxed) / 1000);
+    }
+    if (trace)
+        trace->end(obs::TraceSession::kHostPid, track,
+                   trace->hostNowUs());
 }
 
 std::future<void>

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal JSON string quoting shared by the obs exporters.
+ *
+ * Metric and trace names are code-controlled identifiers, but
+ * event argument values may carry workload names or paths, so the
+ * exporters must still escape properly rather than assume.
+ */
+
+#ifndef SUIT_OBS_JSON_HH
+#define SUIT_OBS_JSON_HH
+
+#include <string>
+
+#include "util/format.hh"
+
+namespace suit::obs {
+
+/** @return @p s as a double-quoted JSON string literal. */
+inline std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += suit::util::sformat(
+                    "\\u%04x", static_cast<unsigned>(
+                                   static_cast<unsigned char>(c)));
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace suit::obs
+
+#endif // SUIT_OBS_JSON_HH

@@ -1,0 +1,383 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <new>
+
+#include "obs/json.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace suit::obs {
+
+namespace {
+
+/**
+ * Registries are identified by a process-unique serial so the
+ * thread-local shard cache below can never confuse a test-local
+ * registry reallocated at a recycled address with the one it cached.
+ * Serial 0 is reserved as "nothing cached".
+ */
+std::atomic<std::uint64_t> g_next_serial{1};
+
+/**
+ * Per-thread shard cache: which registry the cached shard belongs to,
+ * and the shard itself (type-erased because Shard is private).  The
+ * hot path is two thread-local loads and a compare.
+ */
+thread_local std::uint64_t t_shard_serial = 0;
+thread_local void *t_shard = nullptr;
+
+} // namespace
+
+const char *
+toString(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+const MetricValue *
+Snapshot::find(const std::string &name) const
+{
+    for (const MetricValue &m : metrics) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+Registry::Registry()
+    : serial_(g_next_serial.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Registry::~Registry()
+{
+    // Writers must be quiesced before destruction (same contract as
+    // any other shared object); stale thread-local caches are defused
+    // by the serial check, not by clearing them here.
+}
+
+MetricId
+Registry::counter(const std::string &name)
+{
+    return registerMetric(name, MetricKind::Counter, {});
+}
+
+MetricId
+Registry::gauge(const std::string &name)
+{
+    return registerMetric(name, MetricKind::Gauge, {});
+}
+
+MetricId
+Registry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    SUIT_ASSERT(!bounds.empty(),
+                "histogram '%s' needs at least one bucket bound",
+                name.c_str());
+    return registerMetric(name, MetricKind::Histogram,
+                          std::move(bounds));
+}
+
+MetricId
+Registry::registerMetric(const std::string &name, MetricKind kind,
+                         std::vector<double> bounds)
+{
+    // Validate bounds outside the lock; the BucketHistogram ctor
+    // asserts strict monotonicity for us.
+    if (kind == MetricKind::Histogram) {
+        util::BucketHistogram check(bounds);
+        (void)check;
+    }
+
+    std::lock_guard lock(mu_);
+    if (auto it = byName_.find(name); it != byName_.end()) {
+        MetricId::Info *info = it->second;
+        SUIT_ASSERT(info->kind == kind,
+                    "metric '%s' re-registered as %s (was %s)",
+                    name.c_str(), toString(kind),
+                    toString(info->kind));
+        SUIT_ASSERT(info->bounds == bounds,
+                    "histogram '%s' re-registered with different "
+                    "bounds (%zu vs %zu)",
+                    name.c_str(), bounds.size(), info->bounds.size());
+        return MetricId(info);
+    }
+
+    MetricId::Info info;
+    info.name = name;
+    info.kind = kind;
+    info.bounds = std::move(bounds);
+    switch (kind) {
+      case MetricKind::Counter:
+        info.slots = 1;
+        break;
+      case MetricKind::Histogram:
+        info.slots = static_cast<std::uint32_t>(info.bounds.size()) + 1;
+        break;
+      case MetricKind::Gauge:
+        info.slots = 0;
+        info.gaugeIndex = static_cast<std::uint32_t>(gauges_.size());
+        gauges_.push_back(0.0);
+        break;
+    }
+    SUIT_ASSERT(nextSlot_ + info.slots <= kShardSlots,
+                "metric registry full registering '%s' "
+                "(%u slots used of %u)",
+                name.c_str(), nextSlot_, kShardSlots);
+    info.firstSlot = nextSlot_;
+    nextSlot_ += info.slots;
+
+    infos_.push_back(std::move(info));
+    MetricId::Info *stable = &infos_.back();
+    byName_.emplace(stable->name, stable);
+    return MetricId(stable);
+}
+
+Registry::Shard &
+Registry::shardSlow()
+{
+    std::lock_guard lock(mu_);
+    auto it = shards_.find(std::this_thread::get_id());
+    if (it == shards_.end()) {
+        void *mem = ::operator new(sizeof(std::atomic<std::uint64_t>) *
+                                   kShardSlots);
+        auto *cells = static_cast<std::atomic<std::uint64_t> *>(mem);
+        for (std::uint32_t i = 0; i < kShardSlots; ++i)
+            new (&cells[i]) std::atomic<std::uint64_t>(0);
+        auto free_shard = +[](Shard *s) { ::operator delete(s); };
+        it = shards_
+                 .emplace(std::this_thread::get_id(),
+                          std::unique_ptr<Shard, void (*)(Shard *)>(
+                              reinterpret_cast<Shard *>(mem),
+                              free_shard))
+                 .first;
+    }
+    t_shard_serial = serial_;
+    t_shard = it->second.get();
+    return *it->second;
+}
+
+std::atomic<std::uint64_t> *
+Registry::cellsFor(const MetricId::Info &info)
+{
+    Shard &shard = t_shard_serial == serial_
+                       ? *static_cast<Shard *>(t_shard)
+                       : shardSlow();
+    return &shard.cells[info.firstSlot];
+}
+
+void
+Registry::add(MetricId id, std::uint64_t n)
+{
+    if (!enabled() || !id.valid())
+        return;
+    SUIT_ASSERT(id.info_->kind == MetricKind::Counter,
+                "add() on non-counter metric '%s'",
+                id.info_->name.c_str());
+    cellsFor(*id.info_)[0].fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Registry::observe(MetricId id, double value)
+{
+    if (!enabled() || !id.valid())
+        return;
+    const MetricId::Info &info = *id.info_;
+    SUIT_ASSERT(info.kind == MetricKind::Histogram,
+                "observe() on non-histogram metric '%s'",
+                info.name.c_str());
+    const auto it = std::lower_bound(info.bounds.begin(),
+                                     info.bounds.end(), value);
+    const auto bucket =
+        static_cast<std::size_t>(it - info.bounds.begin());
+    cellsFor(info)[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Registry::set(MetricId id, double value)
+{
+    if (!enabled() || !id.valid())
+        return;
+    SUIT_ASSERT(id.info_->kind == MetricKind::Gauge,
+                "set() on non-gauge metric '%s'",
+                id.info_->name.c_str());
+    std::lock_guard lock(mu_);
+    gauges_[id.info_->gaugeIndex] = value;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard lock(mu_);
+
+    // Merge all shards into one flat cell image first: concurrent
+    // writers keep mutating their shard, so each cell is read exactly
+    // once to keep per-metric values internally consistent.
+    std::vector<std::uint64_t> merged(nextSlot_, 0);
+    for (const auto &[tid, shard] : shards_) {
+        (void)tid;
+        for (std::uint32_t i = 0; i < nextSlot_; ++i)
+            merged[i] +=
+                shard->cells[i].load(std::memory_order_relaxed);
+    }
+
+    Snapshot snap;
+    snap.metrics.reserve(byName_.size());
+    for (const auto &[name, info] : byName_) {
+        MetricValue mv;
+        mv.name = name;
+        mv.kind = info->kind;
+        switch (info->kind) {
+          case MetricKind::Counter:
+            mv.count = merged[info->firstSlot];
+            break;
+          case MetricKind::Gauge:
+            mv.value = gauges_[info->gaugeIndex];
+            break;
+          case MetricKind::Histogram: {
+            util::BucketHistogram hist(info->bounds);
+            for (std::uint32_t b = 0; b < info->slots; ++b)
+                hist.addCount(b, merged[info->firstSlot + b]);
+            mv.histogram = std::move(hist);
+            mv.count = mv.histogram.total();
+            break;
+          }
+        }
+        snap.metrics.push_back(std::move(mv));
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard lock(mu_);
+    for (const auto &[tid, shard] : shards_) {
+        (void)tid;
+        for (std::uint32_t i = 0; i < nextSlot_; ++i)
+            shard->cells[i].store(0, std::memory_order_relaxed);
+    }
+    std::fill(gauges_.begin(), gauges_.end(), 0.0);
+}
+
+std::size_t
+Registry::size() const
+{
+    std::lock_guard lock(mu_);
+    return byName_.size();
+}
+
+std::string
+Registry::renderTable() const
+{
+    const Snapshot snap = snapshot();
+    util::TablePrinter table({"metric", "kind", "value", "p50", "p90",
+                              "p99"});
+    for (const MetricValue &m : snap.metrics) {
+        switch (m.kind) {
+          case MetricKind::Counter:
+            table.addRow({m.name, "counter",
+                          util::sformat("%llu",
+                                        static_cast<unsigned long long>(
+                                            m.count)),
+                          "", "", ""});
+            break;
+          case MetricKind::Gauge:
+            table.addRow({m.name, "gauge",
+                          util::sformat("%.6g", m.value), "", "", ""});
+            break;
+          case MetricKind::Histogram:
+            table.addRow(
+                {m.name, "histogram",
+                 util::sformat("n=%llu",
+                               static_cast<unsigned long long>(
+                                   m.histogram.total())),
+                 util::sformat("%.6g", m.histogram.percentile(50.0)),
+                 util::sformat("%.6g", m.histogram.percentile(90.0)),
+                 util::sformat("%.6g", m.histogram.percentile(99.0))});
+            break;
+        }
+    }
+    return table.render();
+}
+
+std::string
+Registry::renderJson() const
+{
+    const Snapshot snap = snapshot();
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"suit-obs-metrics-v1\",\n";
+    out += "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
+        const MetricValue &m = snap.metrics[i];
+        out += "    {";
+        out += util::sformat("\"name\": %s, \"kind\": \"%s\"",
+                             jsonQuote(m.name).c_str(),
+                             toString(m.kind));
+        switch (m.kind) {
+          case MetricKind::Counter:
+            out += util::sformat(", \"count\": %llu",
+                                 static_cast<unsigned long long>(
+                                     m.count));
+            break;
+          case MetricKind::Gauge:
+            out += util::sformat(", \"value\": %.17g", m.value);
+            break;
+          case MetricKind::Histogram: {
+            out += util::sformat(", \"count\": %llu",
+                                 static_cast<unsigned long long>(
+                                     m.histogram.total()));
+            out += ", \"bounds\": [";
+            const auto &bounds = m.histogram.bounds();
+            for (std::size_t b = 0; b < bounds.size(); ++b) {
+                if (b)
+                    out += ", ";
+                out += util::sformat("%.17g", bounds[b]);
+            }
+            out += "], \"buckets\": [";
+            for (std::size_t b = 0; b < m.histogram.bucketCount();
+                 ++b) {
+                if (b)
+                    out += ", ";
+                out += util::sformat("%llu",
+                                     static_cast<unsigned long long>(
+                                         m.histogram.count(b)));
+            }
+            out += "]";
+            out += util::sformat(
+                ", \"p50\": %.17g, \"p90\": %.17g, \"p99\": %.17g",
+                m.histogram.percentile(50.0),
+                m.histogram.percentile(90.0),
+                m.histogram.percentile(99.0));
+            break;
+          }
+        }
+        out += "}";
+        if (i + 1 < snap.metrics.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+Registry &
+metrics()
+{
+    static Registry registry;
+    return registry;
+}
+
+} // namespace suit::obs

@@ -1,0 +1,96 @@
+#include "obs/setup.hh"
+
+#include <cstdio>
+
+#include "obs/registry.hh"
+#include "util/logging.hh"
+
+namespace suit::obs {
+
+void
+addCliOptions(util::ArgParser &args)
+{
+    args.addOption("metrics", "",
+                   "write the metrics registry as JSON to this path "
+                   "('-' for stdout)");
+    args.addOption("trace-out", "",
+                   "write a Chrome trace_event timeline to this path "
+                   "('-' for stdout)");
+    args.addOption("obs-level", "auto",
+                   "observability level: off, metrics, full, or auto "
+                   "(derive from --metrics/--trace-out)");
+}
+
+CliScope::CliScope(const util::ArgParser &args)
+    : metricsPath_(args.get("metrics")),
+      tracePath_(args.get("trace-out"))
+{
+    const std::string &level = args.get("obs-level");
+    if (level == "off") {
+        level_ = Level::Off;
+    } else if (level == "metrics") {
+        level_ = Level::Metrics;
+    } else if (level == "full") {
+        level_ = Level::Full;
+    } else if (level == "auto") {
+        if (!tracePath_.empty())
+            level_ = Level::Full;
+        else if (!metricsPath_.empty())
+            level_ = Level::Metrics;
+        else
+            level_ = Level::Off;
+    } else {
+        util::fatal("bad --obs-level '%s' (want off, metrics, full "
+                    "or auto)",
+                    level.c_str());
+    }
+    if (!tracePath_.empty() && level_ != Level::Full) {
+        util::warn("--trace-out ignored at --obs-level %s",
+                   level.c_str());
+        tracePath_.clear();
+    }
+
+    metrics().setEnabled(level_ != Level::Off);
+    if (level_ == Level::Full) {
+        trace_ = std::make_unique<TraceSession>();
+        setActiveTrace(trace_.get());
+    }
+}
+
+CliScope::~CliScope()
+{
+    finish();
+}
+
+void
+CliScope::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    if (trace_)
+        setActiveTrace(nullptr);
+
+    if (!metricsPath_.empty() && metricsEnabled()) {
+        const std::string doc = metrics().renderJson();
+        if (metricsPath_ == "-") {
+            std::fwrite(doc.data(), 1, doc.size(), stdout);
+        } else {
+            std::FILE *f = std::fopen(metricsPath_.c_str(), "w");
+            if (!f) {
+                util::warn("cannot write metrics to '%s'",
+                           metricsPath_.c_str());
+            } else {
+                std::fwrite(doc.data(), 1, doc.size(), f);
+                std::fclose(f);
+            }
+        }
+    }
+    if (trace_ && !tracePath_.empty())
+        trace_->writeTo(tracePath_);
+
+    metrics().setEnabled(false);
+}
+
+} // namespace suit::obs

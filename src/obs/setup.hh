@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One-stop observability wiring for the CLI tools.
+ *
+ * Every instrumented binary adds the same three options and
+ * constructs one CliScope around its run:
+ *
+ *   --metrics <path|->   write the metrics registry as JSON
+ *   --trace-out <path|-> write a Chrome trace_event timeline
+ *   --obs-level <level>  off | metrics | full | auto
+ *
+ * "auto" (the default) derives the level from the other two flags:
+ * off unless --metrics or --trace-out was given, full when
+ * --trace-out was.  The scope enables obs::metrics(), installs its
+ * TraceSession as the active trace, and on finish()/destruction
+ * writes both outputs and tears the wiring back down.
+ *
+ * Declare the CliScope *before* any thread pool or engine whose
+ * workers may emit events, so the session outlives every emitter.
+ */
+
+#ifndef SUIT_OBS_SETUP_HH
+#define SUIT_OBS_SETUP_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.hh"
+#include "util/args.hh"
+
+namespace suit::obs {
+
+/** What the CLI asked the obs layer to record. */
+enum class Level
+{
+    Off,     //!< nothing recorded
+    Metrics, //!< registry counters only
+    Full,    //!< registry counters + trace events
+};
+
+/** Declare --metrics, --trace-out and --obs-level on @p args. */
+void addCliOptions(util::ArgParser &args);
+
+/** RAII wiring of the obs flags; see the file comment. */
+class CliScope
+{
+  public:
+    /**
+     * Read the obs flags from parsed @p args and wire the registry
+     * and (for Level::Full) the active trace session accordingly.
+     * fatal()s on a bad --obs-level value.
+     */
+    explicit CliScope(const util::ArgParser &args);
+
+    /** Calls finish(). */
+    ~CliScope();
+
+    CliScope(const CliScope &) = delete;
+    CliScope &operator=(const CliScope &) = delete;
+
+    /** Effective level after resolving "auto". */
+    Level level() const { return level_; }
+
+    /** True when the registry is recording. */
+    bool metricsEnabled() const { return level_ != Level::Off; }
+
+    /** The trace session, or null below Level::Full. */
+    TraceSession *trace() { return trace_.get(); }
+
+    /**
+     * Write --metrics and --trace-out outputs, uninstall the active
+     * trace and disable the registry.  Idempotent; called by the
+     * destructor, but call it explicitly when output ordering
+     * relative to other footers matters.
+     */
+    void finish();
+
+  private:
+    Level level_ = Level::Off;
+    std::string metricsPath_;
+    std::string tracePath_;
+    std::unique_ptr<TraceSession> trace_;
+    bool finished_ = false;
+};
+
+} // namespace suit::obs
+
+#endif // SUIT_OBS_SETUP_HH

@@ -1,0 +1,248 @@
+#include "obs/validate.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/format.hh"
+
+namespace suit::obs {
+
+namespace {
+
+/**
+ * Raw value token for "key": <token> in @p line, or empty when the
+ * key is absent.  Tokens run to the next top-level ',' or '}' — good
+ * enough for the flat, one-object-per-line documents we emit.
+ */
+std::string
+fieldToken(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return {};
+    std::size_t pos = at + needle.size();
+    while (pos < line.size() && line[pos] == ' ')
+        ++pos;
+    if (pos >= line.size())
+        return {};
+    std::size_t end = pos;
+    if (line[pos] == '"') {
+        end = pos + 1;
+        while (end < line.size() && line[end] != '"') {
+            if (line[end] == '\\')
+                ++end;
+            ++end;
+        }
+        if (end < line.size())
+            ++end;
+    } else if (line[pos] == '[' || line[pos] == '{') {
+        const char open = line[pos];
+        const char close = open == '[' ? ']' : '}';
+        int depth = 0;
+        end = pos;
+        while (end < line.size()) {
+            if (line[end] == open)
+                ++depth;
+            else if (line[end] == close && --depth == 0) {
+                ++end;
+                break;
+            }
+            ++end;
+        }
+    } else {
+        while (end < line.size() && line[end] != ',' &&
+               line[end] != '}')
+            ++end;
+    }
+    return line.substr(pos, end - pos);
+}
+
+/** Unquoted string value of "key": "..." (empty when absent). */
+std::string
+fieldString(const std::string &line, const std::string &key)
+{
+    std::string token = fieldToken(line, key);
+    if (token.size() >= 2 && token.front() == '"' &&
+        token.back() == '"')
+        return token.substr(1, token.size() - 2);
+    return {};
+}
+
+/** Elements of a flat "[a, b, ...]" token (0 for empty/absent). */
+std::size_t
+arrayLength(const std::string &token)
+{
+    if (token.size() < 2 || token.front() != '[')
+        return 0;
+    const std::string body = token.substr(1, token.size() - 2);
+    if (body.find_first_not_of(" \t") == std::string::npos)
+        return 0;
+    return static_cast<std::size_t>(
+               std::count(body.begin(), body.end(), ',')) +
+           1;
+}
+
+void
+addName(CheckResult &result, const std::string &name)
+{
+    if (name.empty())
+        return;
+    if (std::find(result.names.begin(), result.names.end(), name) ==
+        result.names.end())
+        result.names.push_back(name);
+}
+
+CheckResult
+fail(const std::string &error)
+{
+    CheckResult result;
+    result.error = error;
+    return result;
+}
+
+} // namespace
+
+bool
+CheckResult::hasName(const std::string &name) const
+{
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+CheckResult
+checkChromeTrace(const std::string &doc)
+{
+    if (doc.find("\"traceEvents\"") == std::string::npos)
+        return fail("missing \"traceEvents\" key");
+
+    CheckResult result;
+    // Open B spans per (pid, tid) track.
+    std::map<std::pair<std::string, std::string>, int> open;
+
+    std::istringstream in(doc);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.rfind("{\"ph\"", 0) != 0)
+            continue; // structural line, not an event
+        ++result.entries;
+        if (!line.empty() && line.back() == ',')
+            line.pop_back();
+        if (line.empty() || line.back() != '}')
+            return fail(util::sformat(
+                "line %zu: event object not closed", lineno));
+
+        const std::string ph = fieldString(line, "ph");
+        const std::string pid = fieldToken(line, "pid");
+        const std::string tid = fieldToken(line, "tid");
+        if (ph.size() != 1 ||
+            std::string("BEXiM").find(ph) == std::string::npos)
+            return fail(util::sformat("line %zu: bad phase '%s'",
+                                      lineno, ph.c_str()));
+        if (pid.empty() || tid.empty())
+            return fail(util::sformat(
+                "line %zu: event missing pid/tid", lineno));
+        if (ph != "M" && fieldToken(line, "ts").empty())
+            return fail(util::sformat(
+                "line %zu: %s event missing ts", lineno, ph.c_str()));
+        if (ph == "X" && fieldToken(line, "dur").empty())
+            return fail(util::sformat(
+                "line %zu: X event missing dur", lineno));
+
+        const std::string name = fieldString(line, "name");
+        if ((ph == "B" || ph == "X" || ph == "i") && name.empty())
+            return fail(util::sformat(
+                "line %zu: %s event missing name", lineno,
+                ph.c_str()));
+        if (ph != "M")
+            addName(result, name);
+
+        if (ph == "B")
+            ++open[{pid, tid}];
+        if (ph == "E") {
+            if (--open[{pid, tid}] < 0)
+                return fail(util::sformat(
+                    "line %zu: E without matching B on track "
+                    "pid=%s tid=%s",
+                    lineno, pid.c_str(), tid.c_str()));
+        }
+    }
+
+    for (const auto &[track, depth] : open) {
+        if (depth != 0)
+            return fail(util::sformat(
+                "unbalanced span: %d open B event(s) on track "
+                "pid=%s tid=%s",
+                depth, track.first.c_str(), track.second.c_str()));
+    }
+    if (result.entries == 0)
+        return fail("no events found");
+    result.ok = true;
+    return result;
+}
+
+CheckResult
+checkMetricsJson(const std::string &doc)
+{
+    if (doc.find("\"schema\": \"suit-obs-metrics-v1\"") ==
+        std::string::npos)
+        return fail("missing schema \"suit-obs-metrics-v1\"");
+    if (doc.find("\"metrics\"") == std::string::npos)
+        return fail("missing \"metrics\" key");
+
+    CheckResult result;
+    std::istringstream in(doc);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Metric objects are the indented one-per-line entries.
+        std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos ||
+            line.compare(start, 8, "{\"name\":") != 0)
+            continue;
+        ++result.entries;
+
+        const std::string name = fieldString(line, "name");
+        const std::string kind = fieldString(line, "kind");
+        if (name.empty())
+            return fail(util::sformat(
+                "line %zu: metric missing name", lineno));
+        addName(result, name);
+        if (kind != "counter" && kind != "gauge" &&
+            kind != "histogram")
+            return fail(util::sformat(
+                "line %zu: metric '%s' has bad kind '%s'", lineno,
+                name.c_str(), kind.c_str()));
+        if (kind == "gauge") {
+            if (fieldToken(line, "value").empty())
+                return fail(util::sformat(
+                    "line %zu: gauge '%s' missing value", lineno,
+                    name.c_str()));
+            continue;
+        }
+        if (fieldToken(line, "count").empty())
+            return fail(util::sformat(
+                "line %zu: %s '%s' missing count", lineno,
+                kind.c_str(), name.c_str()));
+        if (kind == "histogram") {
+            const std::size_t bounds =
+                arrayLength(fieldToken(line, "bounds"));
+            const std::size_t buckets =
+                arrayLength(fieldToken(line, "buckets"));
+            if (bounds == 0 || buckets != bounds + 1)
+                return fail(util::sformat(
+                    "line %zu: histogram '%s' has %zu bounds but "
+                    "%zu buckets (want bounds+1)",
+                    lineno, name.c_str(), bounds, buckets));
+        }
+    }
+    if (result.entries == 0)
+        return fail("no metrics found");
+    result.ok = true;
+    return result;
+}
+
+} // namespace suit::obs

@@ -1,5 +1,6 @@
 #include "os/exception.hh"
 
+#include "obs/registry.hh"
 #include "util/logging.hh"
 
 namespace suit::os {
@@ -45,6 +46,16 @@ ExceptionTable::raise(ExceptionVector vec, const TrapFrame &frame)
                    "installed (double fault)",
                 static_cast<int>(vec));
     ++raiseCount_;
+    {
+        // One relaxed load when the registry is off; ids registered
+        // once per process.
+        static const obs::MetricId ud =
+            obs::metrics().counter("os.exceptions.ud");
+        static const obs::MetricId dis =
+            obs::metrics().counter("os.exceptions.do");
+        obs::metrics().add(
+            vec == ExceptionVector::DisabledOpcode ? dis : ud);
+    }
     h(frame);
 }
 

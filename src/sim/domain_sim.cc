@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "emu/dispatcher.hh"
+#include "obs/registry.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace suit::sim {
@@ -112,6 +114,25 @@ DomainSimulator::DomainSimulator(const SimConfig &config,
         for (int i = 0; i < kNumSuitPStates; ++i)
             powerTbl_[i] = f.power[i];
     }
+
+    if (!cfg_.obsBypass)
+        trace_ = suit::obs::activeTrace();
+    if (trace_) {
+        track_ = trace_->newTrack(
+            suit::obs::TraceSession::kSimPid,
+            suit::util::sformat(
+                "domain:%s", cores_[0].work.trace->name().c_str()));
+        tracePState(0, pstate_, "init");
+    }
+}
+
+void
+DomainSimulator::tracePState(Tick when, SuitPState to, const char *how)
+{
+    trace_->instant(suit::obs::TraceSession::kSimPid, track_,
+                    suit::obs::TraceSession::simUs(when), "pstate",
+                    "sim",
+                    {{"to", suit::power::toString(to)}, {"how", how}});
 }
 
 DomainSimulator::~DomainSimulator() = default;
@@ -229,6 +250,8 @@ DomainSimulator::changePStateWait(SuitPState target)
     ++switches_;
     if (cfg_.recordStateLog)
         stateLog_.push_back({until, pstate_, false});
+    if (trace_)
+        tracePState(until, pstate_, "wait");
     invalidateArrivals();
 }
 
@@ -266,6 +289,8 @@ DomainSimulator::completePending()
     ++switches_;
     if (cfg_.recordStateLog)
         stateLog_.push_back({now_, pstate_, false});
+    if (trace_)
+        tracePState(now_, pstate_, "async");
     invalidateArrivals();
 }
 
@@ -444,8 +469,16 @@ DomainSimulator::handleFaultableInstruction(std::size_t i)
 
     // Disabled instruction fetched: #DO exception.
     ++traps_;
+    ++trapsByKind_[static_cast<std::size_t>(event.kind)];
     if (cfg_.recordStateLog)
         stateLog_.push_back({now_, pstate_, true});
+    if (trace_) {
+        trace_->instant(suit::obs::TraceSession::kSimPid, track_,
+                        suit::obs::TraceSession::simUs(now_),
+                        "do-trap", "sim",
+                        {{"kind", suit::isa::toString(event.kind)},
+                         {"core", static_cast<int>(i)}});
+    }
     trappingCore_ = i;
     core.resumeTime = std::max(
         core.resumeTime,
@@ -517,6 +550,7 @@ DomainSimulator::runNativeWindow(Core &core, std::uint64_t &budget)
     const Tick run_cap = pending_ ? pending_->runUntil : kNever;
     const Tick complete_at = pending_ ? pending_->completeAt : kNever;
     const auto &events = core.work.trace->events();
+    const std::size_t window_first = core.nextEvent;
 
     Tick t = now_;
     while (!core.pastLastEvent) {
@@ -555,12 +589,18 @@ DomainSimulator::runNativeWindow(Core &core, std::uint64_t &budget)
     now_ = t;
     core.lastUpdate = t;
     core.arrivalValid = false;
+    // One delta per window instead of a per-event increment keeps the
+    // always-on counter out of the hot loop body.
+    batchedEvents_ += core.nextEvent - window_first;
 }
 
 DomainResult
 DomainSimulator::run()
 {
-    return cfg_.referencePath ? runReference() : runFast();
+    DomainResult result =
+        cfg_.referencePath ? runReference() : runFast();
+    publishObs(result);
+    return result;
 }
 
 DomainResult
@@ -610,6 +650,12 @@ DomainSimulator::runReference()
             if (timer_.checkExpired(now_)) {
                 SUIT_ASSERT(strategy_ != nullptr,
                             "timer fired without a strategy");
+                if (trace_) {
+                    trace_->instant(
+                        suit::obs::TraceSession::kSimPid, track_,
+                        suit::obs::TraceSession::simUs(now_),
+                        "deadline-expiry", "sim");
+                }
                 strategy_->onTimerInterrupt(*this);
             }
             break;
@@ -694,6 +740,12 @@ DomainSimulator::runFast()
             if (timer_.checkExpired(now_)) {
                 SUIT_ASSERT(strategy_ != nullptr,
                             "timer fired without a strategy");
+                if (trace_) {
+                    trace_->instant(
+                        suit::obs::TraceSession::kSimPid, track_,
+                        suit::obs::TraceSession::simUs(now_),
+                        "deadline-expiry", "sim");
+                }
                 strategy_->onTimerInterrupt(*this);
             }
             break;
@@ -747,6 +799,61 @@ DomainSimulator::collectResult()
         }
     }
     return result;
+}
+
+void
+DomainSimulator::publishObs(const DomainResult &result) const
+{
+    if (cfg_.obsBypass)
+        return;
+    suit::obs::Registry &reg = suit::obs::metrics();
+    if (!reg.enabled())
+        return;
+
+    reg.add(reg.counter("sim.runs"));
+    reg.add(reg.counter("sim.traps"), traps_);
+    for (const auto kind : suit::isa::allFaultableKinds()) {
+        const std::uint64_t n =
+            trapsByKind_[static_cast<std::size_t>(kind)];
+        if (n == 0)
+            continue;
+        reg.add(reg.counter(std::string("sim.traps.") +
+                            suit::isa::toString(kind)),
+                n);
+    }
+    reg.add(reg.counter("sim.emulations"), emulations_);
+    // Every trap the strategy did not resolve by emulating was a
+    // curve-switch decision.
+    reg.add(reg.counter("sim.switch_decisions"), traps_ - emulations_);
+    reg.add(reg.counter("sim.pstate_switches"), switches_);
+    reg.add(reg.counter("sim.deadline.resets"), timer_.resets());
+    reg.add(reg.counter("sim.deadline.expirations"),
+            timer_.expirations());
+    reg.add(reg.counter("sim.thrash_activations"),
+            result.thrashDetections);
+
+    // P-state residency as integrated active time per curve.
+    reg.add(reg.counter("sim.residency_us.E"),
+            static_cast<std::uint64_t>(stateTimeS_[0] * 1e6));
+    reg.add(reg.counter("sim.residency_us.Cf"),
+            static_cast<std::uint64_t>(stateTimeS_[1] * 1e6));
+    reg.add(reg.counter("sim.residency_us.CV"),
+            static_cast<std::uint64_t>(stateTimeS_[2] * 1e6));
+
+    // Batched-window hit rate: share of trace events consumed inside
+    // a native window instead of the generic event loop.
+    std::uint64_t consumed = 0;
+    for (const Core &core : cores_)
+        consumed += core.nextEvent;
+    reg.add(reg.counter("sim.events.total"), consumed);
+    reg.add(reg.counter("sim.events.batched"), batchedEvents_);
+
+    static const std::vector<double> kDomainMsBounds{
+        0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+    const suit::obs::MetricId domain_ms =
+        reg.histogram("sim.domain_ms", kDomainMsBounds);
+    for (const CoreResult &core : result.cores)
+        reg.observe(domain_ms, core.durationS * 1e3);
 }
 
 } // namespace suit::sim

@@ -26,6 +26,8 @@
 #include "core/cpu_iface.hh"
 #include "core/deadline.hh"
 #include "core/strategy.hh"
+#include "isa/faultable.hh"
+#include "obs/trace.hh"
 #include "power/cpu_model.hh"
 #include "trace/profile.hh"
 #include "trace/trace.hh"
@@ -145,6 +147,14 @@ struct SimConfig
      * only for that verification and for benchmarking the speedup.
      */
     bool referencePath = false;
+    /**
+     * Benchmark-only: skip the obs layer entirely — no trace-session
+     * latch, no metric publication — so suit_bench_json can price the
+     * disabled instrumentation against a true no-obs run.  Results
+     * are bit-identical either way (the always-on plain counters
+     * never feed back into the simulation).
+     */
+    bool obsBypass = false;
 };
 
 /**
@@ -238,6 +248,19 @@ class DomainSimulator final : public suit::core::CpuControl
     std::vector<PStateChange> stateLog_;
 
     /**
+     * Observability.  The plain counters below are always on (their
+     * cost is what suit_bench_json prices as
+     * obs_overhead_disabled_pct); the trace session pointer is
+     * latched at construction — null unless a session was active and
+     * SimConfig::obsBypass is clear — so a run's tracing is
+     * all-or-nothing and off costs one null check at the rare sites.
+     */
+    suit::obs::TraceSession *trace_ = nullptr;
+    int track_ = 0; //!< this domain's timeline row (valid iff trace_)
+    std::uint64_t trapsByKind_[suit::isa::kNumFaultableKinds] = {};
+    std::uint64_t batchedEvents_ = 0; //!< events consumed in windows
+
+    /**
      * Fast-path invariant: powerFactorOf() per p-state, indexed by
      * suit::power::pstateIndex().  Defaults cover RunMode::Baseline.
      */
@@ -280,6 +303,12 @@ class DomainSimulator final : public suit::core::CpuControl
 
     /** Assemble the DomainResult (shared by both loops). */
     DomainResult collectResult();
+
+    /** Push this run's counters into obs::metrics() (off-run path). */
+    void publishObs(const DomainResult &result) const;
+    /** Trace a p-state entry taking effect at @p when. */
+    void tracePState(suit::util::Tick when, suit::power::SuitPState to,
+                     const char *how);
 
     /** Handle core @p i reaching its faultable instruction. */
     void handleFaultableInstruction(std::size_t i);

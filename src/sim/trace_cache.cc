@@ -1,5 +1,6 @@
 #include "sim/trace_cache.hh"
 
+#include "obs/registry.hh"
 #include "trace/generator.hh"
 
 namespace suit::sim {
@@ -35,8 +36,16 @@ TraceCache::get(const WorkloadProfile &profile, std::uint64_t seed,
             TraceGenerator(seed).generate(profile, stream));
         generated = true;
     });
-    if (!generated)
+    static const obs::MetricId hit_id =
+        obs::metrics().counter("sim.trace_cache.hits");
+    static const obs::MetricId miss_id =
+        obs::metrics().counter("sim.trace_cache.misses");
+    if (!generated) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().add(hit_id);
+    } else {
+        obs::metrics().add(miss_id);
+    }
     return *entry->trace;
 }
 

@@ -1,50 +1,128 @@
 #include "util/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+
+#include "util/format.hh"
 
 namespace suit::util {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::atomic<bool> g_tick_prefix{false};
+
+/**
+ * One mutex serialises every sink write: concurrent inform()/warn()
+ * from pool workers used to interleave lines mid-message because each
+ * fprintf is only atomic per libc buffer flush, not per call.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+LogSink &
+sinkSlot()
+{
+    static LogSink sink;
+    return sink;
+}
+
+Clock::time_point
+processStart()
+{
+    static const Clock::time_point start = Clock::now();
+    return start;
+}
+
+/** Message with the optional monotonic-tick prefix applied. */
+std::string
+decorate(const std::string &msg)
+{
+    if (!g_tick_prefix.load(std::memory_order_relaxed))
+        return msg;
+    const double s =
+        std::chrono::duration<double>(Clock::now() - processStart())
+            .count();
+    return sformat("[+%.6fs] ", s) + msg;
+}
+
+/** Serialised write to the installed sink or stderr. */
+void
+emit(LogClass cls, const char *tag, const std::string &msg)
+{
+    const std::string line = decorate(msg);
+    std::lock_guard lock(sinkMutex());
+    if (LogSink &sink = sinkSlot()) {
+        sink(cls, line);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", tag, line.c_str());
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+void
+setLogTickPrefix(bool enabled)
+{
+    // Latch the reference point on first use so the prefix measures
+    // time from roughly process start, not from the first message.
+    processStart();
+    g_tick_prefix.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard lock(sinkMutex());
+    sinkSlot() = std::move(sink);
 }
 
 void
 informStr(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        emit(LogClass::Info, "info", msg);
 }
 
 void
 warnStr(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        emit(LogClass::Warn, "warn", msg);
 }
 
 void
 fatalStr(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit(LogClass::Fatal, "fatal", msg);
     std::exit(1);
 }
 
 void
 panicStr(const std::string &msg, const char *file, int line)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit(LogClass::Panic, "panic",
+         sformat("%s (%s:%d)", msg.c_str(), file, line));
     std::abort();
 }
 

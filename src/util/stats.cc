@@ -104,6 +104,89 @@ percentile(std::vector<double> values, double p)
     return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0)
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        SUIT_ASSERT(bounds_[i - 1] < bounds_[i],
+                    "histogram bounds must be strictly increasing "
+                    "(bounds[%zu] = %f >= bounds[%zu] = %f)",
+                    i - 1, bounds_[i - 1], i, bounds_[i]);
+    }
+}
+
+void
+BucketHistogram::add(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++total_;
+}
+
+void
+BucketHistogram::addCount(std::size_t bucket, std::uint64_t n)
+{
+    SUIT_ASSERT(bucket < counts_.size(),
+                "bucket %zu out of range (%zu buckets)", bucket,
+                counts_.size());
+    counts_[bucket] += n;
+    total_ += n;
+}
+
+void
+BucketHistogram::merge(const BucketHistogram &other)
+{
+    SUIT_ASSERT(bounds_ == other.bounds_,
+                "merging histograms with different bucket layouts "
+                "(%zu vs %zu bounds)",
+                bounds_.size(), other.bounds_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+std::uint64_t
+BucketHistogram::count(std::size_t i) const
+{
+    SUIT_ASSERT(i < counts_.size(),
+                "bucket %zu out of range (%zu buckets)", i,
+                counts_.size());
+    return counts_[i];
+}
+
+double
+BucketHistogram::percentile(double p) const
+{
+    SUIT_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: %f",
+                p);
+    if (total_ == 0)
+        return 0.0;
+    // Rank of the requested sample, 1-based, clamped into the count.
+    const double rank = std::max(
+        1.0, p / 100.0 * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const double before = static_cast<double>(seen);
+        seen += counts_[i];
+        if (rank > static_cast<double>(seen))
+            continue;
+        if (i == bounds_.size()) {
+            // Overflow bucket: no upper edge to interpolate toward.
+            return bounds_.empty() ? 0.0 : bounds_.back();
+        }
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        const double hi = bounds_[i];
+        const double frac =
+            (rank - before) / static_cast<double>(counts_[i]);
+        return lo + (hi - lo) * frac;
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 LogHistogram::LogHistogram(int decades)
     : buckets_(static_cast<std::size_t>(decades), 0)
 {

@@ -70,6 +70,69 @@ double median(std::vector<double> values);
 double percentile(std::vector<double> values, double p);
 
 /**
+ * Fixed-bucket histogram over explicit upper bounds.
+ *
+ * Bucket i counts samples with value <= bounds[i] (and greater than
+ * bounds[i-1]); one implicit overflow bucket counts everything above
+ * the last bound.  The bucket layout is exactly the cell layout the
+ * obs::Registry shards use, so a registry snapshot can rebuild a
+ * BucketHistogram from raw per-thread counts (addCount) and merge
+ * shards with merge().
+ */
+class BucketHistogram
+{
+  public:
+    /** Empty histogram with no bounds (only the overflow bucket). */
+    BucketHistogram() = default;
+
+    /**
+     * @param upper_bounds inclusive bucket upper bounds; must be
+     *        strictly increasing (asserted).
+     */
+    explicit BucketHistogram(std::vector<double> upper_bounds);
+
+    /** Record one sample. */
+    void add(double value);
+
+    /**
+     * Add @p n samples to bucket @p bucket directly (registry shard
+     * merge path).  @p bucket may be bounds().size() — the overflow
+     * bucket.
+     */
+    void addCount(std::size_t bucket, std::uint64_t n);
+
+    /**
+     * Merge another histogram with identical bounds into this one
+     * (asserted; merging mismatching layouts would silently misbin).
+     */
+    void merge(const BucketHistogram &other);
+
+    /** Bucket upper bounds (excludes the implicit overflow bucket). */
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** Number of buckets including the overflow bucket. */
+    std::size_t bucketCount() const { return counts_.size(); }
+    /** Count in bucket @p i (i == bounds().size() = overflow). */
+    std::uint64_t count(std::size_t i) const;
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /**
+     * Estimated percentile by linear interpolation inside the
+     * containing bucket (the first bucket interpolates from 0, the
+     * overflow bucket clamps to the last bound).  0 for an empty
+     * histogram.
+     *
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_{0}; //!< bounds + overflow
+    std::uint64_t total_ = 0;
+};
+
+/**
  * Histogram over log10-sized buckets for positive integer values.
  *
  * Bucket i holds values in [10^i, 10^(i+1)); values of zero land in

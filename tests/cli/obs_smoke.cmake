@@ -1,0 +1,88 @@
+# End-to-end smoke test of the observability wiring: run suit_sim
+# with --trace-out and --metrics, then validate both artifacts with
+# suit_obs_check — the trace must be a structurally valid Chrome
+# trace_event document that actually contains the paper's signature
+# events (p-state transitions and #DO traps), and the metrics file
+# must match the suit-obs-metrics-v1 schema.
+#
+# Invoked by ctest as:
+#   cmake -DSUIT_SIM=<tool> -DSUIT_OBS_CHECK=<tool>
+#         -DWORK_DIR=<scratch> -P this_file
+
+if(NOT SUIT_SIM OR NOT SUIT_OBS_CHECK OR NOT WORK_DIR)
+    message(FATAL_ERROR
+        "SUIT_SIM, SUIT_OBS_CHECK and WORK_DIR must be defined")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+    COMMAND ${SUIT_SIM} --workload Nginx
+            --trace-out ${WORK_DIR}/trace.json
+            --metrics ${WORK_DIR}/metrics.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "suit_sim failed (exit ${rc})")
+endif()
+
+foreach(artifact trace.json metrics.json)
+    if(NOT EXISTS "${WORK_DIR}/${artifact}")
+        message(FATAL_ERROR "suit_sim wrote no ${artifact}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${SUIT_OBS_CHECK}
+            --trace ${WORK_DIR}/trace.json
+            --metrics ${WORK_DIR}/metrics.json
+            --require pstate,do-trap
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "suit_obs_check rejected the artifacts "
+        "(exit ${rc})")
+endif()
+
+# Metric names the paper's evaluation leans on must be present.
+execute_process(
+    COMMAND ${SUIT_OBS_CHECK} --metrics ${WORK_DIR}/metrics.json
+            --require sim.traps,sim.pstate_switches,sim.runs
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "expected metrics missing (exit ${rc})")
+endif()
+
+# The checker must bite: a name that is not in the capture fails...
+execute_process(
+    COMMAND ${SUIT_OBS_CHECK} --trace ${WORK_DIR}/trace.json
+            --require no-such-event
+    RESULT_VARIABLE rc
+    ERROR_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "--require accepted a missing event name")
+endif()
+
+# ... and so does a structurally corrupted trace (unbalanced span).
+file(READ "${WORK_DIR}/trace.json" CONTENT)
+string(APPEND CONTENT
+    "{\"ph\": \"B\", \"pid\": 9, \"tid\": 9, \"ts\": 0.0, "
+    "\"name\": \"torn\", \"cat\": \"x\"}\n")
+file(WRITE "${WORK_DIR}/corrupt.json" "${CONTENT}")
+execute_process(
+    COMMAND ${SUIT_OBS_CHECK} --trace ${WORK_DIR}/corrupt.json
+    RESULT_VARIABLE rc
+    ERROR_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "suit_obs_check accepted a corrupted trace")
+endif()
+
+# --metrics - reads stdin: pipe suit_sim's stdout straight through.
+execute_process(
+    COMMAND ${SUIT_SIM} --workload Nginx --metrics -
+    COMMAND ${SUIT_OBS_CHECK} --metrics - --require sim.traps
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "piped --metrics - validation failed "
+        "(exit ${rc})")
+endif()

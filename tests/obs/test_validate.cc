@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the obs structural validators themselves: the CI smoke
+ * checks lean on them, so they must reject each class of malformed
+ * document, not just accept the exporters' output.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/validate.hh"
+
+namespace {
+
+using namespace suit;
+using obs::CheckResult;
+
+std::string
+traceDoc(const std::string &events)
+{
+    return "{\n\"traceEvents\": [\n" + events + "\n]\n}\n";
+}
+
+TEST(ObsValidate, AcceptsMinimalTrace)
+{
+    const CheckResult r = obs::checkChromeTrace(traceDoc(
+        R"({"ph": "B", "pid": 1, "tid": 1, "ts": 0.000, "name": "a", "cat": "t"},)"
+        "\n"
+        R"({"ph": "E", "pid": 1, "tid": 1, "ts": 1.000})"));
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.entries, 2u);
+    EXPECT_TRUE(r.hasName("a"));
+}
+
+TEST(ObsValidate, RejectsUnbalancedSpans)
+{
+    const CheckResult r = obs::checkChromeTrace(traceDoc(
+        R"({"ph": "B", "pid": 1, "tid": 1, "ts": 0.000, "name": "a", "cat": "t"})"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ObsValidate, RejectsCrossTrackEndPairing)
+{
+    // The E sits on another (pid, tid) track than the B: both tracks
+    // are individually unbalanced.
+    const CheckResult r = obs::checkChromeTrace(traceDoc(
+        R"({"ph": "B", "pid": 1, "tid": 1, "ts": 0.000, "name": "a", "cat": "t"},)"
+        "\n"
+        R"({"ph": "E", "pid": 1, "tid": 2, "ts": 1.000})"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ObsValidate, RejectsUnknownPhase)
+{
+    const CheckResult r = obs::checkChromeTrace(traceDoc(
+        R"({"ph": "Q", "pid": 1, "tid": 1, "ts": 0.000, "name": "a", "cat": "t"})"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ObsValidate, RejectsMissingTimestamp)
+{
+    const CheckResult r = obs::checkChromeTrace(traceDoc(
+        R"({"ph": "i", "pid": 1, "tid": 1, "s": "t", "name": "a", "cat": "t"})"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ObsValidate, RejectsCompleteWithoutDuration)
+{
+    const CheckResult r = obs::checkChromeTrace(traceDoc(
+        R"({"ph": "X", "pid": 1, "tid": 1, "ts": 0.000, "name": "a", "cat": "t"})"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ObsValidate, RejectsEmptyTrace)
+{
+    EXPECT_FALSE(obs::checkChromeTrace(traceDoc("")).ok);
+    EXPECT_FALSE(obs::checkChromeTrace("not json at all").ok);
+}
+
+std::string
+metricsDoc(const std::string &metrics)
+{
+    return "{\n  \"schema\": \"suit-obs-metrics-v1\",\n"
+           "  \"metrics\": [\n" +
+           metrics + "\n  ]\n}\n";
+}
+
+TEST(ObsValidate, AcceptsMinimalMetrics)
+{
+    const CheckResult r = obs::checkMetricsJson(metricsDoc(
+        R"(    {"name": "a", "kind": "counter", "count": 3},)"
+        "\n"
+        R"(    {"name": "b", "kind": "gauge", "value": 1.5},)"
+        "\n"
+        R"(    {"name": "c", "kind": "histogram", "count": 2, "bounds": [1, 2], "buckets": [1, 1, 0], "p50": 1, "p90": 2, "p99": 2})"));
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.entries, 3u);
+}
+
+TEST(ObsValidate, RejectsWrongSchema)
+{
+    const std::string doc =
+        "{\n  \"schema\": \"other\",\n  \"metrics\": [\n"
+        R"(    {"name": "a", "kind": "counter", "count": 3})"
+        "\n  ]\n}\n";
+    EXPECT_FALSE(obs::checkMetricsJson(doc).ok);
+}
+
+TEST(ObsValidate, RejectsUnknownKind)
+{
+    const CheckResult r = obs::checkMetricsJson(metricsDoc(
+        R"(    {"name": "a", "kind": "timer", "count": 3})"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ObsValidate, RejectsHistogramBucketCountMismatch)
+{
+    // Two bounds require exactly three buckets.
+    const CheckResult r = obs::checkMetricsJson(metricsDoc(
+        R"(    {"name": "c", "kind": "histogram", "count": 2, "bounds": [1, 2], "buckets": [1, 1]})"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ObsValidate, RejectsCounterWithoutCount)
+{
+    const CheckResult r = obs::checkMetricsJson(metricsDoc(
+        R"(    {"name": "a", "kind": "counter"})"));
+    EXPECT_FALSE(r.ok);
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 
 namespace {
 
+using suit::util::BucketHistogram;
 using suit::util::geomean;
 using suit::util::LogHistogram;
 using suit::util::median;
@@ -95,6 +96,90 @@ TEST(LogHistogramTest, BucketsByDecade)
     EXPECT_EQ(h.bucket(3), 1u);
     EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(BucketHistogramTest, EmptyIsSafe)
+{
+    BucketHistogram h({1.0, 2.0});
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucketCount(), 3u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+
+    // Default construction: only the overflow bucket exists.
+    BucketHistogram none;
+    EXPECT_TRUE(none.bounds().empty());
+    EXPECT_EQ(none.bucketCount(), 1u);
+    none.add(42.0);
+    EXPECT_EQ(none.count(0), 1u);
+}
+
+TEST(BucketHistogramTest, BinsOnInclusiveBounds)
+{
+    BucketHistogram h({1.0, 10.0, 100.0});
+    h.add(0.5);   // bucket 0
+    h.add(1.0);   // bucket 0 (inclusive upper bound)
+    h.add(1.001); // bucket 1
+    h.add(10.0);  // bucket 1
+    h.add(99.0);  // bucket 2
+    h.add(101.0); // overflow
+
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(BucketHistogramTest, OneBoundSplitsAtThatValue)
+{
+    BucketHistogram h({5.0});
+    h.add(4.0);
+    h.add(5.0);
+    h.add(6.0);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    // All mass at or below the single bound clamps percentiles there.
+    EXPECT_LE(h.percentile(50.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 5.0);
+}
+
+TEST(BucketHistogramTest, OverflowClampsPercentileToLastBound)
+{
+    BucketHistogram h({1.0, 2.0});
+    for (int i = 0; i < 10; ++i)
+        h.add(1000.0); // every sample overflows
+    EXPECT_EQ(h.count(2), 10u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 2.0);
+}
+
+TEST(BucketHistogramTest, MergeEqualsSequential)
+{
+    BucketHistogram a({1.0, 10.0});
+    BucketHistogram b({1.0, 10.0});
+    BucketHistogram all({1.0, 10.0});
+    const double samples[] = {0.5, 3.0, 20.0, 0.9, 7.0, 15.0};
+    int i = 0;
+    for (const double s : samples) {
+        (i++ % 2 == 0 ? a : b).add(s);
+        all.add(s);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total(), all.total());
+    for (std::size_t j = 0; j < all.bucketCount(); ++j)
+        EXPECT_EQ(a.count(j), all.count(j));
+    EXPECT_DOUBLE_EQ(a.percentile(50.0), all.percentile(50.0));
+}
+
+TEST(BucketHistogramTest, AddCountFillsArbitraryBuckets)
+{
+    // The registry shard-merge path writes raw bucket counts.
+    BucketHistogram h({1.0, 2.0});
+    h.addCount(0, 3);
+    h.addCount(2, 2); // overflow bucket index == bounds().size()
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 3u);
+    EXPECT_EQ(h.count(2), 2u);
 }
 
 TEST(LogHistogramTest, RenderContainsAllDecades)

@@ -9,15 +9,23 @@
  * domain) with wall-clock timing, and emits one JSON document:
  *
  *   {
- *     "schema": "suit-bench-simcore-v1",
+ *     "schema": "suit-bench-simcore-v2",
  *     "reps": 5,
  *     "benchmarks": [
  *       { "name": "domain_sim_single", "events": ...,
  *         "best_ms": ..., "median_ms": ..., "events_per_sec": ... },
  *       ...
  *     ],
- *     "speedup_vs_reference": ...
+ *     "speedup_vs_reference": ...,
+ *     "obs_overhead_disabled_pct": ...
  *   }
+ *
+ * The obs_overhead_disabled_pct field compares the default single-core
+ * scenario (obs compiled in but disabled — the shipping configuration)
+ * against the same run with SimConfig::obsBypass, which skips even the
+ * trace-session latch and counter publication.  It is the measured
+ * cost of *having* the instrumentation, and the obs acceptance gate
+ * (<= 2 %).
  *
  * No timestamps or host identifiers go into the file, so regenerating
  * it on the same machine produces minimal diffs.  Examples:
@@ -108,6 +116,10 @@ runScenarios(int reps)
         cfg.params = core::optimalParams(cpu_c);
         results.push_back(timeScenario(
             "domain_sim_single", cfg, {{&gcc_trace, &gcc}}, reps));
+        cfg.obsBypass = true;
+        results.push_back(timeScenario(
+            "domain_sim_noobs", cfg, {{&gcc_trace, &gcc}}, reps));
+        cfg.obsBypass = false;
         cfg.referencePath = true;
         results.push_back(timeScenario(
             "domain_sim_reference", cfg, {{&gcc_trace, &gcc}}, reps));
@@ -148,12 +160,15 @@ renderJson(const std::vector<BenchResult> &results, int reps)
 {
     double fast_ms = 0.0;
     double ref_ms = 0.0;
+    double noobs_ms = 0.0;
     std::string body;
     for (const BenchResult &r : results) {
         if (r.name == "domain_sim_single")
             fast_ms = r.bestMs;
         if (r.name == "domain_sim_reference")
             ref_ms = r.bestMs;
+        if (r.name == "domain_sim_noobs")
+            noobs_ms = r.bestMs;
         if (!body.empty())
             body += ",\n";
         body += util::sformat(
@@ -165,14 +180,17 @@ renderJson(const std::vector<BenchResult> &results, int reps)
             r.medianMs, r.eventsPerSec);
     }
     const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+    const double obs_pct =
+        noobs_ms > 0.0 ? 100.0 * (fast_ms / noobs_ms - 1.0) : 0.0;
     return util::sformat(
         "{\n"
-        "  \"schema\": \"suit-bench-simcore-v1\",\n"
+        "  \"schema\": \"suit-bench-simcore-v2\",\n"
         "  \"reps\": %d,\n"
         "  \"benchmarks\": [\n%s\n  ],\n"
-        "  \"speedup_vs_reference\": %.2f\n"
+        "  \"speedup_vs_reference\": %.2f,\n"
+        "  \"obs_overhead_disabled_pct\": %.2f\n"
         "}\n",
-        reps, body.c_str(), speedup);
+        reps, body.c_str(), speedup, obs_pct);
 }
 
 /**
@@ -184,15 +202,17 @@ std::string
 validateJson(const std::string &text)
 {
     const char *kRequired[] = {
-        "\"schema\": \"suit-bench-simcore-v1\"",
+        "\"schema\": \"suit-bench-simcore-v2\"",
         "\"reps\":",
         "\"benchmarks\":",
         "\"domain_sim_single\"",
+        "\"domain_sim_noobs\"",
         "\"domain_sim_reference\"",
         "\"domain_sim_dense\"",
         "\"domain_sim_shared\"",
         "\"events_per_sec\":",
         "\"speedup_vs_reference\":",
+        "\"obs_overhead_disabled_pct\":",
     };
     for (const char *needle : kRequired) {
         if (text.find(needle) == std::string::npos)

@@ -19,6 +19,7 @@
 #include "core/controller.hh"
 #include "core/params.hh"
 #include "exec/sweep.hh"
+#include "obs/setup.hh"
 #include "sim/evaluation.hh"
 #include "trace/generator.hh"
 #include "trace/io.hh"
@@ -154,6 +155,19 @@ runSuiteMode(const sim::EvalConfig &cfg,
                     engine.jobs(), engine.jobs() == 1 ? "" : "s",
                     profiles.size(), outcome.executed,
                     outcome.restored, engine.workerFooter().c_str());
+        const std::size_t entries = engine.traceCache().entries();
+        const std::uint64_t hits = engine.traceCache().hits();
+        const std::uint64_t lookups =
+            hits + static_cast<std::uint64_t>(entries);
+        std::printf("Trace cache: %zu trace%s generated, %llu of "
+                    "%llu lookup%s hit (%.1f%% hit rate)\n",
+                    entries, entries == 1 ? "" : "s",
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(lookups),
+                    lookups == 1 ? "" : "s",
+                    lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(lookups)
+                                : 0.0);
     }
     return outcome.failures.empty() ? 0 : 2;
 }
@@ -194,6 +208,7 @@ main(int argc, char **argv)
                  "failure");
     args.addFlag("nosimd", "model a binary compiled without SIMD");
     args.addFlag("verbose", "also print switch/trap counters");
+    obs::addCliOptions(args);
     if (!args.parse(argc, argv))
         return 0;
 
@@ -202,6 +217,10 @@ main(int argc, char **argv)
             std::printf("%s\n", p.name.c_str());
         return 0;
     }
+
+    // Declared before any engine/pool so trace-emitting workers never
+    // outlive the session; flushes --metrics/--trace-out at exit.
+    obs::CliScope obs_scope(args);
 
     const power::CpuModel cpu = cpuByName(args.get("cpu"));
 

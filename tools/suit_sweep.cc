@@ -40,6 +40,8 @@
 #include "core/strategy.hh"
 #include "exec/checkpoint.hh"
 #include "exec/sweep.hh"
+#include "obs/registry.hh"
+#include "obs/setup.hh"
 #include "power/cpu_model.hh"
 #include "sim/evaluation.hh"
 #include "trace/profile.hh"
@@ -212,8 +214,13 @@ main(int argc, char **argv)
                    "stop gracefully after N completed cells (testing "
                    "aid; 0 = run to completion)");
     args.addFlag("nosimd", "model binaries compiled without SIMD");
+    obs::addCliOptions(args);
     if (!args.parse(argc, argv))
         return 0;
+
+    // Declared before the SweepEngine so worker threads never outlive
+    // the trace session; flushes --metrics/--trace-out at exit.
+    obs::CliScope obs_scope(args);
 
     // Own every axis value for the duration of the sweep (jobs hold
     // pointers into these).
@@ -366,6 +373,10 @@ main(int argc, char **argv)
                  trace_entries,
                  static_cast<unsigned long long>(trace_hits), hit_rate,
                  engine.workerFooter().c_str());
+    if (obs::metrics().enabled()) {
+        std::fprintf(stderr, "\nobservability metrics:\n%s",
+                     obs::metrics().renderTable().c_str());
+    }
     for (const exec::CellFailure &f : outcome.failures)
         std::fprintf(stderr,
                      "failed cell %zu (%s, %s/%s, seed %llu): %s "
