@@ -1,11 +1,15 @@
 #include "exec/checkpoint.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include <unistd.h>
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/result_io.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -60,12 +64,18 @@ encodePayload(const CellRecord &record)
 {
     std::string payload;
     putU64(record.index, payload);
-    payload.push_back(record.failed ? 1 : 0);
-    if (record.failed) {
+    if (record.isBlob) {
+        payload.push_back(2);
+        putU32(static_cast<std::uint32_t>(record.blob.size()),
+               payload);
+        payload.append(record.blob);
+    } else if (record.failed) {
+        payload.push_back(1);
         putU32(static_cast<std::uint32_t>(record.error.size()),
                payload);
         payload.append(record.error);
     } else {
+        payload.push_back(0);
         suit::sim::serializeResult(record.result, payload);
     }
     return payload;
@@ -94,18 +104,20 @@ decodePayload(const char *data, std::size_t size, CellRecord &out)
     out.index = getU64(data);
     const std::uint8_t status =
         static_cast<std::uint8_t>(data[8]);
-    if (status > 1)
+    if (status > 2)
         return false;
     out.failed = status == 1;
+    out.isBlob = status == 2;
     std::size_t offset = 9;
-    if (out.failed) {
+    if (out.failed || out.isBlob) {
         if (size - offset < 4)
             return false;
         const std::uint32_t len = getU32(data + offset);
         offset += 4;
         if (size - offset < len)
             return false;
-        out.error.assign(data + offset, len);
+        (out.isBlob ? out.blob : out.error)
+            .assign(data + offset, len);
         offset += len;
     } else {
         if (!suit::sim::deserializeResult(data, size, offset,
@@ -160,21 +172,68 @@ CheckpointJournal::append(const CellRecord &record)
 void
 CheckpointJournal::writeImage()
 {
+    // Span events per durability stage (open / write / fsync /
+    // rename) on the writer thread's host track: the Chrome trace of
+    // a checkpointed run shows exactly where journal time goes.
+    obs::TraceSession *const trace = obs::activeTrace();
+    const int track =
+        trace ? trace->threadTrack("journal") : 0;
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto stage_start = [&] {
+        return trace ? trace->hostNowUs() : 0.0;
+    };
+    const auto stage_end = [&](double start, const char *name) {
+        if (trace) {
+            const double now_us = trace->hostNowUs();
+            trace->complete(obs::TraceSession::kHostPid, track,
+                            start, now_us - start, name, "journal");
+        }
+    };
+    const double append_start = stage_start();
+
     const std::string tmp = path_ + ".tmp";
+    double t = stage_start();
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    stage_end(t, "journal.open");
     if (f == nullptr)
         throw JournalError(suit::util::sformat(
             "cannot write checkpoint '%s': %s", tmp.c_str(),
             std::strerror(errno)));
+    t = stage_start();
     const bool wrote =
         std::fwrite(image_.data(), 1, image_.size(), f) ==
             image_.size() &&
-        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+        std::fflush(f) == 0;
+    stage_end(t, "journal.write");
+    t = stage_start();
+    const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+    stage_end(t, "journal.fsync");
     std::fclose(f);
-    if (!wrote || std::rename(tmp.c_str(), path_.c_str()) != 0)
+    t = stage_start();
+    const bool renamed =
+        synced && std::rename(tmp.c_str(), path_.c_str()) == 0;
+    stage_end(t, "journal.rename");
+    stage_end(append_start, "journal.append");
+    if (!renamed)
         throw JournalError(suit::util::sformat(
             "cannot write checkpoint '%s': %s", path_.c_str(),
             std::strerror(errno)));
+
+    obs::Registry &reg = obs::metrics();
+    if (reg.enabled()) {
+        reg.add(reg.counter("exec.journal.writes"));
+        reg.add(reg.counter("exec.journal.bytes_written"),
+                image_.size());
+        static const std::vector<double> kAppendMsBounds{
+            0.01, 0.1, 1.0, 10.0, 100.0, 1000.0};
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        reg.observe(
+            reg.histogram("exec.journal.append_ms", kAppendMsBounds),
+            elapsed_ms);
+    }
 }
 
 JournalContents

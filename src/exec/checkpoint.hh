@@ -13,6 +13,10 @@
  *   payload: [cell index u64][status u8]
  *            status 0 (ok):     serialized DomainResult
  *            status 1 (failed): error string (u32 length + bytes)
+ *            status 2 (blob):   opaque bytes (u32 length + bytes);
+ *                               the engine owning the journal defines
+ *                               the encoding (the fleet engine stores
+ *                               serialized shard accumulators)
  *
  * Durability: every append() rewrites the journal image to
  * `<path>.tmp`, flushes it to the kernel (fflush + fsync) and
@@ -72,6 +76,25 @@ struct CellRecord
     std::string error;
     /** Cell result (ok records only). */
     suit::sim::DomainResult result;
+    /**
+     * True for an opaque-payload record (status 2): `blob` carries
+     * engine-defined bytes instead of a DomainResult.  Mutually
+     * exclusive with `failed`.
+     */
+    bool isBlob = false;
+    /** Opaque payload (blob records only). */
+    std::string blob;
+
+    /** A blob record carrying @p bytes for cell @p cell. */
+    static CellRecord blobRecord(std::uint64_t cell,
+                                 std::string bytes)
+    {
+        CellRecord record;
+        record.index = cell;
+        record.isBlob = true;
+        record.blob = std::move(bytes);
+        return record;
+    }
 };
 
 /** Unusable journal file (bad magic/version, unreadable, mismatch). */

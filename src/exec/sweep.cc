@@ -133,7 +133,7 @@ SweepEngine::runCells(
             }
             for (std::size_t i = 0; i < n; ++i) {
                 if (out.done[i])
-                    seed.push_back({i, false, "", out.results[i]});
+                    seed.push_back({i, false, "", out.results[i], false, ""});
             }
         }
         journal.start(policy.checkpointPath, fingerprint,
@@ -170,7 +170,7 @@ SweepEngine::runCells(
                 out.results[i] = cell(i);
                 out.done[i] = 1;
                 executed.fetch_add(1, std::memory_order_relaxed);
-                journal.append({i, false, "", out.results[i]});
+                journal.append({i, false, "", out.results[i], false, ""});
                 error = nullptr;
                 break;
             } catch (...) {
@@ -195,7 +195,7 @@ SweepEngine::runCells(
                 std::lock_guard lock(failures_mu);
                 failures.push_back({i, "", what, attempts});
             }
-            journal.append({i, true, what, {}});
+            journal.append({i, true, what, {}, false, ""});
         }
         if (policy.onCellDone)
             policy.onCellDone(i);

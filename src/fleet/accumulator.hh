@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Mergeable aggregates of a fleet run.
+ *
+ * The fleet engine streams per-domain DomainResults into one
+ * FleetAccumulator per shard and merges the shards in shard order —
+ * a million-domain run keeps a few accumulators alive, never a
+ * million results.  Every floating-point total is an
+ * util::ExactSum, so the merged aggregate is *bit-identical* to a
+ * serial accumulation no matter how the domains were sharded or how
+ * many workers ran them; the integer counters and the slowdown
+ * BucketHistogram are associative by construction.
+ *
+ * Accumulators serialize to the same length-checked little-endian
+ * binary style as sim::result_io, which is what the checkpoint
+ * journal's blob records persist: a resumed fleet run restores each
+ * finished shard's accumulator bit-for-bit.
+ */
+
+#ifndef SUIT_FLEET_ACCUMULATOR_HH
+#define SUIT_FLEET_ACCUMULATOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/domain_sim.hh"
+#include "util/stats.hh"
+
+namespace suit::fleet {
+
+/**
+ * Upper bounds (percent) of the per-domain slowdown histogram.  The
+ * layout is a fleet-wide constant so shard histograms always merge;
+ * the range spans "noise" (0.01 %) to "catastrophic" (50 %), roughly
+ * log-spaced like the paper's slowdown plots.
+ */
+const std::vector<double> &slowdownBoundsPct();
+
+/** Aggregated totals of one rack's domains. */
+struct RackTotals
+{
+    /** Domains accumulated so far. */
+    std::uint64_t domains = 0;
+    /** Sum of conservative-baseline package power (W). */
+    suit::util::ExactSum wattsBefore;
+    /** Sum of SUIT package power: basePowerW * powerFactor (W). */
+    suit::util::ExactSum wattsAfter;
+    /** Sum of per-domain perfDelta() (for the mean). */
+    suit::util::ExactSum perfDeltaSum;
+    /** Sum of per-domain efficient-curve time shares. */
+    suit::util::ExactSum efficientShareSum;
+    /** Sum of per-domain simulated core-seconds. */
+    suit::util::ExactSum durationSum;
+    /** #DO exceptions taken. */
+    std::uint64_t traps = 0;
+    /** Instructions emulated in software. */
+    std::uint64_t emulations = 0;
+    /** Completed p-state transitions. */
+    std::uint64_t pstateSwitches = 0;
+    /** Thrash-prevention activations. */
+    std::uint64_t thrashDetections = 0;
+
+    /** Merge another rack's totals (exact, grouping-independent). */
+    void merge(const RackTotals &other);
+};
+
+/** Mergeable per-shard (and, merged, whole-fleet) aggregates. */
+class FleetAccumulator
+{
+  public:
+    /** Accumulator with no rack slots (deserialization target). */
+    FleetAccumulator();
+
+    /** @param racks number of racks in the fleet spec. */
+    explicit FleetAccumulator(std::size_t racks);
+
+    /**
+     * Fold one domain's outcome into rack @p rack.
+     *
+     * @param rack rack index (asserted in range).
+     * @param basePowerW conservative-baseline package power of the
+     *        domain's CPU share (W).
+     * @param result the simulation outcome.
+     */
+    void addDomain(std::size_t rack, double basePowerW,
+                   const suit::sim::DomainResult &result);
+
+    /**
+     * Merge @p other into this accumulator.  Rack counts must match
+     * (asserted).  Exact sums make the merge order irrelevant to the
+     * final value() bits, but the engine still merges in shard order
+     * so even the internal part lists are deterministic.
+     */
+    void merge(const FleetAccumulator &other);
+
+    /** Number of rack slots. */
+    std::size_t rackCount() const { return racks_.size(); }
+    /** Totals of rack @p i (asserted in range). */
+    const RackTotals &rack(std::size_t i) const;
+    /** Sum of every rack's domain count. */
+    std::uint64_t totalDomains() const;
+    /** Fleet-wide histogram of per-domain slowdown (percent). */
+    const suit::util::BucketHistogram &slowdownHist() const
+    {
+        return slowdown_;
+    }
+
+    /** Append this accumulator's binary image to @p out. */
+    void serialize(std::string &out) const;
+
+    /**
+     * Decode one accumulator from @p data starting at @p offset.
+     * On success advances @p offset and returns true; on truncated
+     * or malformed input returns false (@p offset and *this are then
+     * unspecified).
+     */
+    bool deserialize(const char *data, std::size_t size,
+                     std::size_t &offset);
+
+  private:
+    std::vector<RackTotals> racks_;
+    suit::util::BucketHistogram slowdown_;
+};
+
+} // namespace suit::fleet
+
+#endif // SUIT_FLEET_ACCUMULATOR_HH

@@ -1,0 +1,304 @@
+#include "fleet/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "core/params.hh"
+#include "exec/checkpoint.hh"
+#include "exec/thread_pool.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "sim/domain_sim.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace suit::fleet {
+
+namespace {
+
+suit::power::CpuModel
+cpuModelByName(const std::string &name)
+{
+    if (name == "A")
+        return suit::power::cpuA_i9_9900k();
+    if (name == "B")
+        return suit::power::cpuB_ryzen7700x();
+    if (name == "C")
+        return suit::power::cpuC_xeon4208();
+    if (name == "i5")
+        return suit::power::cpu_i5_1035g1();
+    suit::util::fatal("unknown CPU model '%s'", name.c_str());
+}
+
+} // namespace
+
+FleetEngine::FleetEngine(FleetSpec spec)
+    : spec_(std::move(spec))
+{
+    SUIT_ASSERT(!spec_.racks.empty(), "fleet spec has no racks");
+    SUIT_ASSERT(spec_.traceScale > 0.0 && spec_.traceScale <= 1.0,
+                "trace_scale %g out of (0, 1]", spec_.traceScale);
+    racks_.reserve(spec_.racks.size());
+    for (const RackSpec &rack : spec_.racks) {
+        cpus_.push_back(std::make_unique<suit::power::CpuModel>(
+            cpuModelByName(rack.cpu)));
+        const suit::power::CpuModel &cpu = *cpus_.back();
+
+        ResolvedRack resolved;
+        resolved.cpu = &cpu;
+        resolved.params = suit::core::optimalParams(cpu);
+        const bool shared = cpu.domains() ==
+                            suit::power::DomainLayout::SharedAll;
+        resolved.streams = shared ? rack.cores : 1;
+        resolved.basePowerW =
+            shared ? cpu.basePowerW()
+                   : cpu.basePowerW() /
+                         static_cast<double>(cpu.coreCount());
+        resolved.profiles.reserve(rack.workloads.size());
+        for (const TenantMix &mix : rack.workloads) {
+            suit::trace::WorkloadProfile profile =
+                suit::trace::profileByName(mix.workload);
+            // Scale the simulated slice, with a floor so a tiny
+            // scale still leaves a meaningful trace.
+            profile.totalInstructions = std::max<std::uint64_t>(
+                1000000,
+                static_cast<std::uint64_t>(
+                    static_cast<double>(profile.totalInstructions) *
+                    spec_.traceScale));
+            resolved.profiles.push_back(std::move(profile));
+        }
+        racks_.push_back(std::move(resolved));
+    }
+}
+
+double
+FleetEngine::domainBasePowerW(std::size_t rack) const
+{
+    SUIT_ASSERT(rack < racks_.size(),
+                "rack %zu out of range (%zu racks)", rack,
+                racks_.size());
+    return racks_[rack].basePowerW;
+}
+
+std::uint64_t
+FleetEngine::journalFingerprint(std::uint64_t shard_size) const
+{
+    const std::uint64_t spec_fp = spec_.fingerprint();
+    unsigned char bytes[16];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<unsigned char>(
+            (spec_fp >> (8 * i)) & 0xFF);
+        bytes[8 + i] = static_cast<unsigned char>(
+            (shard_size >> (8 * i)) & 0xFF);
+    }
+    return suit::exec::fnv1a64(bytes, sizeof(bytes));
+}
+
+void
+FleetEngine::simulateDomain(const DomainConfig &config,
+                            FleetAccumulator &acc)
+{
+    const ResolvedRack &rack = racks_[config.rack];
+    const RackSpec &rack_spec = spec_.racks[config.rack];
+    const suit::trace::WorkloadProfile &profile =
+        rack.profiles[config.workload];
+
+    std::vector<suit::sim::CoreWork> work;
+    work.reserve(static_cast<std::size_t>(rack.streams));
+    for (int s = 0; s < rack.streams; ++s)
+        work.push_back(
+            {&traces_.get(profile, config.traceSeed, s), &profile});
+
+    suit::sim::SimConfig sim_cfg;
+    sim_cfg.cpu = rack.cpu;
+    sim_cfg.offsetMv = config.offsetMv;
+    sim_cfg.mode = suit::sim::RunMode::Suit;
+    sim_cfg.strategy = rack_spec.strategies[config.strategy];
+    sim_cfg.params = rack.params;
+    sim_cfg.seed = config.simSeed;
+
+    suit::sim::DomainSimulator sim(sim_cfg, std::move(work));
+    acc.addDomain(config.rack, rack.basePowerW, sim.run());
+}
+
+FleetOutcome
+FleetEngine::run(const FleetOptions &options)
+{
+    const std::uint64_t shard_size =
+        options.shardSize == 0 ? kDefaultShardSize
+                               : options.shardSize;
+    const std::uint64_t domains = spec_.totalDomains();
+    SUIT_ASSERT(domains >= 1, "fleet spec has no domains");
+    const std::uint64_t shards =
+        (domains + shard_size - 1) / shard_size;
+
+    FleetOutcome out;
+    out.shards = shards;
+
+    // Index-addressed shard slots; merged in shard order at the end.
+    std::vector<std::optional<FleetAccumulator>> slots(shards);
+
+    const suit::exec::GridFingerprint fingerprint{
+        shards, journalFingerprint(shard_size)};
+
+    suit::exec::CheckpointJournal journal;
+    if (!options.checkpointPath.empty()) {
+        std::vector<suit::exec::CellRecord> seed;
+        if (options.resume) {
+            const suit::exec::JournalContents loaded =
+                suit::exec::CheckpointJournal::load(
+                    options.checkpointPath);
+            if (loaded.fingerprint != fingerprint) {
+                throw suit::exec::JournalError(suit::util::sformat(
+                    "checkpoint '%s' belongs to a different fleet "
+                    "(fingerprint %016llx/%llu cells, expected "
+                    "%016llx/%llu)",
+                    options.checkpointPath.c_str(),
+                    static_cast<unsigned long long>(
+                        loaded.fingerprint.hash),
+                    static_cast<unsigned long long>(
+                        loaded.fingerprint.cells),
+                    static_cast<unsigned long long>(fingerprint.hash),
+                    static_cast<unsigned long long>(
+                        fingerprint.cells)));
+            }
+            if (loaded.droppedBytes != 0)
+                suit::util::warn(
+                    "checkpoint '%s': dropped %zu trailing bytes of "
+                    "a torn record; the affected shard will re-run",
+                    options.checkpointPath.c_str(),
+                    loaded.droppedBytes);
+            for (const suit::exec::CellRecord &record :
+                 loaded.records) {
+                if (!record.isBlob || record.index >= shards ||
+                    slots[record.index].has_value())
+                    continue;
+                FleetAccumulator acc;
+                std::size_t offset = 0;
+                if (!acc.deserialize(record.blob.data(),
+                                     record.blob.size(), offset) ||
+                    offset != record.blob.size() ||
+                    acc.rackCount() != spec_.racks.size()) {
+                    suit::util::warn(
+                        "checkpoint '%s': shard %llu record is "
+                        "malformed; the shard will re-run",
+                        options.checkpointPath.c_str(),
+                        static_cast<unsigned long long>(
+                            record.index));
+                    continue;
+                }
+                slots[record.index] = std::move(acc);
+                ++out.shardsRestored;
+                seed.push_back(record);
+            }
+        }
+        journal.start(options.checkpointPath, fingerprint,
+                      std::move(seed));
+    }
+
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> skipped{0};
+    std::atomic<std::uint64_t> domains_simulated{0};
+
+    // Latched once per run(): workers trace into the same session.
+    suit::obs::TraceSession *const trace = suit::obs::activeTrace();
+    suit::obs::Registry &reg = suit::obs::metrics();
+    static const std::vector<double> kShardMsBounds{
+        1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
+
+    const auto runOne = [&](std::size_t shard) {
+        if (slots[shard].has_value())
+            return; // restored from the journal
+        if (options.stop != nullptr &&
+            options.stop->load(std::memory_order_relaxed)) {
+            skipped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        const double trace_start =
+            trace ? trace->hostNowUs() : 0.0;
+        const auto wall_start = std::chrono::steady_clock::now();
+
+        const std::uint64_t first =
+            static_cast<std::uint64_t>(shard) * shard_size;
+        const std::uint64_t count =
+            std::min(shard_size, domains - first);
+
+        // Contiguous per-shard expansion block, reused across the
+        // worker's shards so the expansion allocates only on growth.
+        thread_local std::vector<DomainConfig> block;
+        block.clear();
+        block.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i)
+            block.push_back(spec_.domainAt(first + i));
+
+        FleetAccumulator acc(spec_.racks.size());
+        for (const DomainConfig &config : block)
+            simulateDomain(config, acc);
+
+        if (journal.active()) {
+            std::string bytes;
+            acc.serialize(bytes);
+            journal.append(suit::exec::CellRecord::blobRecord(
+                shard, std::move(bytes)));
+        }
+        slots[shard] = std::move(acc);
+        executed.fetch_add(1, std::memory_order_relaxed);
+        domains_simulated.fetch_add(count,
+                                    std::memory_order_relaxed);
+
+        if (reg.enabled()) {
+            reg.observe(
+                reg.histogram("fleet.shard_ms", kShardMsBounds),
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count());
+        }
+        if (trace) {
+            const int track = trace->threadTrack("fleet");
+            const double now_us = trace->hostNowUs();
+            trace->complete(
+                suit::obs::TraceSession::kHostPid, track,
+                trace_start, now_us - trace_start, "shard", "fleet",
+                {{"index", static_cast<std::uint64_t>(shard)},
+                 {"domains", count}});
+        }
+        if (options.onShardDone)
+            options.onShardDone(shard);
+    };
+
+    if (options.jobs == 1) {
+        for (std::size_t shard = 0; shard < shards; ++shard)
+            runOne(shard);
+    } else {
+        suit::exec::ThreadPool pool(options.jobs);
+        pool.parallelFor(static_cast<std::size_t>(shards), runOne);
+    }
+
+    out.shardsRun = executed.load();
+    out.shardsSkipped = skipped.load();
+    out.interrupted =
+        options.stop != nullptr && options.stop->load();
+
+    // Merge in shard order.  ExactSum makes the value() bits
+    // independent of the grouping anyway; the fixed order makes even
+    // the internal expansion deterministic.
+    out.totals = FleetAccumulator(spec_.racks.size());
+    for (std::optional<FleetAccumulator> &slot : slots) {
+        if (slot.has_value())
+            out.totals.merge(*slot);
+    }
+
+    if (reg.enabled()) {
+        reg.add(reg.counter("fleet.domains.simulated"),
+                domains_simulated.load());
+        reg.add(reg.counter("fleet.shards.executed"), out.shardsRun);
+        reg.add(reg.counter("fleet.shards.restored"),
+                out.shardsRestored);
+        reg.add(reg.counter("fleet.shards.skipped"),
+                out.shardsSkipped);
+    }
+    return out;
+}
+
+} // namespace suit::fleet

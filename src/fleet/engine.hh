@@ -1,0 +1,175 @@
+/**
+ * @file
+ * FleetEngine: one process simulating up to a million SUIT domains.
+ *
+ * The engine shards the fleet's global domain index space into
+ * fixed-size contiguous blocks and runs the shards across an
+ * exec::ThreadPool.  Each shard expands its domain configurations
+ * into a contiguous block (reused per worker — no per-domain heap
+ * churn in the expansion), simulates every domain through the shared
+ * TraceCache, and streams the DomainResults into one per-shard
+ * FleetAccumulator — per-domain results are never stored, so memory
+ * scales with shards, not domains.
+ *
+ * Determinism contract, mirroring exec::SweepEngine:
+ *  - every domain is a pure function of (spec, global index)
+ *    (FleetSpec::domainAt), so no domain observes scheduling;
+ *  - shard accumulators live in index-addressed slots and merge in
+ *    shard order;
+ *  - every floating-point total is a util::ExactSum, so the merged
+ *    aggregate is bit-identical to a serial run for any worker count
+ *    *and* any shard size (exact sums are associative).
+ *
+ * Checkpointing reuses the exec journal: each finished shard appends
+ * one blob record (CellRecord status 2) carrying its serialized
+ * accumulator, fingerprinted by (spec fingerprint, shard size).  A
+ * killed run resumes by restoring finished shards bit-for-bit and
+ * running only the rest — the final aggregate is identical to an
+ * uninterrupted run.
+ */
+
+#ifndef SUIT_FLEET_ENGINE_HH
+#define SUIT_FLEET_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "fleet/accumulator.hh"
+#include "fleet/spec.hh"
+#include "power/cpu_model.hh"
+#include "sim/trace_cache.hh"
+#include "trace/profile.hh"
+
+namespace suit::fleet {
+
+/** One run's execution policy. */
+struct FleetOptions
+{
+    /**
+     * Worker count: 0 = ThreadPool::hardwareConcurrency(),
+     * 1 = serial in-line execution (reference path), n > 1 = pool of
+     * n workers.
+     */
+    int jobs = 0;
+    /** Domains per shard; 0 selects the default (4096). */
+    std::uint64_t shardSize = 0;
+    /** Journal file; empty = no checkpointing. */
+    std::string checkpointPath;
+    /**
+     * Load an existing journal first and only run the shards it does
+     * not cover.  Requires checkpointPath; refuses (JournalError) a
+     * journal whose fingerprint differs.
+     */
+    bool resume = false;
+    /**
+     * Cooperative interrupt: once *stop is true, shards that have
+     * not started are skipped (in-flight shards finish and are
+     * journaled).
+     */
+    const std::atomic<bool> *stop = nullptr;
+    /**
+     * Called after each shard completes, with the shard index.  Runs
+     * on worker threads; must be thread-safe.
+     */
+    std::function<void(std::uint64_t)> onShardDone;
+};
+
+/** Outcome of one FleetEngine::run(). */
+struct FleetOutcome
+{
+    /** Whole-fleet aggregates (shards merged in shard order). */
+    FleetAccumulator totals;
+    /** Total shards of the fleet. */
+    std::uint64_t shards = 0;
+    /** Shards executed by this invocation. */
+    std::uint64_t shardsRun = 0;
+    /** Shards restored from the journal (resume only). */
+    std::uint64_t shardsRestored = 0;
+    /** Shards skipped because the stop flag was raised. */
+    std::uint64_t shardsSkipped = 0;
+    /** True if the stop flag ended the run early. */
+    bool interrupted = false;
+
+    /** Every shard accumulated (run or restored). */
+    bool complete() const { return shardsSkipped == 0; }
+};
+
+/** Simulates a FleetSpec; see the file comment. */
+class FleetEngine
+{
+  public:
+    /** Default shard size (domains per checkpointable unit). */
+    static constexpr std::uint64_t kDefaultShardSize = 4096;
+
+    /**
+     * Resolve @p spec: instantiate the racks' CPU models, their
+     * Table-7 strategy parameters and the trace-scaled workload
+     * profiles.  @p spec is copied; the engine is self-contained.
+     */
+    explicit FleetEngine(FleetSpec spec);
+
+    FleetEngine(const FleetEngine &) = delete;
+    FleetEngine &operator=(const FleetEngine &) = delete;
+
+    /**
+     * Simulate the whole fleet under @p options.  The returned
+     * aggregates are bit-identical for any jobs/shardSize combination
+     * and across kill-and-resume cycles.
+     *
+     * @throws exec::JournalError on an unusable or mismatching
+     *         journal.
+     */
+    FleetOutcome run(const FleetOptions &options = {});
+
+    /** The resolved spec (after any scaling the caller did). */
+    const FleetSpec &spec() const { return spec_; }
+
+    /**
+     * Baseline (conservative-curve) package power attributed to one
+     * domain of rack @p rack: the whole package for a shared-domain
+     * CPU, one core's share for per-core-domain CPUs.
+     */
+    double domainBasePowerW(std::size_t rack) const;
+
+    /**
+     * The engine's trace cache, shared by every shard of every
+     * run(): all domains of a (workload, variant) stream read the
+     * same generated trace.
+     */
+    suit::sim::TraceCache &traceCache() { return traces_; }
+
+    /** Journal identity of this fleet at @p shard_size domains. */
+    std::uint64_t journalFingerprint(std::uint64_t shard_size) const;
+
+  private:
+    /** Per-rack resolved state (see the constructor). */
+    struct ResolvedRack
+    {
+        const suit::power::CpuModel *cpu = nullptr;
+        suit::core::StrategyParams params;
+        /** Trace-scaled copies of the rack's workload profiles. */
+        std::vector<suit::trace::WorkloadProfile> profiles;
+        /** Streams per domain (shared-domain CPUs: cores). */
+        int streams = 1;
+        /** Baseline package power per domain (W). */
+        double basePowerW = 0.0;
+    };
+
+    /** Simulate global domain @p config into @p acc. */
+    void simulateDomain(const DomainConfig &config,
+                        FleetAccumulator &acc);
+
+    FleetSpec spec_;
+    std::vector<std::unique_ptr<suit::power::CpuModel>> cpus_;
+    std::vector<ResolvedRack> racks_;
+    suit::sim::TraceCache traces_;
+};
+
+} // namespace suit::fleet
+
+#endif // SUIT_FLEET_ENGINE_HH

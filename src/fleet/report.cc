@@ -1,0 +1,307 @@
+#include "fleet/report.hh"
+
+#include <cctype>
+
+#include "obs/json.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace suit::fleet {
+
+namespace {
+
+constexpr double kHoursPerYear = 24.0 * 365.0;
+
+/** Round-trip JSON rendering of a double. */
+std::string
+fmtNum(double v)
+{
+    return suit::util::sformat("%.17g", v);
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return suit::util::sformat(
+        "%llu", static_cast<unsigned long long>(v));
+}
+
+/** Per-rack derived numbers shared by the table and the JSON. */
+struct RackRow
+{
+    std::uint64_t domains = 0;
+    double kwBefore = 0.0;
+    double kwAfter = 0.0;
+    double meanPerfDeltaPct = 0.0;
+    double meanEfficientSharePct = 0.0;
+    std::uint64_t traps = 0;
+};
+
+RackRow
+rackRow(const RackTotals &totals)
+{
+    RackRow row;
+    row.domains = totals.domains;
+    row.kwBefore = totals.wattsBefore.value() * 1e-3;
+    row.kwAfter = totals.wattsAfter.value() * 1e-3;
+    row.traps = totals.traps;
+    if (totals.domains > 0) {
+        const double n = static_cast<double>(totals.domains);
+        row.meanPerfDeltaPct =
+            totals.perfDeltaSum.value() / n * 100.0;
+        row.meanEfficientSharePct =
+            totals.efficientShareSum.value() / n * 100.0;
+    }
+    return row;
+}
+
+} // namespace
+
+ReportSummary
+ReportSummary::of(const FleetSpec &spec,
+                  const FleetAccumulator &totals)
+{
+    SUIT_ASSERT(totals.rackCount() == spec.racks.size(),
+                "accumulator has %zu rack slots, spec has %zu",
+                totals.rackCount(), spec.racks.size());
+    ReportSummary s;
+    suit::util::ExactSum watts_before;
+    suit::util::ExactSum watts_after;
+    suit::util::ExactSum perf_sum;
+    suit::util::ExactSum share_sum;
+    suit::util::ExactSum duration_sum;
+    for (std::size_t i = 0; i < totals.rackCount(); ++i) {
+        const RackTotals &rack = totals.rack(i);
+        s.domains += rack.domains;
+        s.doTraps += rack.traps;
+        watts_before.merge(rack.wattsBefore);
+        watts_after.merge(rack.wattsAfter);
+        perf_sum.merge(rack.perfDeltaSum);
+        share_sum.merge(rack.efficientShareSum);
+        duration_sum.merge(rack.durationSum);
+    }
+    s.kwBefore = watts_before.value() * 1e-3;
+    s.kwAfter = watts_after.value() * 1e-3;
+    s.kwSaved = s.kwBefore - s.kwAfter;
+    s.mwhPerYear = s.kwSaved * spec.pue * kHoursPerYear * 1e-3;
+    s.usdPerYear =
+        s.kwSaved * spec.pue * kHoursPerYear * spec.costUsdPerKwh;
+    if (s.domains > 0) {
+        const double n = static_cast<double>(s.domains);
+        s.meanPerfDeltaPct = perf_sum.value() / n * 100.0;
+        s.meanEfficientSharePct = share_sum.value() / n * 100.0;
+    }
+    const double duration = duration_sum.value();
+    s.doRatePerS =
+        duration > 0.0 ? static_cast<double>(s.doTraps) / duration
+                       : 0.0;
+    s.slowdownP50Pct = totals.slowdownHist().percentile(50.0);
+    s.slowdownP99Pct = totals.slowdownHist().percentile(99.0);
+    return s;
+}
+
+std::string
+renderReportTable(const FleetSpec &spec,
+                  const FleetAccumulator &totals)
+{
+    const ReportSummary s = ReportSummary::of(spec, totals);
+
+    std::string out = suit::util::sformat(
+        "fleet '%s': %llu domains, PUE %.2f, $%.3f/kWh\n\n",
+        spec.name.c_str(),
+        static_cast<unsigned long long>(s.domains), spec.pue,
+        spec.costUsdPerKwh);
+
+    suit::util::TablePrinter t({"rack", "cpu", "domains",
+                                "kW before", "kW after", "saved",
+                                "perf", "time-on-E", "#DO"});
+    for (std::size_t i = 0; i < spec.racks.size(); ++i) {
+        const RackSpec &rack = spec.racks[i];
+        const RackRow row = rackRow(totals.rack(i));
+        t.addRow({rack.name, rack.cpu, fmtU64(row.domains),
+                  suit::util::sformat("%.2f", row.kwBefore),
+                  suit::util::sformat("%.2f", row.kwAfter),
+                  suit::util::sformat("%.2f",
+                                      row.kwBefore - row.kwAfter),
+                  suit::util::sformat("%+.2f %%",
+                                      row.meanPerfDeltaPct),
+                  suit::util::sformat("%.1f %%",
+                                      row.meanEfficientSharePct),
+                  fmtU64(row.traps)});
+    }
+    t.addSeparator();
+    t.addRow({"total", "", fmtU64(s.domains),
+              suit::util::sformat("%.2f", s.kwBefore),
+              suit::util::sformat("%.2f", s.kwAfter),
+              suit::util::sformat("%.2f", s.kwSaved),
+              suit::util::sformat("%+.2f %%", s.meanPerfDeltaPct),
+              suit::util::sformat("%.1f %%",
+                                  s.meanEfficientSharePct),
+              fmtU64(s.doTraps)});
+    out += t.render();
+
+    out += suit::util::sformat(
+        "\npower saved: %.2f kW of %.2f kW (%.1f %%)\n",
+        s.kwSaved, s.kwBefore,
+        s.kwBefore > 0.0 ? s.kwSaved / s.kwBefore * 100.0 : 0.0);
+    out += suit::util::sformat(
+        "facility energy (PUE %.2f): %.1f MWh/year, $%.0f/year\n",
+        spec.pue, s.mwhPerYear, s.usdPerYear);
+    out += suit::util::sformat(
+        "#DO traps: %llu (%.1f /core-second)\n",
+        static_cast<unsigned long long>(s.doTraps), s.doRatePerS);
+    out += suit::util::sformat(
+        "per-domain slowdown: p50 %.3f %%, p99 %.3f %%\n",
+        s.slowdownP50Pct, s.slowdownP99Pct);
+    return out;
+}
+
+std::string
+renderReportJson(const FleetSpec &spec,
+                 const FleetAccumulator &totals)
+{
+    const ReportSummary s = ReportSummary::of(spec, totals);
+    using suit::obs::jsonQuote;
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"suit-fleet-report-v1\",\n";
+    out += "  \"fleet\": " + jsonQuote(spec.name) + ",\n";
+    out += "  \"seed\": " + fmtU64(spec.seed) + ",\n";
+    out += "  \"domains\": " + fmtU64(s.domains) + ",\n";
+    out += "  \"pue\": " + fmtNum(spec.pue) + ",\n";
+    out += "  \"cost_usd_per_kwh\": " + fmtNum(spec.costUsdPerKwh) +
+           ",\n";
+    out += "  \"kw_before\": " + fmtNum(s.kwBefore) + ",\n";
+    out += "  \"kw_after\": " + fmtNum(s.kwAfter) + ",\n";
+    out += "  \"kw_saved\": " + fmtNum(s.kwSaved) + ",\n";
+    out += "  \"mwh_per_year\": " + fmtNum(s.mwhPerYear) + ",\n";
+    out += "  \"usd_per_year\": " + fmtNum(s.usdPerYear) + ",\n";
+    out += "  \"mean_perf_delta_pct\": " +
+           fmtNum(s.meanPerfDeltaPct) + ",\n";
+    out += "  \"mean_efficient_share_pct\": " +
+           fmtNum(s.meanEfficientSharePct) + ",\n";
+    out += "  \"do_traps\": " + fmtU64(s.doTraps) + ",\n";
+    out += "  \"do_rate_per_s\": " + fmtNum(s.doRatePerS) + ",\n";
+    out += "  \"slowdown_p50_pct\": " + fmtNum(s.slowdownP50Pct) +
+           ",\n";
+    out += "  \"slowdown_p99_pct\": " + fmtNum(s.slowdownP99Pct) +
+           ",\n";
+    out += "  \"racks\": [\n";
+    for (std::size_t i = 0; i < spec.racks.size(); ++i) {
+        const RackSpec &rack = spec.racks[i];
+        const RackRow row = rackRow(totals.rack(i));
+        out += "    {\"name\": " + jsonQuote(rack.name) +
+               ", \"cpu\": " + jsonQuote(rack.cpu) +
+               ", \"domains\": " + fmtU64(row.domains) +
+               ", \"kw_before\": " + fmtNum(row.kwBefore) +
+               ", \"kw_after\": " + fmtNum(row.kwAfter) +
+               ", \"mean_perf_delta_pct\": " +
+               fmtNum(row.meanPerfDeltaPct) +
+               ", \"mean_efficient_share_pct\": " +
+               fmtNum(row.meanEfficientSharePct) +
+               ", \"do_traps\": " + fmtU64(row.traps) + "}";
+        out += i + 1 < spec.racks.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+suit::obs::CheckResult
+checkReportJson(const std::string &doc)
+{
+    suit::obs::CheckResult result;
+
+    static const char *const kHeadlineKeys[] = {
+        "\"fleet\":",
+        "\"seed\":",
+        "\"domains\":",
+        "\"pue\":",
+        "\"cost_usd_per_kwh\":",
+        "\"kw_before\":",
+        "\"kw_after\":",
+        "\"kw_saved\":",
+        "\"mwh_per_year\":",
+        "\"usd_per_year\":",
+        "\"mean_perf_delta_pct\":",
+        "\"mean_efficient_share_pct\":",
+        "\"do_traps\":",
+        "\"do_rate_per_s\":",
+        "\"slowdown_p50_pct\":",
+        "\"slowdown_p99_pct\":",
+        "\"racks\":",
+    };
+    static const char *const kRackKeys[] = {
+        "\"name\":",          "\"cpu\":",
+        "\"domains\":",       "\"kw_before\":",
+        "\"kw_after\":",      "\"mean_perf_delta_pct\":",
+        "\"mean_efficient_share_pct\":", "\"do_traps\":",
+    };
+
+    if (doc.find("\"schema\": \"suit-fleet-report-v1\"") ==
+        std::string::npos) {
+        result.error = "missing schema marker suit-fleet-report-v1";
+        return result;
+    }
+    for (const char *key : kHeadlineKeys) {
+        if (doc.find(key) == std::string::npos) {
+            result.error =
+                suit::util::sformat("missing headline key %s", key);
+            return result;
+        }
+    }
+
+    // One rack object per line between "racks": [ and ].
+    const std::size_t racks_pos = doc.find("\"racks\":");
+    std::size_t pos = doc.find('\n', racks_pos);
+    while (pos != std::string::npos) {
+        std::size_t end = doc.find('\n', pos + 1);
+        if (end == std::string::npos)
+            end = doc.size();
+        std::string line = doc.substr(pos + 1, end - pos - 1);
+        std::size_t first = 0;
+        while (first < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[first])))
+            ++first;
+        line.erase(0, first);
+        if (line.empty() || line[0] == ']')
+            break;
+        if (line[0] != '{') {
+            result.error = suit::util::sformat(
+                "expected a rack object, got '%s'", line.c_str());
+            return result;
+        }
+        for (const char *key : kRackKeys) {
+            if (line.find(key) == std::string::npos) {
+                result.error = suit::util::sformat(
+                    "rack object %zu misses key %s",
+                    result.entries, key);
+                return result;
+            }
+        }
+        const std::size_t name_pos = line.find("\"name\": \"");
+        const std::size_t name_start = name_pos + 9;
+        const std::size_t name_end = line.find('"', name_start);
+        if (name_pos == std::string::npos ||
+            name_end == std::string::npos) {
+            result.error = suit::util::sformat(
+                "rack object %zu has no parsable name",
+                result.entries);
+            return result;
+        }
+        result.names.push_back(
+            line.substr(name_start, name_end - name_start));
+        ++result.entries;
+        pos = end;
+    }
+    if (result.entries == 0) {
+        result.error = "racks array is empty";
+        return result;
+    }
+
+    result.ok = true;
+    return result;
+}
+
+} // namespace suit::fleet

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Headline TCO/energy reporting of a fleet run.
+ *
+ * Turns the merged FleetAccumulator of a run into the numbers a
+ * capacity planner asks for: package kW before/after SUIT, the saved
+ * power scaled by the data-center PUE into MWh/year and $/year, the
+ * mean performance cost, and the slowdown tail (p50/p99) from the
+ * per-domain histogram.
+ *
+ * Two renderings share the arithmetic: a human table (stdout of
+ * suit_fleet) and a machine JSON document with schema
+ * "suit-fleet-report-v1" (one key per line, so checkReportJson() and
+ * CI can validate it without a JSON parser).  JSON numbers are
+ * printed with round-trip precision — two runs with bit-identical
+ * aggregates render byte-identical documents, which is how the
+ * determinism tests compare fleets across worker counts.
+ */
+
+#ifndef SUIT_FLEET_REPORT_HH
+#define SUIT_FLEET_REPORT_HH
+
+#include <string>
+
+#include "fleet/accumulator.hh"
+#include "fleet/spec.hh"
+#include "obs/validate.hh"
+
+namespace suit::fleet {
+
+/** Derived headline numbers (shared by both renderings). */
+struct ReportSummary
+{
+    /** Domains aggregated. */
+    std::uint64_t domains = 0;
+    /** Conservative-baseline package power of the fleet (kW). */
+    double kwBefore = 0.0;
+    /** Package power under SUIT (kW). */
+    double kwAfter = 0.0;
+    /** kwBefore - kwAfter. */
+    double kwSaved = 0.0;
+    /** Saved facility energy per year, PUE-scaled (MWh). */
+    double mwhPerYear = 0.0;
+    /** Saved cost per year at the spec's electricity price (USD). */
+    double usdPerYear = 0.0;
+    /** Mean per-domain performance delta (percent; < 0 = slowdown). */
+    double meanPerfDeltaPct = 0.0;
+    /** Mean share of time on the efficient curve (percent). */
+    double meanEfficientSharePct = 0.0;
+    /** #DO exceptions across the fleet. */
+    std::uint64_t doTraps = 0;
+    /** #DO exceptions per simulated core-second. */
+    double doRatePerS = 0.0;
+    /** Median per-domain slowdown (percent). */
+    double slowdownP50Pct = 0.0;
+    /** 99th-percentile per-domain slowdown (percent). */
+    double slowdownP99Pct = 0.0;
+
+    /** Compute the summary of @p totals under @p spec. */
+    static ReportSummary of(const FleetSpec &spec,
+                            const FleetAccumulator &totals);
+};
+
+/**
+ * Render the human-readable report: a per-rack table plus the
+ * headline TCO lines.  @p totals must have one rack slot per spec
+ * rack (asserted).
+ */
+std::string renderReportTable(const FleetSpec &spec,
+                              const FleetAccumulator &totals);
+
+/** Render the "suit-fleet-report-v1" JSON document. */
+std::string renderReportJson(const FleetSpec &spec,
+                             const FleetAccumulator &totals);
+
+/**
+ * Structurally validate a report document: schema marker, every
+ * headline key, and one rack object per entry of the racks array.
+ * CheckResult::names collects the rack names; entries counts them.
+ */
+suit::obs::CheckResult checkReportJson(const std::string &doc);
+
+} // namespace suit::fleet
+
+#endif // SUIT_FLEET_REPORT_HH

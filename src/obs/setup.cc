@@ -1,5 +1,6 @@
 #include "obs/setup.hh"
 
+#include <chrono>
 #include <cstdio>
 
 #include "obs/registry.hh"
@@ -19,6 +20,10 @@ addCliOptions(util::ArgParser &args)
     args.addOption("obs-level", "auto",
                    "observability level: off, metrics, full, or auto "
                    "(derive from --metrics/--trace-out)");
+    args.addOption("metrics-interval", "0",
+                   "dump the metrics registry every N seconds while "
+                   "running (0 = only at exit); implies --obs-level "
+                   "metrics");
 }
 
 CliScope::CliScope(const util::ArgParser &args)
@@ -50,10 +55,39 @@ CliScope::CliScope(const util::ArgParser &args)
         tracePath_.clear();
     }
 
+    const std::string &interval = args.get("metrics-interval");
+    if (util::tryParseDouble(interval, metricsIntervalS_) !=
+            util::ParseStatus::Ok ||
+        metricsIntervalS_ < 0.0) {
+        util::fatal("bad --metrics-interval '%s' (want seconds "
+                    ">= 0)",
+                    interval.c_str());
+    }
+    if (metricsIntervalS_ > 0.0 && level_ == Level::Off)
+        level_ = Level::Metrics;
+
     metrics().setEnabled(level_ != Level::Off);
     if (level_ == Level::Full) {
         trace_ = std::make_unique<TraceSession>();
         setActiveTrace(trace_.get());
+    }
+
+    if (metricsIntervalS_ > 0.0) {
+        dumper_ = std::thread([this] {
+            const auto interval_ms =
+                std::chrono::milliseconds(static_cast<long long>(
+                    metricsIntervalS_ * 1e3));
+            std::unique_lock lock(dumperMu_);
+            while (!dumperStop_) {
+                if (dumperCv_.wait_for(lock, interval_ms, [this] {
+                        return dumperStop_;
+                    }))
+                    break;
+                lock.unlock();
+                dumpMetrics();
+                lock.lock();
+            }
+        });
     }
 }
 
@@ -63,30 +97,58 @@ CliScope::~CliScope()
 }
 
 void
+CliScope::dumpMetrics() const
+{
+    const std::string doc = metrics().renderJson();
+    if (metricsPath_.empty()) {
+        const std::string table = metrics().renderTable();
+        std::fwrite(table.data(), 1, table.size(), stderr);
+        return;
+    }
+    if (metricsPath_ == "-") {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        return;
+    }
+    // Atomic replace: a concurrent reader (a dashboard tailing the
+    // file while the tool runs) sees either the old or the new
+    // document, never a torn one.
+    const std::string tmp = metricsPath_ + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        util::warn("cannot write metrics to '%s'", tmp.c_str());
+        return;
+    }
+    const bool wrote =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+        std::fflush(f) == 0;
+    std::fclose(f);
+    if (!wrote ||
+        std::rename(tmp.c_str(), metricsPath_.c_str()) != 0)
+        util::warn("cannot write metrics to '%s'",
+                   metricsPath_.c_str());
+}
+
+void
 CliScope::finish()
 {
     if (finished_)
         return;
     finished_ = true;
 
+    if (dumper_.joinable()) {
+        {
+            std::lock_guard lock(dumperMu_);
+            dumperStop_ = true;
+        }
+        dumperCv_.notify_all();
+        dumper_.join();
+    }
+
     if (trace_)
         setActiveTrace(nullptr);
 
-    if (!metricsPath_.empty() && metricsEnabled()) {
-        const std::string doc = metrics().renderJson();
-        if (metricsPath_ == "-") {
-            std::fwrite(doc.data(), 1, doc.size(), stdout);
-        } else {
-            std::FILE *f = std::fopen(metricsPath_.c_str(), "w");
-            if (!f) {
-                util::warn("cannot write metrics to '%s'",
-                           metricsPath_.c_str());
-            } else {
-                std::fwrite(doc.data(), 1, doc.size(), f);
-                std::fclose(f);
-            }
-        }
-    }
+    if (!metricsPath_.empty() && metricsEnabled())
+        dumpMetrics();
     if (trace_ && !tracePath_.empty())
         trace_->writeTo(tracePath_);
 

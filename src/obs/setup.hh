@@ -5,15 +5,23 @@
  * Every instrumented binary adds the same three options and
  * constructs one CliScope around its run:
  *
- *   --metrics <path|->   write the metrics registry as JSON
- *   --trace-out <path|-> write a Chrome trace_event timeline
- *   --obs-level <level>  off | metrics | full | auto
+ *   --metrics <path|->        write the metrics registry as JSON
+ *   --trace-out <path|->      write a Chrome trace_event timeline
+ *   --obs-level <level>       off | metrics | full | auto
+ *   --metrics-interval <s>    also dump the registry every s seconds
  *
  * "auto" (the default) derives the level from the other two flags:
  * off unless --metrics or --trace-out was given, full when
  * --trace-out was.  The scope enables obs::metrics(), installs its
  * TraceSession as the active trace, and on finish()/destruction
  * writes both outputs and tears the wiring back down.
+ *
+ * --metrics-interval starts a background dumper thread for
+ * long-running tools (suit_sweep, suit_fleet): every interval it
+ * snapshots the registry — to the --metrics path via an atomic
+ * temp-file + rename (so a concurrent reader never sees a torn
+ * JSON document), or as a table to stderr when no path was given.
+ * A non-zero interval implies at least Level::Metrics.
  *
  * Declare the CliScope *before* any thread pool or engine whose
  * workers may emit events, so the session outlives every emitter.
@@ -22,8 +30,11 @@
 #ifndef SUIT_OBS_SETUP_HH
 #define SUIT_OBS_SETUP_HH
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "obs/trace.hh"
 #include "util/args.hh"
@@ -76,11 +87,21 @@ class CliScope
     void finish();
 
   private:
+    /** One periodic dump (and the final write path of finish()). */
+    void dumpMetrics() const;
+
     Level level_ = Level::Off;
     std::string metricsPath_;
     std::string tracePath_;
+    double metricsIntervalS_ = 0.0;
     std::unique_ptr<TraceSession> trace_;
     bool finished_ = false;
+
+    // Background dumper (only when --metrics-interval > 0).
+    std::thread dumper_;
+    std::mutex dumperMu_;
+    std::condition_variable dumperCv_;
+    bool dumperStop_ = false;
 };
 
 } // namespace suit::obs

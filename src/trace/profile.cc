@@ -360,6 +360,16 @@ profileByName(const std::string &name)
     suit::util::fatal("unknown workload profile '%s'", name.c_str());
 }
 
+bool
+hasProfile(const std::string &name)
+{
+    for (const WorkloadProfile &p : allProfiles()) {
+        if (p.name == name)
+            return true;
+    }
+    return false;
+}
+
 const WorkloadProfile &
 nginxProfile()
 {

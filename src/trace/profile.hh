@@ -155,6 +155,9 @@ std::vector<WorkloadProfile> specProfiles();
 /** Look up a profile by name; fatal() if absent. */
 const WorkloadProfile &profileByName(const std::string &name);
 
+/** Whether a profile with the given name exists. */
+bool hasProfile(const std::string &name);
+
 /** The Nginx HTTPS-serving profile (AES bursts per request). */
 const WorkloadProfile &nginxProfile();
 

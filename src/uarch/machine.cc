@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "emu/dispatcher.hh"
+#include "obs/registry.hh"
 #include "util/logging.hh"
 
 namespace suit::uarch {
@@ -157,6 +158,26 @@ SuitMachine::SuitMachine(const Config &config) : cfg_(config)
     SUIT_ASSERT(cfg_.cpu != nullptr, "machine needs a CPU model");
 }
 
+void
+publishCoreStats(const CoreStats &stats)
+{
+    suit::obs::Registry &reg = suit::obs::metrics();
+    if (!reg.enabled())
+        return;
+
+    reg.add(reg.counter("uarch.runs"));
+    reg.add(reg.counter("uarch.instructions"), stats.instructions);
+    reg.add(reg.counter("uarch.cycles"), stats.cycles);
+    reg.add(reg.counter("uarch.branches"), stats.branches);
+    reg.add(reg.counter("uarch.mispredicts"), stats.mispredicts);
+    reg.add(reg.counter("uarch.loads"), stats.loads);
+    reg.add(reg.counter("uarch.stores"), stats.stores);
+    reg.add(reg.counter("uarch.l1d_misses"), stats.l1dMisses);
+    reg.add(reg.counter("uarch.llc_misses"), stats.llcMisses);
+    reg.add(reg.counter("uarch.do_traps"), stats.traps);
+    reg.add(reg.counter("uarch.emulations"), stats.emulated);
+}
+
 namespace {
 
 /** Integrate wall-clock and power over the p-state timeline. */
@@ -214,6 +235,7 @@ SuitMachine::runBaseline(const Program &program)
 
     MachineResult r;
     r.stats = core.run(program);
+    publishCoreStats(r.stats);
     r.seconds =
         static_cast<double>(r.stats.cycles) / cfg_.cpu->baseFreqHz();
     r.powerFactor = 1.0;
@@ -283,6 +305,7 @@ SuitMachine::runSuit(const Program &program)
 
     MachineResult r;
     r.stats = core.run(program);
+    publishCoreStats(r.stats);
     accountTimeline(cfg_, cpu.finalize(r.stats.cycles),
                     r.stats.cycles, r);
     return r;

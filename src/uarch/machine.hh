@@ -51,6 +51,15 @@ struct MachineResult
     }
 };
 
+/**
+ * Publish @p stats into the obs metrics registry as uarch.* counters
+ * (pipeline commits/cycles, branch outcomes, cache misses, #DO
+ * traps).  No-op while the registry is disabled.  SuitMachine calls
+ * this after every run; exposed for tools that drive O3Model
+ * directly.
+ */
+void publishCoreStats(const CoreStats &stats);
+
 /** The assembled machine: O3 core + MSRs + SUIT controller. */
 class SuitMachine
 {

@@ -187,6 +187,79 @@ BucketHistogram::percentile(double p) const
     return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
+void
+ExactSum::add(double x)
+{
+    SUIT_ASSERT(std::isfinite(x), "ExactSum needs finite samples");
+    // Shewchuk grow-expansion (the msum inner loop of CPython's
+    // math.fsum): after the pass, parts_ is a non-overlapping
+    // expansion whose exact sum is unchanged plus x.
+    std::size_t kept = 0;
+    for (std::size_t j = 0; j < parts_.size(); ++j) {
+        double y = parts_[j];
+        if (std::fabs(x) < std::fabs(y))
+            std::swap(x, y);
+        const double hi = x + y;
+        const double lo = y - (hi - x);
+        if (lo != 0.0)
+            parts_[kept++] = lo;
+        x = hi;
+    }
+    parts_.resize(kept);
+    parts_.push_back(x);
+}
+
+void
+ExactSum::merge(const ExactSum &other)
+{
+    // Adding the parts individually preserves exactness, so a merge
+    // is exactly "as if every sample of other had been added here".
+    // Guard against self-merge invalidating the iteration.
+    const std::vector<double> parts = other.parts_;
+    for (const double part : parts)
+        add(part);
+}
+
+double
+ExactSum::value() const
+{
+    // CPython math.fsum final rounding: sum the expansion from the
+    // largest part down, and resolve a round-half-even tie with the
+    // sign of the next lower part, so the result is the exact sum
+    // correctly rounded — a function of the exact value only, never
+    // of how the parts happen to be split.
+    std::size_t n = parts_.size();
+    if (n == 0)
+        return 0.0;
+    double hi = parts_[--n];
+    double lo = 0.0;
+    while (n > 0) {
+        const double x = hi;
+        const double y = parts_[--n];
+        hi = x + y;
+        const double yr = hi - x;
+        lo = y - yr;
+        if (lo != 0.0)
+            break;
+    }
+    if (n > 0 && ((lo < 0.0 && parts_[n - 1] < 0.0) ||
+                  (lo > 0.0 && parts_[n - 1] > 0.0))) {
+        const double y = lo * 2.0;
+        const double x = hi + y;
+        if (y == x - hi)
+            hi = x;
+    }
+    return hi;
+}
+
+ExactSum
+ExactSum::fromParts(std::vector<double> parts)
+{
+    ExactSum sum;
+    sum.parts_ = std::move(parts);
+    return sum;
+}
+
 LogHistogram::LogHistogram(int decades)
     : buckets_(static_cast<std::size_t>(decades), 0)
 {

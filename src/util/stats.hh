@@ -133,6 +133,48 @@ class BucketHistogram
 };
 
 /**
+ * Exact floating-point accumulator (Shewchuk expansion summation).
+ *
+ * Keeps the running sum as a list of non-overlapping doubles whose
+ * exact (infinitely precise) sum equals the exact sum of everything
+ * added so far; value() rounds that exact sum to the nearest double
+ * once (round-half-even, CPython math.fsum's final-rounding rule).
+ *
+ * Because the represented value is *exact*, addition through an
+ * ExactSum is associative: any grouping of the same samples — one
+ * accumulator fed serially, or many accumulators merged in any order
+ * — yields the same exact value and therefore the same value() bits.
+ * The fleet engine relies on this for its shard-count/worker-count
+ * invariance guarantee: per-shard aggregates merge without the
+ * grouping sensitivity of plain double addition.
+ *
+ * Inputs must be finite (asserted); the expansion grows only when
+ * samples span magnitudes (typically a handful of parts), so an
+ * ExactSum is a few dozen bytes, not a sample log.
+ */
+class ExactSum
+{
+  public:
+    /** Add one finite sample. */
+    void add(double x);
+
+    /** Add every part of @p other (exact, order-insensitive). */
+    void merge(const ExactSum &other);
+
+    /** The exact sum, correctly rounded to the nearest double. */
+    double value() const;
+
+    /** Non-overlapping parts, increasing magnitude (serialization). */
+    const std::vector<double> &parts() const { return parts_; }
+
+    /** Restore from serialized parts (trusted, e.g. a checkpoint). */
+    static ExactSum fromParts(std::vector<double> parts);
+
+  private:
+    std::vector<double> parts_;
+};
+
+/**
  * Histogram over log10-sized buckets for positive integer values.
  *
  * Bucket i holds values in [10^i, 10^(i+1)); values of zero land in

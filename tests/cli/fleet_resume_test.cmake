@@ -1,0 +1,98 @@
+# End-to-end acceptance test of suit_fleet checkpoint/resume.
+#
+# Runs the demo fleet four ways:
+#   1. uninterrupted serial run             -> ref.json
+#   2. uninterrupted 4-worker run           -> jobs4.json (must
+#      equal ref.json byte for byte)
+#   3. checkpointed run stopped after 3 of
+#      its shards (exit code 130)           -> journal
+#   4. resumed run with 2 workers           -> resumed.json
+# and requires resumed.json to be byte-identical to ref.json.  Also
+# checks that resuming a *different* fleet against the same journal
+# is refused.
+#
+# Invoked by ctest as:
+#   cmake -DSUIT_FLEET=<tool> -DWORK_DIR=<scratch> -P this_file
+
+if(NOT SUIT_FLEET OR NOT WORK_DIR)
+    message(FATAL_ERROR "SUIT_FLEET and WORK_DIR must be defined")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(FLEET --domains 2000 --shard 128)
+
+execute_process(
+    COMMAND ${SUIT_FLEET} ${FLEET} --jobs 1 --report-json -
+    OUTPUT_FILE ${WORK_DIR}/ref.json
+    ERROR_VARIABLE ignored
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference fleet run failed (exit ${rc})")
+endif()
+
+execute_process(
+    COMMAND ${SUIT_FLEET} ${FLEET} --jobs 4 --report-json -
+    OUTPUT_FILE ${WORK_DIR}/jobs4.json
+    ERROR_VARIABLE ignored
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "4-worker fleet run failed (exit ${rc})")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/ref.json ${WORK_DIR}/jobs4.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "4-worker report differs from the serial run")
+endif()
+
+execute_process(
+    COMMAND ${SUIT_FLEET} ${FLEET} --jobs 1
+            --checkpoint ${WORK_DIR}/journal.bin --stop-after 3
+    OUTPUT_VARIABLE ignored_out
+    ERROR_VARIABLE ignored_err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 130)
+    message(FATAL_ERROR
+            "interrupted fleet run exited ${rc}, expected 130")
+endif()
+
+# Resuming a different fleet must be refused outright.
+execute_process(
+    COMMAND ${SUIT_FLEET} ${FLEET} --seed 99 --jobs 1
+            --checkpoint ${WORK_DIR}/journal.bin --resume
+    OUTPUT_VARIABLE ignored_out
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "fingerprint mismatch was not refused")
+endif()
+if(NOT err MATCHES "different fleet")
+    message(FATAL_ERROR
+            "mismatch refusal lacks a clear error: ${err}")
+endif()
+
+# The real resume, on a different worker count, must complete the
+# fleet and reproduce the uninterrupted report byte for byte.
+execute_process(
+    COMMAND ${SUIT_FLEET} ${FLEET} --jobs 2
+            --checkpoint ${WORK_DIR}/journal.bin --resume
+            --report-json -
+    OUTPUT_FILE ${WORK_DIR}/resumed.json
+    ERROR_VARIABLE ignored
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed fleet run failed (exit ${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/ref.json ${WORK_DIR}/resumed.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "resumed report differs from the uninterrupted run")
+endif()

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * FleetAccumulator tests: exact grouping-independent merges, the
+ * bit-exact serialize/deserialize round trip the checkpoint blobs
+ * rely on, and rejection of truncated or malformed images.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/accumulator.hh"
+
+namespace {
+
+using namespace suit;
+using fleet::FleetAccumulator;
+using sim::DomainResult;
+
+/** A synthetic result with recognisable, awkward values. */
+DomainResult
+makeResult(int tag)
+{
+    DomainResult r;
+    sim::CoreResult core;
+    core.workload = "synthetic";
+    core.durationS = 1.0 + 0.1 * tag;
+    core.baselineDurationS = 1.0 + 0.1 * tag + 0.003 * (tag % 7);
+    r.cores.push_back(core);
+    r.powerFactor = 0.9 + 1e-3 * (tag % 13);
+    r.efficientShare = (tag % 100) / 100.0;
+    r.traps = static_cast<std::uint64_t>(tag) * 3;
+    r.emulations = static_cast<std::uint64_t>(tag);
+    r.pstateSwitches = static_cast<std::uint64_t>(tag) * 2;
+    r.thrashDetections = tag % 2;
+    return r;
+}
+
+/** Bitwise equality of two accumulators via their serialized image. */
+void
+expectBitIdentical(const FleetAccumulator &a,
+                   const FleetAccumulator &b)
+{
+    std::string ia, ib;
+    a.serialize(ia);
+    b.serialize(ib);
+    EXPECT_EQ(ia, ib);
+}
+
+TEST(FleetAccumulator, MergeIsGroupingIndependent)
+{
+    // One big accumulation vs. three shards merged — the ExactSum
+    // totals must agree to the last bit, not just approximately.
+    FleetAccumulator whole(2);
+    FleetAccumulator shard_a(2), shard_b(2), shard_c(2);
+    for (int i = 0; i < 300; ++i) {
+        const DomainResult r = makeResult(i);
+        const std::size_t rack = i % 2;
+        const double watts = 10.0 + 0.01 * i;
+        whole.addDomain(rack, watts, r);
+        (i < 77 ? shard_a : i < 200 ? shard_b : shard_c)
+            .addDomain(rack, watts, r);
+    }
+    FleetAccumulator merged(2);
+    merged.merge(shard_a);
+    merged.merge(shard_b);
+    merged.merge(shard_c);
+
+    EXPECT_EQ(merged.totalDomains(), whole.totalDomains());
+    for (std::size_t rack = 0; rack < 2; ++rack) {
+        const fleet::RackTotals &m = merged.rack(rack);
+        const fleet::RackTotals &w = whole.rack(rack);
+        EXPECT_EQ(m.domains, w.domains);
+        EXPECT_EQ(m.traps, w.traps);
+        EXPECT_EQ(m.emulations, w.emulations);
+        EXPECT_EQ(m.wattsBefore.value(), w.wattsBefore.value());
+        EXPECT_EQ(m.wattsAfter.value(), w.wattsAfter.value());
+        EXPECT_EQ(m.perfDeltaSum.value(), w.perfDeltaSum.value());
+        EXPECT_EQ(m.efficientShareSum.value(),
+                  w.efficientShareSum.value());
+        EXPECT_EQ(m.durationSum.value(), w.durationSum.value());
+    }
+
+    // Merging in a different order is bit-identical too.
+    FleetAccumulator reversed(2);
+    reversed.merge(shard_c);
+    reversed.merge(shard_b);
+    reversed.merge(shard_a);
+    for (std::size_t rack = 0; rack < 2; ++rack) {
+        EXPECT_EQ(reversed.rack(rack).wattsAfter.value(),
+                  whole.rack(rack).wattsAfter.value());
+    }
+}
+
+TEST(FleetAccumulator, SerializeRoundTripIsBitExact)
+{
+    FleetAccumulator acc(3);
+    for (int i = 0; i < 100; ++i)
+        acc.addDomain(i % 3, 33.5 + i * 0.125, makeResult(i));
+
+    std::string image;
+    acc.serialize(image);
+
+    FleetAccumulator restored;
+    std::size_t offset = 0;
+    ASSERT_TRUE(
+        restored.deserialize(image.data(), image.size(), offset));
+    EXPECT_EQ(offset, image.size());
+    ASSERT_EQ(restored.rackCount(), 3u);
+    expectBitIdentical(acc, restored);
+
+    // The restored accumulator keeps accumulating identically.
+    FleetAccumulator fresh = acc;
+    fresh.addDomain(1, 12.0, makeResult(1234));
+    FleetAccumulator continued = restored;
+    continued.addDomain(1, 12.0, makeResult(1234));
+    expectBitIdentical(fresh, continued);
+}
+
+TEST(FleetAccumulator, RoundTripsBackToBack)
+{
+    // Two accumulators in one buffer (the journal holds many blobs).
+    FleetAccumulator a(1), b(1);
+    a.addDomain(0, 5.0, makeResult(3));
+    b.addDomain(0, 7.0, makeResult(4));
+    std::string image;
+    a.serialize(image);
+    b.serialize(image);
+
+    FleetAccumulator ra, rb;
+    std::size_t offset = 0;
+    ASSERT_TRUE(ra.deserialize(image.data(), image.size(), offset));
+    ASSERT_TRUE(rb.deserialize(image.data(), image.size(), offset));
+    EXPECT_EQ(offset, image.size());
+    expectBitIdentical(a, ra);
+    expectBitIdentical(b, rb);
+}
+
+TEST(FleetAccumulator, RejectsTruncatedImages)
+{
+    FleetAccumulator acc(2);
+    for (int i = 0; i < 10; ++i)
+        acc.addDomain(i % 2, 20.0, makeResult(i));
+    std::string image;
+    acc.serialize(image);
+
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{3}, image.size() / 2,
+          image.size() - 1}) {
+        FleetAccumulator target;
+        std::size_t offset = 0;
+        EXPECT_FALSE(target.deserialize(image.data(), cut, offset))
+            << "accepted a " << cut << "-byte prefix of "
+            << image.size();
+    }
+}
+
+TEST(FleetAccumulator, RejectsGarbage)
+{
+    std::string junk(256, '\xee');
+    FleetAccumulator target;
+    std::size_t offset = 0;
+    EXPECT_FALSE(
+        target.deserialize(junk.data(), junk.size(), offset));
+}
+
+TEST(FleetAccumulator, EmptyAccumulatorRoundTrips)
+{
+    const FleetAccumulator acc(4);
+    std::string image;
+    acc.serialize(image);
+    FleetAccumulator restored;
+    std::size_t offset = 0;
+    ASSERT_TRUE(
+        restored.deserialize(image.data(), image.size(), offset));
+    EXPECT_EQ(restored.rackCount(), 4u);
+    EXPECT_EQ(restored.totalDomains(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * FleetEngine determinism tests: serial vs multi-worker byte
+ * identity, shard-size invariance, kill-and-resume equivalence
+ * through the checkpoint journal, fingerprint mismatch refusal, and
+ * report schema validation.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exec/checkpoint.hh"
+#include "fleet/engine.hh"
+#include "fleet/report.hh"
+#include "fleet/spec.hh"
+
+namespace {
+
+using namespace suit;
+using fleet::FleetEngine;
+using fleet::FleetOptions;
+using fleet::FleetOutcome;
+using fleet::FleetSpec;
+
+/** Unique scratch path that is removed again on destruction. */
+class ScratchFile
+{
+  public:
+    explicit ScratchFile(const std::string &name)
+        : path_(::testing::TempDir() + "suit_fleet_" + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~ScratchFile()
+    {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A small heterogeneous fleet that still runs in milliseconds. */
+FleetSpec
+testSpec()
+{
+    return FleetSpec::parse(
+        "name = engine-test\n"
+        "seed = 5\n"
+        "trace_scale = 0.001\n"
+        "rack web cpu=C domains=260 workloads=Nginx:2,VLC:1 "
+        "strategy=fV,e offset=-97,-70 variants=2\n"
+        "rack build cpu=A domains=120 cores=2 workloads=502.gcc "
+        "strategy=hybrid\n"
+        "rack sim cpu=B domains=100 workloads=520.omnetpp "
+        "strategy=V offset=-70\n");
+}
+
+/** Run the spec and render its JSON report (the identity witness). */
+std::string
+reportOf(const FleetSpec &spec, const FleetOptions &options)
+{
+    FleetEngine engine(spec);
+    const FleetOutcome outcome = engine.run(options);
+    EXPECT_TRUE(outcome.complete());
+    return fleet::renderReportJson(engine.spec(), outcome.totals);
+}
+
+TEST(FleetEngine, WorkerCountDoesNotChangeTheReport)
+{
+    FleetOptions serial;
+    serial.jobs = 1;
+    serial.shardSize = 64;
+    const std::string reference = reportOf(testSpec(), serial);
+    ASSERT_FALSE(reference.empty());
+
+    for (const int jobs : {2, 4}) {
+        FleetOptions parallel;
+        parallel.jobs = jobs;
+        parallel.shardSize = 64;
+        EXPECT_EQ(reportOf(testSpec(), parallel), reference)
+            << "report diverged at jobs=" << jobs;
+    }
+}
+
+TEST(FleetEngine, ShardSizeDoesNotChangeTheReport)
+{
+    FleetOptions a;
+    a.jobs = 2;
+    a.shardSize = 16;
+    FleetOptions b;
+    b.jobs = 2;
+    b.shardSize = 64;
+    FleetOptions c;
+    c.jobs = 2;
+    c.shardSize = 0; // default: one shard covers the whole fleet
+    const std::string ra = reportOf(testSpec(), a);
+    EXPECT_EQ(ra, reportOf(testSpec(), b));
+    EXPECT_EQ(ra, reportOf(testSpec(), c));
+}
+
+TEST(FleetEngine, KillAndResumeMatchesUninterruptedRun)
+{
+    FleetOptions serial;
+    serial.jobs = 1;
+    serial.shardSize = 32;
+    const std::string reference = reportOf(testSpec(), serial);
+
+    ScratchFile journal("resume.ckpt");
+
+    // First run: stop after 4 completed shards.
+    std::atomic<bool> stop{false};
+    std::atomic<int> done{0};
+    FleetOptions first;
+    first.jobs = 2;
+    first.shardSize = 32;
+    first.checkpointPath = journal.path();
+    first.stop = &stop;
+    first.onShardDone = [&](std::uint64_t) {
+        if (done.fetch_add(1) + 1 >= 4)
+            stop.store(true);
+    };
+    FleetEngine engine_a(testSpec());
+    const FleetOutcome interrupted = engine_a.run(first);
+    ASSERT_TRUE(interrupted.interrupted);
+    ASSERT_GT(interrupted.shardsSkipped, 0u);
+    ASSERT_GE(interrupted.shardsRun, 4u);
+
+    // Second run: resume and finish.
+    FleetOptions second;
+    second.jobs = 2;
+    second.shardSize = 32;
+    second.checkpointPath = journal.path();
+    second.resume = true;
+    FleetEngine engine_b(testSpec());
+    const FleetOutcome resumed = engine_b.run(second);
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(resumed.shardsRestored, interrupted.shardsRun);
+    EXPECT_EQ(fleet::renderReportJson(engine_b.spec(),
+                                      resumed.totals),
+              reference);
+}
+
+TEST(FleetEngine, RefusesAForeignJournal)
+{
+    ScratchFile journal("foreign.ckpt");
+    FleetOptions checkpointed;
+    checkpointed.jobs = 1;
+    checkpointed.shardSize = 32;
+    checkpointed.checkpointPath = journal.path();
+    FleetEngine original(testSpec());
+    original.run(checkpointed);
+
+    // Same journal, different seed => different fingerprint.
+    FleetSpec other = testSpec();
+    other.seed = 6;
+    FleetOptions resume = checkpointed;
+    resume.resume = true;
+    FleetEngine engine(other);
+    EXPECT_THROW(engine.run(resume), exec::JournalError);
+
+    // A different shard size invalidates the journal too.
+    FleetOptions resized = checkpointed;
+    resized.resume = true;
+    resized.shardSize = 16;
+    FleetEngine engine_b(testSpec());
+    EXPECT_THROW(engine_b.run(resized), exec::JournalError);
+}
+
+TEST(FleetEngine, StopBeforeStartSkipsEverything)
+{
+    std::atomic<bool> stop{true};
+    FleetOptions options;
+    options.jobs = 2;
+    options.shardSize = 32;
+    options.stop = &stop;
+    FleetEngine engine(testSpec());
+    const FleetOutcome outcome = engine.run(options);
+    EXPECT_TRUE(outcome.interrupted);
+    EXPECT_FALSE(outcome.complete());
+    EXPECT_EQ(outcome.shardsRun, 0u);
+    EXPECT_EQ(outcome.totals.totalDomains(), 0u);
+}
+
+TEST(FleetEngine, ReportJsonValidates)
+{
+    FleetOptions options;
+    options.jobs = 2;
+    FleetEngine engine(testSpec());
+    const FleetOutcome outcome = engine.run(options);
+    const std::string doc =
+        fleet::renderReportJson(engine.spec(), outcome.totals);
+    const obs::CheckResult check = fleet::checkReportJson(doc);
+    EXPECT_TRUE(check.ok) << check.error;
+    ASSERT_EQ(check.entries, 3u);
+    EXPECT_EQ(check.names[0], "web");
+    EXPECT_EQ(check.names[1], "build");
+    EXPECT_EQ(check.names[2], "sim");
+}
+
+TEST(FleetEngine, DomainBasePowerSplitsPerCoreDomains)
+{
+    FleetEngine engine(testSpec());
+    // Rack 0 (CPU C, per-core domains): one core's share.  Rack 1
+    // (CPU A, shared domain): the whole package.
+    EXPECT_GT(engine.domainBasePowerW(1),
+              engine.domainBasePowerW(0) * 4);
+    const fleet::FleetOutcome outcome = engine.run({});
+    EXPECT_GT(outcome.totals.rack(0).wattsBefore.value(), 0.0);
+}
+
+} // namespace

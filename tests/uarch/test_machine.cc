@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/params.hh"
+#include "obs/registry.hh"
 #include "uarch/machine.hh"
 #include "uarch/program.hh"
 
@@ -153,6 +154,38 @@ TEST(SuitMachineTest, EmulationStrategyNeverSwitches)
     // ~350 us voltage drop completes.
     EXPECT_GT(r.efficientShare, 0.5);
     EXPECT_LT(r.powerFactor, 0.95);
+}
+
+TEST(SuitMachineTest, RunsPublishPipelineCountersToObsRegistry)
+{
+    obs::Registry &reg = obs::metrics();
+    reg.reset();
+    reg.setEnabled(true);
+
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    SuitMachine machine(machineConfig(cpu));
+    const Program p =
+        ProgramGenerator(9).generate(specIntLikeMix(), 50'000);
+    const MachineResult base = machine.runBaseline(p);
+    const MachineResult suit_run = machine.runSuit(p);
+    reg.setEnabled(false);
+
+    const std::string doc = reg.renderJson();
+    for (const char *key :
+         {"uarch.runs", "uarch.instructions", "uarch.cycles",
+          "uarch.branches", "uarch.mispredicts", "uarch.loads",
+          "uarch.stores", "uarch.l1d_misses", "uarch.llc_misses",
+          "uarch.do_traps"}) {
+        EXPECT_NE(doc.find(key), std::string::npos)
+            << "metrics document misses " << key;
+    }
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.find("uarch.runs")->count, 2u);
+    EXPECT_EQ(snap.find("uarch.instructions")->count,
+              base.stats.instructions + suit_run.stats.instructions);
+    EXPECT_EQ(snap.find("uarch.do_traps")->count,
+              suit_run.stats.traps);
+    reg.reset();
 }
 
 } // namespace

@@ -192,4 +192,82 @@ TEST(LogHistogramTest, RenderContainsAllDecades)
     EXPECT_NE(out.find("10^3"), std::string::npos);
 }
 
+TEST(ExactSumTest, IsExactWhereNaiveSummationIsNot)
+{
+    // 1e16 + 1 + ... + 1 - 1e16: naive left-to-right addition loses
+    // every 1.0 (1e16 + 1 == 1e16 in double); the exact sum keeps
+    // them all.
+    suit::util::ExactSum s;
+    s.add(1e16);
+    for (int i = 0; i < 1000; ++i)
+        s.add(1.0);
+    s.add(-1e16);
+    EXPECT_EQ(s.value(), 1000.0);
+}
+
+TEST(ExactSumTest, ValueIsGroupingAndOrderIndependent)
+{
+    // Awkward magnitudes in three different groupings/orders must
+    // produce the same bits, which is what fleet shard merging
+    // relies on.
+    std::vector<double> values;
+    for (int i = 0; i < 300; ++i)
+        values.push_back((i % 2 ? 1.0 : -1.0) *
+                         std::pow(10.0, (i * 7) % 25) /
+                         (1.0 + i * 0.37));
+
+    suit::util::ExactSum forward;
+    for (const double v : values)
+        forward.add(v);
+
+    suit::util::ExactSum backward;
+    for (std::size_t i = values.size(); i-- > 0;)
+        backward.add(values[i]);
+
+    suit::util::ExactSum left, right;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        (i < values.size() / 3 ? left : right).add(values[i]);
+    left.merge(right);
+
+    EXPECT_EQ(forward.value(), backward.value());
+    EXPECT_EQ(forward.value(), left.value());
+}
+
+TEST(ExactSumTest, PartsRoundTripRestoresTheState)
+{
+    suit::util::ExactSum s;
+    for (int i = 0; i < 50; ++i)
+        s.add(std::sin(i) * std::pow(2.0, i % 40));
+
+    suit::util::ExactSum restored =
+        suit::util::ExactSum::fromParts(s.parts());
+    EXPECT_EQ(restored.value(), s.value());
+
+    // The restored sum keeps accumulating identically.
+    restored.add(0.1);
+    s.add(0.1);
+    EXPECT_EQ(restored.value(), s.value());
+}
+
+TEST(ExactSumTest, SelfMergeDoubles)
+{
+    suit::util::ExactSum s;
+    s.add(0.1);
+    s.add(1e-30);
+    s.merge(s);
+    suit::util::ExactSum twice;
+    twice.add(0.1);
+    twice.add(1e-30);
+    twice.add(0.1);
+    twice.add(1e-30);
+    EXPECT_EQ(s.value(), twice.value());
+}
+
+TEST(ExactSumTest, EmptyIsZero)
+{
+    const suit::util::ExactSum s;
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_TRUE(s.parts().empty());
+}
+
 } // namespace

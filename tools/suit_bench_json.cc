@@ -6,16 +6,20 @@
  * Runs the four simulator scenarios the micro-benchmarks cover
  * (single-core SUIT on 502.gcc, the same run on the reference event
  * loop, the event-dense 525.x264, and CPU A's shared four-core
- * domain) with wall-clock timing, and emits one JSON document:
+ * domain) plus the fleet-scale throughput scenario (the 100k-domain
+ * demo fleet through FleetEngine on all hardware threads) with
+ * wall-clock timing, and emits one JSON document:
  *
  *   {
- *     "schema": "suit-bench-simcore-v2",
+ *     "schema": "suit-bench-simcore-v3",
  *     "reps": 5,
  *     "benchmarks": [
  *       { "name": "domain_sim_single", "events": ...,
  *         "best_ms": ..., "median_ms": ..., "events_per_sec": ... },
  *       ...
  *     ],
+ *     "fleet": { "name": "fleet_100k", "domains": 100000,
+ *       "best_ms": ..., "median_ms": ..., "domains_per_sec": ... },
  *     "speedup_vs_reference": ...,
  *     "obs_overhead_disabled_pct": ...
  *   }
@@ -42,6 +46,8 @@
 #include <vector>
 
 #include "core/params.hh"
+#include "fleet/engine.hh"
+#include "fleet/spec.hh"
 #include "sim/domain_sim.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
@@ -155,8 +161,55 @@ runScenarios(int reps)
     return results;
 }
 
+/** The fleet-scale throughput scenario. */
+struct FleetBench
+{
+    std::uint64_t domains = 0;
+    double bestMs = 0.0;
+    double medianMs = 0.0;
+    double domainsPerSec = 0.0;
+};
+
+/**
+ * Time the 100k-domain demo fleet through the FleetEngine on all
+ * hardware threads.  The engine (and its trace cache) is rebuilt per
+ * repetition so every run pays the full cost a fresh suit_fleet
+ * invocation would.
+ */
+FleetBench
+timeFleet(int reps)
+{
+    constexpr std::uint64_t kDomains = 100'000;
+    std::vector<double> times_ms;
+    times_ms.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        fleet::FleetEngine engine(fleet::FleetSpec::demo(kDomains));
+        const fleet::FleetOutcome outcome = engine.run({});
+        const auto stop = std::chrono::steady_clock::now();
+        SUIT_ASSERT(outcome.complete() &&
+                        outcome.totals.totalDomains() == kDomains,
+                    "fleet benchmark run incomplete");
+        times_ms.push_back(
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+    }
+    std::sort(times_ms.begin(), times_ms.end());
+
+    FleetBench out;
+    out.domains = kDomains;
+    out.bestMs = times_ms.front();
+    out.medianMs = times_ms[times_ms.size() / 2];
+    out.domainsPerSec =
+        out.bestMs > 0.0 ? static_cast<double>(kDomains) /
+                               (out.bestMs / 1e3)
+                         : 0.0;
+    return out;
+}
+
 std::string
-renderJson(const std::vector<BenchResult> &results, int reps)
+renderJson(const std::vector<BenchResult> &results,
+           const FleetBench &fleet_bench, int reps)
 {
     double fast_ms = 0.0;
     double ref_ms = 0.0;
@@ -184,13 +237,19 @@ renderJson(const std::vector<BenchResult> &results, int reps)
         noobs_ms > 0.0 ? 100.0 * (fast_ms / noobs_ms - 1.0) : 0.0;
     return util::sformat(
         "{\n"
-        "  \"schema\": \"suit-bench-simcore-v2\",\n"
+        "  \"schema\": \"suit-bench-simcore-v3\",\n"
         "  \"reps\": %d,\n"
         "  \"benchmarks\": [\n%s\n  ],\n"
+        "  \"fleet\": { \"name\": \"fleet_100k\", "
+        "\"domains\": %llu, \"best_ms\": %.1f, "
+        "\"median_ms\": %.1f, \"domains_per_sec\": %.0f },\n"
         "  \"speedup_vs_reference\": %.2f,\n"
         "  \"obs_overhead_disabled_pct\": %.2f\n"
         "}\n",
-        reps, body.c_str(), speedup, obs_pct);
+        reps, body.c_str(),
+        static_cast<unsigned long long>(fleet_bench.domains),
+        fleet_bench.bestMs, fleet_bench.medianMs,
+        fleet_bench.domainsPerSec, speedup, obs_pct);
 }
 
 /**
@@ -202,7 +261,7 @@ std::string
 validateJson(const std::string &text)
 {
     const char *kRequired[] = {
-        "\"schema\": \"suit-bench-simcore-v2\"",
+        "\"schema\": \"suit-bench-simcore-v3\"",
         "\"reps\":",
         "\"benchmarks\":",
         "\"domain_sim_single\"",
@@ -211,6 +270,9 @@ validateJson(const std::string &text)
         "\"domain_sim_dense\"",
         "\"domain_sim_shared\"",
         "\"events_per_sec\":",
+        "\"fleet\":",
+        "\"fleet_100k\"",
+        "\"domains_per_sec\":",
         "\"speedup_vs_reference\":",
         "\"obs_overhead_disabled_pct\":",
     };
@@ -269,8 +331,10 @@ main(int argc, char **argv)
 
     const std::vector<BenchResult> results =
         runScenarios(static_cast<int>(reps));
+    const FleetBench fleet_bench =
+        timeFleet(static_cast<int>(reps));
     const std::string json =
-        renderJson(results, static_cast<int>(reps));
+        renderJson(results, fleet_bench, static_cast<int>(reps));
 
     const std::string sanity = validateJson(json);
     SUIT_ASSERT(sanity.empty(), "emitted record fails own schema: %s",
@@ -290,6 +354,9 @@ main(int argc, char **argv)
     for (const BenchResult &r : results)
         std::fprintf(stderr, "%-22s %8.2f ms  %12.0f events/s\n",
                      r.name.c_str(), r.bestMs, r.eventsPerSec);
+    std::fprintf(stderr, "%-22s %8.2f ms  %12.0f domains/s\n",
+                 "fleet_100k", fleet_bench.bestMs,
+                 fleet_bench.domainsPerSec);
     std::fprintf(stderr, "wrote %s\n", out.c_str());
     return 0;
 }

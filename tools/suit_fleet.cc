@@ -1,0 +1,220 @@
+/**
+ * @file
+ * suit_fleet — simulate a whole data-center fleet of SUIT domains in
+ * one process and report the TCO/energy outcome.
+ *
+ * The fleet is described by a FleetSpec (--spec <file>, or the
+ * built-in five-rack demo fleet when omitted); --domains rescales it
+ * to the requested size.  The FleetEngine shards the domains across
+ * worker threads and streams every result into exact per-rack
+ * accumulators, so the report is bit-identical for any --jobs value,
+ * any --shard size, and across kill-and-resume cycles
+ * (--checkpoint/--resume reuse the crash-safe exec journal).
+ *
+ * Output: the human TCO/energy table on stdout, execution footer on
+ * stderr, and with --report-json the machine-readable
+ * suit-fleet-report-v1 document.  Ctrl-C stops gracefully after the
+ * in-flight shards (exit code 130); a resumed run completes the rest
+ * and produces the identical report.
+ *
+ * Examples:
+ *   suit_fleet                                  # demo fleet, 100k
+ *   suit_fleet --domains 1000000 --jobs 16
+ *   suit_fleet --spec fleet.spec --report-json report.json
+ *   suit_fleet --domains 500000 --checkpoint fleet.ckpt
+ *   suit_fleet --domains 500000 --checkpoint fleet.ckpt --resume
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "exec/checkpoint.hh"
+#include "fleet/engine.hh"
+#include "fleet/report.hh"
+#include "fleet/spec.hh"
+#include "obs/registry.hh"
+#include "obs/setup.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace suit;
+
+/** Raised by the first SIGINT; the run then stops gracefully. */
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void
+onSigint(int)
+{
+    g_interrupted.store(true);
+    // A second Ctrl-C terminates immediately.  The journal survives
+    // that too: appends are atomic rename()s.
+    std::signal(SIGINT, SIG_DFL);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "suit_fleet",
+        "simulate a fleet of SUIT domains, report TCO/energy");
+    args.addOption("spec", "",
+                   "fleet spec file (omit for the built-in demo "
+                   "fleet)");
+    args.addOption("domains", "0",
+                   "rescale the fleet to this many domains "
+                   "(0 = keep the spec's counts; demo default "
+                   "100000)");
+    args.addOption("seed", "",
+                   "override the spec's root seed");
+    args.addOption("jobs", "0",
+                   "parallel workers (0 = hardware threads, "
+                   "1 = serial reference)");
+    args.addOption("shard", "0",
+                   "domains per checkpointable shard (0 = default "
+                   "4096)");
+    args.addOption("checkpoint", "",
+                   "journal completed shards to this file "
+                   "(crash-safe)");
+    args.addFlag("resume",
+                 "load the --checkpoint journal and run only the "
+                 "missing shards");
+    args.addOption("report-json", "",
+                   "also write the suit-fleet-report-v1 JSON to this "
+                   "path ('-' = stdout instead of the table)");
+    args.addOption("stop-after", "0",
+                   "stop gracefully after N completed shards "
+                   "(testing aid; 0 = run to completion)");
+    obs::addCliOptions(args);
+    if (!args.parse(argc, argv))
+        return 0;
+
+    // Declared before the FleetEngine so worker threads never outlive
+    // the trace session; flushes --metrics/--trace-out at exit.
+    obs::CliScope obs_scope(args);
+
+    const long domains = args.getInt("domains");
+    if (domains < 0)
+        util::fatal("--domains must be >= 0, got %ld", domains);
+    const long stop_after = args.getInt("stop-after");
+    if (stop_after < 0)
+        util::fatal("--stop-after must be >= 0, got %ld", stop_after);
+    const long shard = args.getInt("shard");
+    if (shard < 0)
+        util::fatal("--shard must be >= 0, got %ld", shard);
+    if (args.getFlag("resume") && args.get("checkpoint").empty())
+        util::fatal("--resume needs --checkpoint <path>");
+
+    fleet::FleetSpec spec;
+    if (!args.get("spec").empty()) {
+        try {
+            spec = fleet::FleetSpec::parseFile(args.get("spec"));
+        } catch (const fleet::SpecError &e) {
+            util::fatal("%s", e.what());
+        }
+        if (domains > 0)
+            spec.scaleDomains(static_cast<std::uint64_t>(domains));
+    } else {
+        spec = fleet::FleetSpec::demo(
+            domains > 0 ? static_cast<std::uint64_t>(domains)
+                        : 100000);
+    }
+    if (!args.get("seed").empty())
+        spec.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+
+    util::inform("suit_fleet: '%s', %llu domains in %zu racks on %s",
+                 spec.name.c_str(),
+                 static_cast<unsigned long long>(spec.totalDomains()),
+                 spec.racks.size(),
+                 args.get("jobs") == "1" ? "1 worker (serial)"
+                                         : "parallel workers");
+
+    std::signal(SIGINT, onSigint);
+    std::atomic<std::uint64_t> completed{0};
+
+    fleet::FleetOptions options;
+    options.jobs = static_cast<int>(args.getInt("jobs"));
+    options.shardSize = static_cast<std::uint64_t>(shard);
+    options.checkpointPath = args.get("checkpoint");
+    options.resume = args.getFlag("resume");
+    options.stop = &g_interrupted;
+    if (stop_after > 0) {
+        options.onShardDone = [&, stop_after](std::uint64_t) {
+            if (completed.fetch_add(1) + 1 >=
+                static_cast<std::uint64_t>(stop_after))
+                g_interrupted.store(true);
+        };
+    }
+
+    fleet::FleetEngine engine(spec);
+    fleet::FleetOutcome outcome;
+    try {
+        outcome = engine.run(options);
+    } catch (const exec::JournalError &e) {
+        util::fatal("%s", e.what());
+    }
+
+    // An interrupted run's partial aggregates would render as a
+    // plausible but wrong fleet report; only a complete run reports.
+    if (outcome.complete()) {
+        const std::string &json_path = args.get("report-json");
+        if (json_path == "-") {
+            const std::string doc =
+                fleet::renderReportJson(engine.spec(),
+                                        outcome.totals);
+            std::fwrite(doc.data(), 1, doc.size(), stdout);
+        } else {
+            const std::string table =
+                fleet::renderReportTable(engine.spec(),
+                                         outcome.totals);
+            std::fwrite(table.data(), 1, table.size(), stdout);
+            if (!json_path.empty()) {
+                const std::string doc =
+                    fleet::renderReportJson(engine.spec(),
+                                            outcome.totals);
+                std::FILE *f = std::fopen(json_path.c_str(), "w");
+                if (f == nullptr ||
+                    std::fwrite(doc.data(), 1, doc.size(), f) !=
+                        doc.size())
+                    util::fatal("cannot write '%s'",
+                                json_path.c_str());
+                std::fclose(f);
+            }
+        }
+    }
+
+    // Footer goes to stderr so it never pollutes a report on stdout.
+    std::fprintf(
+        stderr,
+        "fleet execution: %llu shards (%llu run, %llu restored, "
+        "%llu skipped), %zu traces generated, %llu cache hits\n",
+        static_cast<unsigned long long>(outcome.shards),
+        static_cast<unsigned long long>(outcome.shardsRun),
+        static_cast<unsigned long long>(outcome.shardsRestored),
+        static_cast<unsigned long long>(outcome.shardsSkipped),
+        engine.traceCache().entries(),
+        static_cast<unsigned long long>(engine.traceCache().hits()));
+    if (obs::metrics().enabled()) {
+        std::fprintf(stderr, "\nobservability metrics:\n%s",
+                     obs::metrics().renderTable().c_str());
+    }
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "fleet run interrupted: %llu shard%s not run; "
+                     "re-run with --checkpoint %s --resume to "
+                     "finish\n",
+                     static_cast<unsigned long long>(
+                         outcome.shardsSkipped),
+                     outcome.shardsSkipped == 1 ? "" : "s",
+                     options.checkpointPath.empty()
+                         ? "<path>"
+                         : options.checkpointPath.c_str());
+        return 130;
+    }
+    return 0;
+}
