@@ -175,9 +175,11 @@ BM_DomainSimulationDense(benchmark::State &state)
 BENCHMARK(BM_DomainSimulationDense)->Unit(benchmark::kMillisecond);
 
 /**
- * CPU A's shared four-core domain: batching is off (cross-core
- * floating-point interleaving), so this isolates the invariant
- * tables and the incremental arrival cache.
+ * CPU A's shared four-core domain: the multi-core batched window
+ * (SoA hot state, per-event accumulator replay, vectorizable
+ * arrival scan).  Chain-bound rather than throughput-bound — each
+ * event's time feeds the next through the reference FP sequence —
+ * so expect a lower rate than the single-core scenarios.
  */
 void
 BM_DomainSimulationShared(benchmark::State &state)

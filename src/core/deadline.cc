@@ -16,25 +16,9 @@ DeadlineTimer::arm(Tick now, Tick reload)
 }
 
 void
-DeadlineTimer::touch(Tick now)
-{
-    if (armed_) {
-        expiry_ = now + reload_;
-        ++resets_;
-    }
-}
-
-void
 DeadlineTimer::cancel()
 {
     armed_ = false;
-}
-
-Tick
-DeadlineTimer::expiry() const
-{
-    SUIT_ASSERT(armed_, "expiry() on a disarmed timer");
-    return expiry_;
 }
 
 bool

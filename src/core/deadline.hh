@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "util/logging.hh"
 #include "util/ticks.hh"
 
 namespace suit::core {
@@ -27,9 +28,16 @@ class DeadlineTimer
 
     /**
      * A faultable instruction executed at @p now: restart the
-     * count-down (no-op while disarmed).
+     * count-down (no-op while disarmed).  Inline: the simulator's
+     * batched native windows call this once per consumed event.
      */
-    void touch(suit::util::Tick now);
+    void touch(suit::util::Tick now)
+    {
+        if (armed_) {
+            expiry_ = now + reload_;
+            ++resets_;
+        }
+    }
 
     /** Disarm without firing. */
     void cancel();
@@ -37,8 +45,15 @@ class DeadlineTimer
     /** True while armed. */
     bool armed() const { return armed_; }
 
-    /** Absolute expiry time (valid only while armed). */
-    suit::util::Tick expiry() const;
+    /**
+     * Absolute expiry time (valid only while armed).  Inline: read
+     * once per event as the native windows' closing boundary.
+     */
+    suit::util::Tick expiry() const
+    {
+        SUIT_ASSERT(armed_, "expiry() on a disarmed timer");
+        return expiry_;
+    }
 
     /**
      * Check for expiry: returns true exactly once when @p now has

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AVX2 arrival-scan kernel (see simd_ops.hh, "Host-side SIMD
+ * kernels").
+ *
+ * Compiled as its own translation unit with -mavx2 — only this file
+ * may contain AVX2 instructions, and every entry point checks the
+ * host CPU at runtime before touching them, so the rest of the build
+ * stays runnable on any x86-64.  x86 has no unsigned 64-bit compare
+ * below AVX-512: the kernel biases both operands by 2^63 (flipping
+ * the sign bit) so the signed VPCMPGTQ orders them as unsigned.
+ */
+
+#include "emu/simd_ops.hh"
+
+#if defined(SUIT_HAVE_AVX2_SCAN)
+
+#include <immintrin.h>
+
+namespace suit::emu {
+
+namespace {
+
+bool
+hostHasAvx2()
+{
+    static const bool has = __builtin_cpu_supports("avx2");
+    return has;
+}
+
+} // namespace
+
+bool
+vectorScanAvailable()
+{
+    return hostHasAvx2();
+}
+
+std::size_t
+minIndexU64Vector(const std::uint64_t *values, std::size_t count)
+{
+    if (!hostHasAvx2() || count < 4)
+        return minIndexU64Scalar(values, count);
+
+    const __m256i sign = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    // Biased running minimum, 4 lanes.
+    __m256i best = _mm256_xor_si256(
+        _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values)),
+        sign);
+    std::size_t i = 4;
+    for (; i + 4 <= count; i += 4) {
+        const __m256i v = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(values + i)),
+            sign);
+        // best > v (signed on biased values == unsigned raw):
+        // take v.
+        const __m256i gt = _mm256_cmpgt_epi64(best, v);
+        best = _mm256_blendv_epi8(best, v, gt);
+    }
+
+    alignas(32) std::uint64_t lane[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lane),
+                       _mm256_xor_si256(best, sign));
+    std::uint64_t min_v = lane[0];
+    for (int k = 1; k < 4; ++k)
+        min_v = lane[k] < min_v ? lane[k] : min_v;
+    for (; i < count; ++i)
+        min_v = values[i] < min_v ? values[i] : min_v;
+
+    // Second pass: the first position holding the minimum, so ties
+    // resolve to the lowest index exactly like the scalar loop.
+    for (std::size_t j = 0; j < count; ++j) {
+        if (values[j] == min_v)
+            return j;
+    }
+    return 0; // unreachable: min_v came from values
+}
+
+} // namespace suit::emu
+
+#endif // defined(SUIT_HAVE_AVX2_SCAN)

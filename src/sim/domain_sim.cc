@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "emu/dispatcher.hh"
+#include "emu/simd_ops.hh"
 #include "obs/registry.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -19,6 +20,61 @@ using suit::util::Tick;
 namespace {
 
 constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+/**
+ * Min-reduction over the arrival row: the index of the earliest
+ * arrival, ties to the lowest core (a strict < scan).  Narrow
+ * domains inline the branch-free scalar scan; wide rows — or a
+ * forced emu::ScanImpl::Vector toggle — go through the emu kernel.
+ * @p fn_scan is hoisted per run/window so the per-event cost is one
+ * predictable branch.
+ */
+inline std::size_t
+scanArrivals(const Tick *arrival, std::size_t n, bool fn_scan)
+{
+    if (fn_scan)
+        return suit::emu::minIndexU64(arrival, n);
+    std::size_t win = 0;
+    Tick best = arrival[0];
+    for (std::size_t i = 1; i < n; ++i) {
+        const Tick a = arrival[i];
+        win = a < best ? i : win;
+        best = a < best ? a : best;
+    }
+    return win;
+}
+
+/** Should arrival scans call the emu kernel for @p n lanes? */
+inline bool
+useFnScan(std::size_t n)
+{
+    return n >= suit::emu::kVectorScanMinLanes ||
+           suit::emu::arrivalScanImpl() == suit::emu::ScanImpl::Vector;
+}
+
+/**
+ * @{ secondsToTicks()/ticksToSeconds() for values known to fit in 63
+ * bits.  Every simulated time does: 2^63 ps is ~106 days and traces
+ * run for seconds.  Converting through int64 yields the identical
+ * double/Tick for such values — the cast is what the unsigned
+ * conversion computes after its range fixup — but lets the compiler
+ * drop the fixup branch from the hot windows.  (A value >= 2^63
+ * would be UB here; the UBSan suite run guards the invariant.)
+ */
+inline Tick
+windowSecondsToTicks(double s)
+{
+    return static_cast<Tick>(static_cast<std::int64_t>(
+        s * static_cast<double>(suit::util::kTicksPerSec)));
+}
+
+inline double
+windowTicksToSeconds(Tick t)
+{
+    return static_cast<double>(static_cast<std::int64_t>(t)) /
+           static_cast<double>(suit::util::kTicksPerSec);
+}
+/** @} */
 
 /** Does moving between two p-states change the clock frequency? */
 bool
@@ -64,23 +120,33 @@ DomainSimulator::DomainSimulator(const SimConfig &config,
     SUIT_ASSERT(cfg_.cpu != nullptr, "simulation needs a CPU model");
     SUIT_ASSERT(!work.empty(), "simulation needs at least one core");
 
+    nCores_ = work.size();
+    remaining_.resize(nCores_, 0.0);
+    resume_.resize(nCores_, 0);
+    arrival_.resize(nCores_, 0);
+    arrivalStale_.resize(nCores_, 1);
+    doneMask_.resize(nCores_, 0);
+    rates_.resize(static_cast<std::size_t>(kNumSuitPStates) * nCores_,
+                  0.0);
+
     for (const CoreWork &w : work) {
         SUIT_ASSERT(w.trace && w.profile,
                     "every core needs a trace and its profile");
+        const std::size_t i = cores_.size();
         Core core;
         core.work = w;
         if (cfg_.mode == RunMode::NoSimdCompile) {
             // Compiled without SIMD: the trappable instructions do
             // not exist; drain the whole stream in one piece.
             core.pastLastEvent = true;
-            core.remainingInstr =
+            remaining_[i] =
                 static_cast<double>(w.trace->totalInstructions());
         } else if (w.trace->events().empty()) {
             core.pastLastEvent = true;
-            core.remainingInstr =
+            remaining_[i] =
                 static_cast<double>(w.trace->totalInstructions());
         } else {
-            core.remainingInstr =
+            remaining_[i] =
                 static_cast<double>(w.trace->events()[0].gap);
         }
         cores_.push_back(core);
@@ -101,11 +167,12 @@ DomainSimulator::DomainSimulator(const SimConfig &config,
     // Fast-path invariant tables.  Every entry is produced by the
     // same per-call function the reference loop uses, so the fast
     // loop feeds bit-identical doubles into the same arithmetic.
-    for (Core &core : cores_) {
+    for (std::size_t i = 0; i < nCores_; ++i) {
         for (const SuitPState p :
              {SuitPState::Efficient, SuitPState::ConservativeFreq,
               SuitPState::ConservativeVolt}) {
-            core.rate[pstateIndex(p)] = instrRate(core, p);
+            rates_[static_cast<std::size_t>(pstateIndex(p)) * nCores_ +
+                   i] = instrRate(i, p);
         }
     }
     if (cfg_.mode != RunMode::Baseline) {
@@ -138,9 +205,9 @@ DomainSimulator::tracePState(Tick when, SuitPState to, const char *how)
 DomainSimulator::~DomainSimulator() = default;
 
 double
-DomainSimulator::instrRate(const Core &core, SuitPState p) const
+DomainSimulator::instrRate(std::size_t i, SuitPState p) const
 {
-    const auto &profile = *core.work.profile;
+    const auto &profile = *cores_[i].work.profile;
     const double base = profile.ipc * cfg_.cpu->baseFreqHz();
     if (cfg_.mode == RunMode::Baseline)
         return base;
@@ -200,8 +267,19 @@ DomainSimulator::setTimerInterrupt(Tick reload)
 void
 DomainSimulator::invalidateArrivals()
 {
-    for (Core &core : cores_)
-        core.arrivalValid = false;
+    for (std::size_t i = 0; i < nCores_; ++i)
+        arrivalStale_[i] = 1;
+}
+
+void
+DomainSimulator::refreshArrivals()
+{
+    for (std::size_t i = 0; i < nCores_; ++i) {
+        if (arrivalStale_[i]) {
+            arrival_[i] = coreArrivalFast(i);
+            arrivalStale_[i] = 0;
+        }
+    }
 }
 
 void
@@ -236,14 +314,14 @@ DomainSimulator::changePStateWait(SuitPState target)
     const Tick until = now_ + delay;
     if (f_edge && tm.stallsOnFreqChange) {
         // The shared clock re-locks: every core in the domain stalls.
-        for (Core &core : cores_) {
-            if (!core.done)
-                core.resumeTime = std::max(core.resumeTime, until);
+        for (std::size_t i = 0; i < nCores_; ++i) {
+            if (!cores_[i].done)
+                resume_[i] = std::max(resume_[i], until);
         }
     } else {
         // Only the core spinning in the handler is blocked.
-        Core &core = cores_[trappingCore_];
-        core.resumeTime = std::max(core.resumeTime, until);
+        resume_[trappingCore_] =
+            std::max(resume_[trappingCore_], until);
     }
 
     pstate_ = target;
@@ -310,21 +388,22 @@ DomainSimulator::advanceToRef(Tick t)
     if (t == now_)
         return;
 
+    // Every core's progress is integrated up to now_ — the historical
+    // per-core lastUpdate always equalled now_ outside this function,
+    // so the interval below is [now_, t) for every core.
+    const Tick from = now_;
     const double pf = powerFactorOf(pstate_);
-    for (Core &core : cores_) {
-        if (core.done) {
-            core.lastUpdate = t;
+    for (std::size_t i = 0; i < nCores_; ++i) {
+        if (cores_[i].done)
             continue;
-        }
-        const double dt_s =
-            suit::util::ticksToSeconds(t - core.lastUpdate);
+        const double dt_s = suit::util::ticksToSeconds(t - from);
         powerIntegralS_ += pf * dt_s;
         activeTimeS_ += dt_s;
         stateTimeS_[pstateIndex(pstate_)] += dt_s;
 
         // Instruction progress: clip stalls and the transition's
-        // frozen window out of [lastUpdate, t).
-        Tick lo = std::max(core.lastUpdate, core.resumeTime);
+        // frozen window out of [from, t).
+        Tick lo = std::max(from, resume_[i]);
         Tick hi = t;
         double progress_s = 0.0;
         if (lo < hi) {
@@ -337,25 +416,24 @@ DomainSimulator::advanceToRef(Tick t)
                         suit::util::ticksToSeconds(f_hi - f_lo);
             }
         }
-        core.remainingInstr -= progress_s * instrRate(core, pstate_);
-        core.remainingInstr = std::max(core.remainingInstr, 0.0);
-        core.lastUpdate = t;
+        remaining_[i] -= progress_s * instrRate(i, pstate_);
+        remaining_[i] = std::max(remaining_[i], 0.0);
     }
     now_ = t;
 }
 
 Tick
-DomainSimulator::coreArrivalRef(const Core &core) const
+DomainSimulator::coreArrivalRef(std::size_t i) const
 {
-    if (core.done)
+    if (cores_[i].done)
         return kNever;
-    const Tick start = std::max(now_, core.resumeTime);
+    const Tick start = std::max(now_, resume_[i]);
     const Tick cap =
         pending_ ? pending_->runUntil : kNever;
     if (pending_ && start >= cap)
         return kNever; // frozen: the completion event goes first
-    const double rate = instrRate(core, pstate_);
-    const double need_s = core.remainingInstr / rate;
+    const double rate = instrRate(i, pstate_);
+    const double need_s = remaining_[i] / rate;
     const Tick arrival = start + suit::util::secondsToTicks(need_s);
     if (pending_ && arrival > cap)
         return kNever;
@@ -371,25 +449,27 @@ DomainSimulator::advanceToFast(Tick t)
 
     const int sidx = pstateIndex(pstate_);
     const double pf = powerTbl_[sidx];
-    for (Core &core : cores_) {
-        if (core.done) {
-            core.lastUpdate = t;
+    const double *rate = &rates_[static_cast<std::size_t>(sidx) *
+                                 nCores_];
+    // As in advanceToRef(): progress is integrated up to now_ for
+    // every core, so the shared interval is [now_, t) and one dt_s
+    // serves the whole domain.
+    const double dt_s = suit::util::ticksToSeconds(t - now_);
+    for (std::size_t i = 0; i < nCores_; ++i) {
+        if (cores_[i].done)
             continue;
-        }
-        const double dt_s =
-            suit::util::ticksToSeconds(t - core.lastUpdate);
         powerIntegralS_ += pf * dt_s;
         activeTimeS_ += dt_s;
         stateTimeS_[sidx] += dt_s;
 
-        const Tick lo = std::max(core.lastUpdate, core.resumeTime);
+        const Tick lo = std::max(now_, resume_[i]);
         const Tick hi = t;
         if (lo < hi) {
-            // The core progressed: remainingInstr changes, so the
-            // cached arrival would no longer match a recompute.
-            // (When lo >= hi it provably would — resumeTime >= t
-            // means a recompute starts from the same resumeTime with
-            // the same remainingInstr — so the cache stays valid.)
+            // The core progressed: remaining_ changes, so the cached
+            // arrival would no longer match a recompute.  (When
+            // lo >= hi it provably would — resume_ >= t means a
+            // recompute starts from the same resume_ with the same
+            // remaining_ — so the cache stays valid.)
             double progress_s = suit::util::ticksToSeconds(hi - lo);
             if (pending_) {
                 const Tick f_lo = std::max(lo, pending_->runUntil);
@@ -398,58 +478,51 @@ DomainSimulator::advanceToFast(Tick t)
                     progress_s -=
                         suit::util::ticksToSeconds(f_hi - f_lo);
             }
-            core.remainingInstr -= progress_s * core.rate[sidx];
-            core.remainingInstr = std::max(core.remainingInstr, 0.0);
-            core.arrivalValid = false;
+            remaining_[i] -= progress_s * rate[i];
+            remaining_[i] = std::max(remaining_[i], 0.0);
+            arrivalStale_[i] = 1;
         }
-        core.lastUpdate = t;
     }
     now_ = t;
 }
 
 Tick
-DomainSimulator::coreArrivalFast(const Core &core) const
+DomainSimulator::coreArrivalFast(std::size_t i) const
 {
-    if (core.done)
+    if (cores_[i].done)
         return kNever;
-    const Tick start = std::max(now_, core.resumeTime);
+    const Tick start = std::max(now_, resume_[i]);
     const Tick cap =
         pending_ ? pending_->runUntil : kNever;
     if (pending_ && start >= cap)
         return kNever; // frozen: the completion event goes first
-    const double rate = core.rate[pstateIndex(pstate_)];
-    const double need_s = core.remainingInstr / rate;
+    const double rate =
+        rates_[static_cast<std::size_t>(pstateIndex(pstate_)) *
+                   nCores_ +
+               i];
+    const double need_s = remaining_[i] / rate;
     const Tick arrival = start + suit::util::secondsToTicks(need_s);
     if (pending_ && arrival > cap)
         return kNever;
     return arrival;
 }
 
-Tick
-DomainSimulator::arrivalOf(Core &core)
-{
-    if (!core.arrivalValid) {
-        core.cachedArrival = coreArrivalFast(core);
-        core.arrivalValid = true;
-    }
-    return core.cachedArrival;
-}
-
 void
-DomainSimulator::consumeEvent(Core &core)
+DomainSimulator::consumeEvent(std::size_t i)
 {
+    Core &core = cores_[i];
     const auto &events = core.work.trace->events();
     ++core.nextEvent;
     if (core.nextEvent < events.size()) {
-        core.remainingInstr =
+        remaining_[i] =
             static_cast<double>(events[core.nextEvent].gap);
     } else {
         // Drain the instructions after the last faultable one.
-        core.remainingInstr =
+        remaining_[i] =
             static_cast<double>(core.work.trace->tailInstructions());
         core.pastLastEvent = true;
     }
-    core.arrivalValid = false;
+    arrivalStale_[i] = 1;
 }
 
 void
@@ -463,7 +536,7 @@ DomainSimulator::handleFaultableInstruction(std::size_t i)
         // timer restarts on every faultable execution (Sec. 4.1).
         if (cfg_.mode == RunMode::Suit)
             timer_.touch(now_);
-        consumeEvent(core);
+        consumeEvent(i);
         return;
     }
 
@@ -480,8 +553,8 @@ DomainSimulator::handleFaultableInstruction(std::size_t i)
                          {"core", static_cast<int>(i)}});
     }
     trappingCore_ = i;
-    core.resumeTime = std::max(
-        core.resumeTime,
+    resume_[i] = std::max(
+        resume_[i],
         now_ + suit::util::microsecondsToTicks(
                    cfg_.cpu->exceptionDelayUs()));
 
@@ -511,20 +584,21 @@ DomainSimulator::handleFaultableInstruction(std::size_t i)
         const Tick cost = static_cast<Tick>(
             static_cast<double>(emulationCostTicks(event.kind)) *
             weight);
-        core.resumeTime = std::max(core.resumeTime, now_ + cost);
+        resume_[i] = std::max(resume_[i], now_ + cost);
     } else {
         // Re-executed after the switch; restarts the count-down.
         timer_.touch(now_);
     }
-    consumeEvent(core);
+    consumeEvent(i);
 }
 
 bool
-DomainSimulator::nativeWindowOpen(const Core &core) const
+DomainSimulator::singleWindowOpen() const
 {
+    const Core &core = cores_[0];
     if (core.done || core.pastLastEvent)
         return false;
-    if (core.resumeTime > now_)
+    if (resume_[0] > now_)
         return false;
     // Events execute natively in Baseline mode always, and in Suit
     // mode while the instructions are enabled.  The Suit batch also
@@ -540,22 +614,41 @@ DomainSimulator::nativeWindowOpen(const Core &core) const
     return true;
 }
 
-void
-DomainSimulator::runNativeWindow(Core &core, std::uint64_t &budget)
+bool
+DomainSimulator::multiWindowOpen() const
 {
+    // Unlike the single-core window, stalled or done cores do not
+    // close a multi-core window: the in-window scan computes every
+    // core's arrival with its stall start and done mask applied, so
+    // the other cores keep batching across them.
+    if (cfg_.mode == RunMode::Suit && (disabled_ || !timer_.armed()))
+        return false;
+    if (cfg_.mode == RunMode::NoSimdCompile)
+        return false; // every core pastLastEvent from construction
+    if (pending_ && now_ >= pending_->runUntil)
+        return false; // frozen by the transition
+    return true;
+}
+
+void
+DomainSimulator::runNativeWindowSingle(std::uint64_t &budget)
+{
+    Core &core = cores_[0];
     const int sidx = pstateIndex(pstate_);
-    const double rate = core.rate[sidx];
+    const double rate = rates_[static_cast<std::size_t>(sidx)];
     const double pf = powerTbl_[sidx];
     const bool suit_mode = cfg_.mode == RunMode::Suit;
     const Tick run_cap = pending_ ? pending_->runUntil : kNever;
     const Tick complete_at = pending_ ? pending_->completeAt : kNever;
     const auto &events = core.work.trace->events();
     const std::size_t window_first = core.nextEvent;
+    double remaining = remaining_[0];
 
     Tick t = now_;
     while (!core.pastLastEvent) {
-        const Tick arrival =
-            t + suit::util::secondsToTicks(core.remainingInstr / rate);
+        if (pending_ && t >= run_cap)
+            break; // frozen from t on: the transition goes first
+        const Tick arrival = t + windowSecondsToTicks(remaining / rate);
         // Stop where another event source outranks the core arrival
         // (the loop's tie order: transitions > timers > cores).
         if (suit_mode && arrival >= timer_.expiry())
@@ -567,7 +660,7 @@ DomainSimulator::runNativeWindow(Core &core, std::uint64_t &budget)
             // Replay the reference accumulator sequence per event —
             // regrouping the sums would change the floating-point
             // results.
-            const double dt_s = suit::util::ticksToSeconds(arrival - t);
+            const double dt_s = windowTicksToSeconds(arrival - t);
             powerIntegralS_ += pf * dt_s;
             activeTimeS_ += dt_s;
             stateTimeS_[sidx] += dt_s;
@@ -578,20 +671,143 @@ DomainSimulator::runNativeWindow(Core &core, std::uint64_t &budget)
         // Native execution of the event (consumeEvent() inlined).
         ++core.nextEvent;
         if (core.nextEvent < events.size()) {
-            core.remainingInstr =
-                static_cast<double>(events[core.nextEvent].gap);
+            remaining = static_cast<double>(events[core.nextEvent].gap);
         } else {
-            core.remainingInstr = static_cast<double>(
+            remaining = static_cast<double>(
                 core.work.trace->tailInstructions());
             core.pastLastEvent = true;
         }
     }
+    remaining_[0] = remaining;
     now_ = t;
-    core.lastUpdate = t;
-    core.arrivalValid = false;
+    arrivalStale_[0] = 1;
     // One delta per window instead of a per-event increment keeps the
     // always-on counter out of the hot loop body.
     batchedEvents_ += core.nextEvent - window_first;
+}
+
+void
+DomainSimulator::runNativeWindowMulti(std::uint64_t &budget)
+{
+    const std::size_t n = nCores_;
+    const int sidx = pstateIndex(pstate_);
+    const double *const rate =
+        &rates_[static_cast<std::size_t>(sidx) * n];
+    const double pf = powerTbl_[sidx];
+    const bool suit_mode = cfg_.mode == RunMode::Suit;
+    const bool has_pending = pending_.has_value();
+    const Tick run_cap = has_pending ? pending_->runUntil : kNever;
+    const Tick complete_at = has_pending ? pending_->completeAt : kNever;
+    Tick *const arrival = arrival_.data();
+    const Tick *const done_mask = doneMask_.data();
+    const Tick *const resume = resume_.data();
+    double *const remaining = remaining_.data();
+    std::size_t active = 0;
+    bool stalls_possible = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        active += cores_[i].done ? 0U : 1U;
+        stalls_possible |= resume[i] > now_;
+    }
+    // Stall starts never move while the window runs (only traps and
+    // waited transitions set them, and neither happens in-window), so
+    // a window that starts with every core resumed keeps lo == t for
+    // every core and the per-core progress interval equals the shared
+    // dt — the per-lane clip below vanishes.
+    const bool plain = !stalls_possible && !has_pending;
+    const bool fn_scan = useFnScan(n);
+
+    std::uint64_t consumed = 0;
+    Tick t = now_;
+    for (;;) {
+        // (1) Recompute every core's next arrival from scratch, the
+        // same expression the generic scan uses per event.  Straight
+        // dense rows so the compiler can vectorize the divide.
+        if (plain) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const double need_s = remaining[i] / rate[i];
+                arrival[i] =
+                    (t + windowSecondsToTicks(need_s)) | done_mask[i];
+            }
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                const Tick start = resume[i] > t ? resume[i] : t;
+                const double need_s = remaining[i] / rate[i];
+                Tick a = (start + windowSecondsToTicks(need_s)) |
+                         done_mask[i];
+                if (has_pending && (start >= run_cap || a > run_cap))
+                    a = kNever; // frozen by the transition
+                arrival[i] = a;
+            }
+        }
+        // (2) Min-reduction over the arrival row; ties pick the
+        // lowest core index, like the generic scan's strict <.
+        const std::size_t win = scanArrivals(arrival, n, fn_scan);
+        const Tick m = arrival[win];
+        // (3) Stop where another event source outranks the winning
+        // core (tie order: transitions > timers > cores), or where
+        // the winner needs the generic loop (tail drain, finish).
+        if (m == kNever)
+            break;
+        if (suit_mode && m >= timer_.expiry())
+            break;
+        if (has_pending && m >= complete_at)
+            break;
+        Core &core = cores_[win];
+        if (core.pastLastEvent)
+            break; // completion: the generic step marks it done
+        SUIT_ASSERT(budget-- > 0, "simulation step budget exhausted");
+        // (4) Replay the reference accumulator and progress sequence
+        // for this one event — same addends, same order, same
+        // grouping as advanceToRef(m) over the active cores.
+        if (m > t) {
+            const double dt_s = windowTicksToSeconds(m - t);
+            const double pw_s = pf * dt_s;
+            for (std::size_t k = 0; k < active; ++k) {
+                powerIntegralS_ += pw_s;
+                activeTimeS_ += dt_s;
+                stateTimeS_[sidx] += dt_s;
+            }
+            if (plain) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    remaining[i] = std::max(
+                        remaining[i] - dt_s * rate[i], 0.0);
+                }
+            } else {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const Tick lo = resume[i] > t ? resume[i] : t;
+                    double progress_s =
+                        lo < m ? windowTicksToSeconds(m - lo) : 0.0;
+                    // No pending freeze clip: in-window times stay
+                    // strictly below runUntil <= completeAt, so the
+                    // frozen interval never intersects [lo, m).
+                    remaining[i] = std::max(
+                        remaining[i] - progress_s * rate[i], 0.0);
+                }
+            }
+            t = m;
+        }
+        if (suit_mode)
+            timer_.touch(t);
+        // (5) Native execution of the winner (consumeEvent inlined).
+        ++core.nextEvent;
+        const auto &events = core.work.trace->events();
+        if (core.nextEvent < events.size()) {
+            remaining[win] =
+                static_cast<double>(events[core.nextEvent].gap);
+        } else {
+            remaining[win] = static_cast<double>(
+                core.work.trace->tailInstructions());
+            core.pastLastEvent = true;
+        }
+        ++consumed;
+    }
+    now_ = t;
+    // The final scan above ran after the last mutation, so arrival_
+    // holds exactly what coreArrivalFast() would recompute at now_:
+    // hand the row to the generic scan as a valid cache.
+    for (std::size_t i = 0; i < n; ++i)
+        arrivalStale_[i] = 0;
+    batchedEvents_ += consumed;
 }
 
 DomainResult
@@ -630,8 +846,8 @@ DomainSimulator::runReference()
             best = timer_.expiry();
             kind = 1;
         }
-        for (std::size_t i = 0; i < cores_.size(); ++i) {
-            const Tick a = coreArrivalRef(cores_[i]);
+        for (std::size_t i = 0; i < nCores_; ++i) {
+            const Tick a = coreArrivalRef(i);
             if (a < best) {
                 best = a;
                 kind = 2;
@@ -687,22 +903,24 @@ DomainSimulator::runFast()
     for (const Core &core : cores_)
         budget += 20 * core.work.trace->eventCount() + 1000;
 
-    // Batched native windows are restricted to single-core domains:
-    // with several cores, advanceTo() interleaves every core's
-    // floating-point progress at every event, so batching one core
-    // would regroup the other cores' sums (see DESIGN.md).
-    const bool single_core = cores_.size() == 1;
+    // Batched native windows: single-core domains keep PR 3's
+    // specialised loop (no cross-core replay at all); multi-core
+    // domains run the generalised window that replays the reference
+    // progress interleaving per event (see DESIGN.md).
+    const bool single_core = nCores_ == 1;
+    const bool fn_scan = useFnScan(nCores_);
 
     while (active > 0) {
         if (single_core) {
-            Core &core = cores_[0];
-            if (nativeWindowOpen(core))
-                runNativeWindow(core, budget);
-            // The window stops at the first event another source
-            // outranks (timer expiry, pending transition) and never
-            // finishes the run: the tail drain below marks the core
-            // done through the generic step.
+            if (singleWindowOpen())
+                runNativeWindowSingle(budget);
+        } else if (multiWindowOpen()) {
+            runNativeWindowMulti(budget);
         }
+        // A window stops at the first event another source outranks
+        // (timer expiry, pending transition) and never finishes the
+        // run: the tail drain below marks cores done through the
+        // generic step.
 
         SUIT_ASSERT(budget-- > 0, "simulation step budget exhausted");
 
@@ -720,13 +938,13 @@ DomainSimulator::runFast()
             best = timer_.expiry();
             kind = 1;
         }
-        for (std::size_t i = 0; i < cores_.size(); ++i) {
-            const Tick a = arrivalOf(cores_[i]);
-            if (a < best) {
-                best = a;
-                kind = 2;
-                core_idx = i;
-            }
+        refreshArrivals();
+        const std::size_t ci =
+            scanArrivals(arrival_.data(), nCores_, fn_scan);
+        if (arrival_[ci] < best) {
+            best = arrival_[ci];
+            kind = 2;
+            core_idx = ci;
         }
         SUIT_ASSERT(kind >= 0, "deadlock: no runnable event");
 
@@ -754,8 +972,9 @@ DomainSimulator::runFast()
             if (core.pastLastEvent) {
                 core.done = true;
                 core.finishTime = now_;
-                core.cachedArrival = kNever;
-                core.arrivalValid = true;
+                doneMask_[core_idx] = kNever;
+                arrival_[core_idx] = kNever;
+                arrivalStale_[core_idx] = 0;
                 --active;
             } else {
                 handleFaultableInstruction(core_idx);

@@ -189,32 +189,20 @@ class DomainSimulator final : public suit::core::CpuControl
     /** @} */
 
   private:
+    /**
+     * Per-core cold state.  The hot per-event state (instructions to
+     * the next event, stall resume time, cached arrival tick) lives
+     * in the structure-of-arrays members below so the per-event scans
+     * touch dense homogeneous rows; see DESIGN.md ("Domain-simulator
+     * hot path").
+     */
     struct Core
     {
         CoreWork work;
-        std::size_t nextEvent = 0;     //!< index into trace events
-        double remainingInstr = 0.0;   //!< instructions to next event
-        bool pastLastEvent = false;    //!< draining the tail
+        std::size_t nextEvent = 0;  //!< index into trace events
+        bool pastLastEvent = false; //!< draining the tail
         bool done = false;
-        suit::util::Tick resumeTime = 0; //!< stalled until
-        suit::util::Tick lastUpdate = 0; //!< progress integrated to
         suit::util::Tick finishTime = 0;
-
-        /**
-         * Fast-path invariant: instrRate() per p-state.  Filled once
-         * in the constructor — the rate depends only on the profile,
-         * the CPU model, the run mode and the offset, all of which
-         * are run constants.
-         */
-        double rate[suit::power::kNumSuitPStates] = {};
-        /**
-         * Fast-path arrival cache: the last coreArrival() result.
-         * Valid only while nothing the arrival depends on changed;
-         * see DESIGN.md ("Domain-simulator hot path") for the
-         * invalidation rules.
-         */
-        suit::util::Tick cachedArrival = 0;
-        bool arrivalValid = false;
     };
 
     /** A p-state transition in flight. */
@@ -229,6 +217,25 @@ class DomainSimulator final : public suit::core::CpuControl
     std::vector<Core> cores_;
     std::unique_ptr<suit::core::OperatingStrategy> strategy_;
     suit::util::Rng rng_;
+
+    /**
+     * @{ Per-core hot state, structure-of-arrays.  One slot per core,
+     * indexed like cores_.  Progress is integrated up to now_ for
+     * every core whenever time advances, so no per-core lastUpdate is
+     * needed; the per-core instruction rate at every p-state is laid
+     * out row-major ([p-state][core]) so a whole-domain scan at the
+     * current p-state walks one dense row.  doneMask_ is 0 while the
+     * core runs and all-ones once it finished: OR-ing it into a
+     * computed arrival forces kNever without a branch.
+     */
+    std::size_t nCores_ = 0;
+    std::vector<double> remaining_;          //!< instructions to event
+    std::vector<suit::util::Tick> resume_;   //!< stalled until
+    std::vector<suit::util::Tick> arrival_;  //!< cached next arrival
+    std::vector<std::uint8_t> arrivalStale_; //!< cache invalid flags
+    std::vector<suit::util::Tick> doneMask_; //!< 0 running, ~0 done
+    std::vector<double> rates_; //!< instrRate per [p-state][core]
+    /** @} */
 
     suit::util::Tick now_ = 0;
     suit::power::SuitPState pstate_ =
@@ -266,39 +273,53 @@ class DomainSimulator final : public suit::core::CpuControl
      */
     double powerTbl_[suit::power::kNumSuitPStates] = {1.0, 1.0, 1.0};
 
-    /** Instruction rate of a core at a p-state (instr/s). */
-    double instrRate(const Core &core,
-                     suit::power::SuitPState p) const;
+    /** Instruction rate of core @p i at a p-state (instr/s). */
+    double instrRate(std::size_t i, suit::power::SuitPState p) const;
     /** Power factor of a p-state under this run mode. */
     double powerFactorOf(suit::power::SuitPState p) const;
 
     /**
      * @{ Reference event loop: the pre-optimization implementation,
-     * kept verbatim as the bit-exactness oracle for the fast path
-     * (SimConfig::referencePath).
+     * kept statement-for-statement as the bit-exactness oracle for
+     * the fast path (SimConfig::referencePath).  It reads the hot
+     * state through the SoA rows — storage layout does not change
+     * floating-point results — but performs the original per-call
+     * arithmetic (per-core instrRate()/powerFactorOf() lookups, no
+     * caching, no batching).
      */
     DomainResult runReference();
     void advanceToRef(suit::util::Tick t);
-    suit::util::Tick coreArrivalRef(const Core &core) const;
+    suit::util::Tick coreArrivalRef(std::size_t i) const;
     /** @} */
 
     /**
      * @{ Fast event loop: cached rate/power tables, incremental
-     * arrival scheduling and batched native windows.  Produces
-     * bit-identical results to the reference loop (argued in
-     * DESIGN.md, enforced by the golden-identity suite).
+     * arrival scheduling over the SoA rows with a vectorizable
+     * min-reduction, and batched native windows for both single- and
+     * multi-core domains.  Produces bit-identical results to the
+     * reference loop (argued in DESIGN.md, enforced by the
+     * golden-identity suite).
      */
     DomainResult runFast();
     void advanceToFast(suit::util::Tick t);
-    suit::util::Tick coreArrivalFast(const Core &core) const;
-    /** Cached coreArrivalFast(); recomputes when invalidated. */
-    suit::util::Tick arrivalOf(Core &core);
+    suit::util::Tick coreArrivalFast(std::size_t i) const;
+    /** Recompute every stale entry of arrival_. */
+    void refreshArrivals();
     /** Drop every core's cached arrival (rate/stall/pending edit). */
     void invalidateArrivals();
-    /** May the next events of @p core run as one native batch? */
-    bool nativeWindowOpen(const Core &core) const;
+    /** May the next events of core 0 run as one native batch? */
+    bool singleWindowOpen() const;
+    /** May a multi-core native window run from now_? */
+    bool multiWindowOpen() const;
     /** Consume consecutive native events of a single-core domain. */
-    void runNativeWindow(Core &core, std::uint64_t &budget);
+    void runNativeWindowSingle(std::uint64_t &budget);
+    /**
+     * Consume consecutive native events across all cores of a
+     * multi-core domain up to the exact timer/pending boundary,
+     * replaying the reference accumulator and progress sequence per
+     * event so the floating-point grouping is unchanged.
+     */
+    void runNativeWindowMulti(std::uint64_t &budget);
     /** @} */
 
     /** Assemble the DomainResult (shared by both loops). */
@@ -312,8 +333,8 @@ class DomainSimulator final : public suit::core::CpuControl
 
     /** Handle core @p i reaching its faultable instruction. */
     void handleFaultableInstruction(std::size_t i);
-    /** Load the next gap after consuming an event. */
-    void consumeEvent(Core &core);
+    /** Load the next gap after core @p i consumed an event. */
+    void consumeEvent(std::size_t i);
     /** Apply a completed p-state change. */
     void completePending();
     /** Cancel any in-flight transition (hardware re-request). */

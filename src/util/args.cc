@@ -160,6 +160,19 @@ ArgParser::getInt(const std::string &name) const
     }
 }
 
+long
+ArgParser::getIntInRange(const std::string &name, long lo,
+                         long hi) const
+{
+    SUIT_ASSERT(lo <= hi, "empty range [%ld, %ld] for --%s", lo, hi,
+                name.c_str());
+    const long value = getInt(name);
+    if (value < lo || value > hi)
+        fatal("option --%s value %ld is out of range [%ld, %ld]",
+              name.c_str(), value, lo, hi);
+    return value;
+}
+
 bool
 ArgParser::getFlag(const std::string &name) const
 {

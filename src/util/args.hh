@@ -71,6 +71,14 @@ class ArgParser
     double getDouble(const std::string &name) const;
     long getInt(const std::string &name) const;
     bool getFlag(const std::string &name) const;
+    /**
+     * getInt() with an inclusive [lo, hi] bound; fatal()s with the
+     * permitted range when the value falls outside it.  The CLIs use
+     * this wherever the value feeds an int (or a bounded resource
+     * like a worker count), so a `--reps 5000000000` can't wrap into
+     * a silent narrowing.
+     */
+    long getIntInRange(const std::string &name, long lo, long hi) const;
     /** @} */
 
     /** Positional (non-option) arguments, in order. */

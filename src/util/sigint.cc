@@ -1,0 +1,75 @@
+#include "util/sigint.hh"
+
+#include <csignal>
+
+#include "util/logging.hh"
+
+namespace suit::util {
+
+namespace {
+
+/**
+ * Handler state.  The classic volatile sig_atomic_t carries the
+ * signal into normal control flow; the lock-free atomic<bool> is the
+ * engines' polling interface (the standard permits signal handlers
+ * to touch lock-free atomics, and the static_assert keeps that
+ * assumption honest).
+ */
+volatile std::sig_atomic_t g_sigintSeen = 0;
+std::atomic<bool> g_stop{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "SIGINT handler needs a lock-free stop flag");
+
+/** One guard at a time: the handler state is process global. */
+bool g_guardActive = false;
+
+/** Handler the previous SIGINT disposition is restored from. */
+void (*g_previousHandler)(int) = SIG_DFL;
+
+extern "C" void
+sigintHandler(int)
+{
+    g_sigintSeen = 1;
+    g_stop.store(true, std::memory_order_relaxed);
+    // Graceful stop happens once: rearm to the default action so a
+    // second Ctrl-C terminates the process immediately.
+    std::signal(SIGINT, SIG_DFL);
+}
+
+} // namespace
+
+SigintGuard::SigintGuard()
+{
+    SUIT_ASSERT(!g_guardActive, "only one SigintGuard may be active");
+    g_guardActive = true;
+    g_sigintSeen = 0;
+    g_stop.store(false, std::memory_order_relaxed);
+    g_previousHandler = std::signal(SIGINT, sigintHandler);
+}
+
+SigintGuard::~SigintGuard()
+{
+    std::signal(SIGINT, g_previousHandler);
+    g_guardActive = false;
+}
+
+bool
+SigintGuard::requested() const
+{
+    return g_sigintSeen != 0 ||
+           g_stop.load(std::memory_order_relaxed);
+}
+
+std::atomic<bool> *
+SigintGuard::flag()
+{
+    return &g_stop;
+}
+
+void
+SigintGuard::request()
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+} // namespace suit::util

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -44,6 +46,22 @@ class ScratchFile
   private:
     std::string path_;
 };
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
 
 /** A small heterogeneous fleet that still runs in milliseconds. */
 FleetSpec
@@ -141,6 +159,87 @@ TEST(FleetEngine, KillAndResumeMatchesUninterruptedRun)
     const FleetOutcome resumed = engine_b.run(second);
     EXPECT_TRUE(resumed.complete());
     EXPECT_EQ(resumed.shardsRestored, interrupted.shardsRun);
+    EXPECT_EQ(fleet::renderReportJson(engine_b.spec(),
+                                      resumed.totals),
+              reference);
+}
+
+/**
+ * The fleet journal's records are opaque blobs (serialized shard
+ * accumulators), so the longest-valid-prefix recovery must work on
+ * them exactly as it does on sweep DomainResult records: a torn
+ * tail drops only the damaged record, and a resume re-runs the lost
+ * shards to the byte-identical report.
+ */
+TEST(FleetEngine, TruncatedJournalBlobResumesFromValidPrefix)
+{
+    FleetOptions serial;
+    serial.jobs = 1;
+    serial.shardSize = 32;
+    const std::string reference = reportOf(testSpec(), serial);
+
+    ScratchFile journal("trunc_blob.ckpt");
+    FleetOptions checkpointed = serial;
+    checkpointed.checkpointPath = journal.path();
+    FleetEngine engine_a(testSpec());
+    const FleetOutcome full = engine_a.run(checkpointed);
+    ASSERT_TRUE(full.complete());
+    ASSERT_GT(full.shardsRun, 2u);
+
+    // Tear the final blob record (journal copied mid-write by an
+    // external tool).  Recovery must keep the earlier records.
+    const std::string bytes = readFile(journal.path());
+    writeFile(journal.path(), bytes.substr(0, bytes.size() - 5));
+    const exec::JournalContents loaded =
+        exec::CheckpointJournal::load(journal.path());
+    EXPECT_GT(loaded.droppedBytes, 0u);
+    ASSERT_EQ(loaded.records.size(), full.shardsRun - 1);
+    EXPECT_TRUE(loaded.records.back().isBlob);
+
+    FleetOptions resume = checkpointed;
+    resume.resume = true;
+    FleetEngine engine_b(testSpec());
+    const FleetOutcome resumed = engine_b.run(resume);
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(resumed.shardsRestored, full.shardsRun - 1);
+    EXPECT_EQ(resumed.shardsRun, 1u);
+    EXPECT_EQ(fleet::renderReportJson(engine_b.spec(),
+                                      resumed.totals),
+              reference);
+}
+
+TEST(FleetEngine, ChecksumFlippedBlobResumesFromValidPrefix)
+{
+    FleetOptions serial;
+    serial.jobs = 1;
+    serial.shardSize = 32;
+    const std::string reference = reportOf(testSpec(), serial);
+
+    ScratchFile journal("flip_blob.ckpt");
+    FleetOptions checkpointed = serial;
+    checkpointed.checkpointPath = journal.path();
+    FleetEngine engine_a(testSpec());
+    const FleetOutcome full = engine_a.run(checkpointed);
+    ASSERT_TRUE(full.complete());
+    ASSERT_GT(full.shardsRun, 2u);
+
+    // Flip one byte inside the final record's payload: its checksum
+    // no longer matches, so recovery drops exactly that record.
+    std::string bytes = readFile(journal.path());
+    bytes[bytes.size() - 3] =
+        static_cast<char>(bytes[bytes.size() - 3] ^ 0x5A);
+    writeFile(journal.path(), bytes);
+    const exec::JournalContents loaded =
+        exec::CheckpointJournal::load(journal.path());
+    EXPECT_GT(loaded.droppedBytes, 0u);
+    ASSERT_EQ(loaded.records.size(), full.shardsRun - 1);
+
+    FleetOptions resume = checkpointed;
+    resume.resume = true;
+    FleetEngine engine_b(testSpec());
+    const FleetOutcome resumed = engine_b.run(resume);
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(resumed.shardsRestored, full.shardsRun - 1);
     EXPECT_EQ(fleet::renderReportJson(engine_b.spec(),
                                       resumed.totals),
               reference);

@@ -23,7 +23,9 @@
 #include <gtest/gtest.h>
 
 #include "core/params.hh"
+#include "emu/simd_ops.hh"
 #include "exec/sweep.hh"
+#include "obs/registry.hh"
 #include "sim/domain_sim.hh"
 #include "sim/evaluation.hh"
 #include "sim/result_io.hh"
@@ -141,6 +143,129 @@ TEST(GoldenIdentity, FastPathMatchesReferenceAcrossMatrix)
         }
     }
     EXPECT_EQ(checked, 3 * 2 * 2 * 7 * 2);
+}
+
+/** RAII: force one arrival-scan implementation, restore the old one. */
+struct ScanImplGuard
+{
+    explicit ScanImplGuard(emu::ScanImpl impl)
+        : prev_(emu::arrivalScanImpl())
+    {
+        emu::setArrivalScanImpl(impl);
+    }
+    ~ScanImplGuard() { emu::setArrivalScanImpl(prev_); }
+
+    emu::ScanImpl prev_;
+};
+
+/**
+ * Multi-core batched native windows across both arrival-scan
+ * implementations.  Core counts 8 and 12 push the row length past
+ * kVectorScanMinLanes so the minIndexU64() kernel (AVX2 where
+ * available) runs inside the window loop; 12 is not a multiple of
+ * four, so the vector kernel's scalar tail executes too.  The mode
+ * cases pick the window flavours apart: Baseline batches whole
+ * traces, Emulation stalls cores in-window (resume starts), and the
+ * CombinedFv/Hybrid strategies leave transitions pending across
+ * windows (runUntil caps).
+ */
+TEST(GoldenIdentity, MultiCoreBatchedWindowsAcrossScanImpls)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const std::vector<trace::WorkloadProfile> profiles = {
+        goldenProfile("golden-dense", true),
+        goldenProfile("golden-sparse", false)};
+    const std::vector<ModeCase> cases = {
+        {"baseline", RunMode::Baseline, core::StrategyKind::CombinedFv},
+        {"suit-e", RunMode::Suit, core::StrategyKind::Emulation},
+        {"suit-fV", RunMode::Suit, core::StrategyKind::CombinedFv},
+        {"suit-e+fV", RunMode::Suit, core::StrategyKind::Hybrid},
+    };
+
+    sim::TraceCache traces;
+    int checked = 0;
+    for (const int cores : {2, 4, 8, 12}) {
+        for (const ModeCase &mc : cases) {
+            for (const trace::WorkloadProfile &p : profiles) {
+                EvalConfig cfg;
+                cfg.cpu = &cpu;
+                cfg.cores = cores;
+                cfg.offsetMv = -97.0;
+                cfg.mode = mc.mode;
+                cfg.strategy = mc.strategy;
+                cfg.params = core::optimalParams(cpu);
+                cfg.seed = 7;
+
+                cfg.referencePath = true;
+                const std::string ref = resultBytes(cfg, p, traces);
+                cfg.referencePath = false;
+                std::string scalar_bytes;
+                std::string vector_bytes;
+                {
+                    ScanImplGuard guard(emu::ScanImpl::Scalar);
+                    scalar_bytes = resultBytes(cfg, p, traces);
+                }
+                {
+                    ScanImplGuard guard(emu::ScanImpl::Vector);
+                    vector_bytes = resultBytes(cfg, p, traces);
+                }
+                ASSERT_EQ(scalar_bytes, ref)
+                    << "scalar scan, cores=" << cores << " "
+                    << mc.label << " " << p.name;
+                ASSERT_EQ(vector_bytes, ref)
+                    << "vector scan, cores=" << cores << " "
+                    << mc.label << " " << p.name;
+                ++checked;
+            }
+        }
+    }
+    EXPECT_EQ(checked, 4 * 4 * 2);
+}
+
+/**
+ * The sim.events.batched counter must cover both window flavours:
+ * single-core domains (runNativeWindowSingle) and shared multi-core
+ * domains (runNativeWindowMulti) each consume most trace events
+ * inside windows.
+ */
+TEST(GoldenIdentity, BatchedWindowCounterCoversSingleAndMultiCore)
+{
+    const power::CpuModel cpu = power::cpuA_i9_9900k();
+    const trace::WorkloadProfile p = goldenProfile("golden-dense", true);
+
+    sim::TraceCache traces;
+    for (const int cores : {1, 4}) {
+        obs::metrics().reset();
+        obs::metrics().setEnabled(true);
+
+        EvalConfig cfg;
+        cfg.cpu = &cpu;
+        cfg.cores = cores;
+        cfg.offsetMv = -97.0;
+        cfg.mode = RunMode::Suit;
+        cfg.strategy = core::StrategyKind::CombinedFv;
+        cfg.params = core::optimalParams(cpu);
+        cfg.seed = 7;
+        (void)sim::runWorkload(cfg, p, traces);
+
+        const obs::Snapshot snap = obs::metrics().snapshot();
+        obs::metrics().setEnabled(false);
+        obs::metrics().reset();
+
+        ASSERT_NE(snap.find("sim.events.batched"), nullptr)
+            << "cores=" << cores;
+        ASSERT_NE(snap.find("sim.events.total"), nullptr)
+            << "cores=" << cores;
+        const std::uint64_t batched =
+            snap.find("sim.events.batched")->count;
+        const std::uint64_t total =
+            snap.find("sim.events.total")->count;
+        EXPECT_GT(batched, 0u) << "cores=" << cores;
+        EXPECT_LE(batched, total) << "cores=" << cores;
+        // The windows are the fast path's point: the bulk of the
+        // trace must be consumed there, not in the generic loop.
+        EXPECT_GT(batched, total / 2) << "cores=" << cores;
+    }
 }
 
 /**

@@ -140,6 +140,48 @@ TEST(ArgsDeathTest, TrailingJunkIsFatal)
                 "expects an integer");
 }
 
+TEST(Args, IntInRangeAcceptsBounds)
+{
+    ArgParser p = makeParser();
+    Argv a({"--cores", "1024"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    // Inclusive on both ends.
+    EXPECT_EQ(p.getIntInRange("cores", 1, 1024), 1024);
+    EXPECT_EQ(p.getIntInRange("cores", 1024, 2048), 1024);
+}
+
+TEST(ArgsDeathTest, IntBelowRangeIsFatalWithRange)
+{
+    ArgParser p = makeParser();
+    Argv a({"--cores", "0"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    // The message must name the permitted range, not just reject.
+    EXPECT_EXIT(p.getIntInRange("cores", 1, 1024),
+                ::testing::ExitedWithCode(1),
+                "out of range \\[1, 1024\\]");
+}
+
+TEST(ArgsDeathTest, IntAboveRangeIsFatalNotNarrowed)
+{
+    // Regression: 5000000000 parses as a long, and a bare
+    // static_cast<int> would wrap it to 705032704.
+    ArgParser p = makeParser();
+    Argv a({"--cores", "5000000000"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EXIT(p.getIntInRange("cores", 1, 1024),
+                ::testing::ExitedWithCode(1),
+                "out of range \\[1, 1024\\]");
+}
+
+TEST(ArgsDeathTest, IntInRangeStillRejectsBadFormat)
+{
+    ArgParser p = makeParser();
+    Argv a({"--cores", "8x"});
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EXIT(p.getIntInRange("cores", 1, 1024),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
 TEST(Args, CheckedParsersReportStatus)
 {
     using suit::util::ParseStatus;

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests of the shared SIGINT guard: graceful first Ctrl-C, lethal
+ * second Ctrl-C, and handler restoration on destruction.
+ */
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+#include "util/sigint.hh"
+
+namespace {
+
+using suit::util::SigintGuard;
+
+TEST(Sigint, FirstSigintLatchesFlagAndKeepsRunning)
+{
+    SigintGuard guard;
+    EXPECT_FALSE(guard.requested());
+    EXPECT_FALSE(guard.flag()->load());
+
+    ASSERT_EQ(std::raise(SIGINT), 0);
+
+    // Still here: the first SIGINT is a graceful stop request.
+    EXPECT_TRUE(guard.requested());
+    EXPECT_TRUE(guard.flag()->load());
+}
+
+TEST(SigintDeathTest, SecondSigintKillsTheProcess)
+{
+    // Regression for the CLI contract: Ctrl-C twice must terminate
+    // immediately instead of being swallowed by the handler.
+    EXPECT_EXIT(
+        {
+            SigintGuard guard;
+            std::raise(SIGINT);
+            std::raise(SIGINT);
+        },
+        ::testing::KilledBySignal(SIGINT), "");
+}
+
+TEST(Sigint, RestoresPreviousHandlerOnDestruct)
+{
+    // Install a recognisable disposition, wrap a guard lifetime
+    // around it, and check it comes back.
+    void (*prev)(int) = std::signal(SIGINT, SIG_IGN);
+    {
+        SigintGuard guard;
+    }
+    EXPECT_EQ(std::signal(SIGINT, SIG_DFL), SIG_IGN);
+    std::signal(SIGINT, prev == SIG_ERR ? SIG_DFL : prev);
+}
+
+TEST(Sigint, RequestRaisesTheFlagWithoutASignal)
+{
+    SigintGuard guard;
+    guard.request();
+    EXPECT_TRUE(guard.requested());
+    EXPECT_TRUE(guard.flag()->load());
+}
+
+} // namespace

@@ -10,6 +10,7 @@
  *   suit_characterize --hardened-imul
  */
 
+#include <climits>
 #include <cstdio>
 
 #include "faults/characterizer.hh"
@@ -41,15 +42,17 @@ main(int argc, char **argv)
     const power::DvfsCurve curve = power::i9_9900kCurve();
     faults::VminConfig vcfg;
     vcfg.curve = &curve;
-    vcfg.cores = static_cast<int>(args.getInt("cores"));
-    vcfg.seed = static_cast<std::uint64_t>(args.getInt("chip"));
+    vcfg.cores = static_cast<int>(args.getIntInRange("cores", 1, 1024));
+    vcfg.seed = static_cast<std::uint64_t>(
+        args.getIntInRange("chip", 0, LONG_MAX));
     vcfg.hardenedImul = args.getFlag("hardened-imul");
     const faults::VminModel model(vcfg);
 
     faults::CharacterizerConfig ccfg;
     ccfg.offsetStepMv = args.getDouble("step");
     ccfg.maxOffsetMv = args.getDouble("max-offset");
-    ccfg.samplesPerPoint = static_cast<int>(args.getInt("samples"));
+    ccfg.samplesPerPoint =
+        static_cast<int>(args.getIntInRange("samples", 1, INT_MAX));
     faults::Characterizer ch(&model, ccfg);
     const faults::CharacterizationResult r = ch.run();
 

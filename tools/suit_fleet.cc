@@ -26,7 +26,7 @@
  */
 
 #include <atomic>
-#include <csignal>
+#include <climits>
 #include <cstdio>
 #include <string>
 
@@ -38,22 +38,11 @@
 #include "obs/setup.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
+#include "util/sigint.hh"
 
 namespace {
 
 using namespace suit;
-
-/** Raised by the first SIGINT; the run then stops gracefully. */
-std::atomic<bool> g_interrupted{false};
-
-extern "C" void
-onSigint(int)
-{
-    g_interrupted.store(true);
-    // A second Ctrl-C terminates immediately.  The journal survives
-    // that too: appends are atomic rename()s.
-    std::signal(SIGINT, SIG_DFL);
-}
 
 } // namespace
 
@@ -98,15 +87,10 @@ main(int argc, char **argv)
     // the trace session; flushes --metrics/--trace-out at exit.
     obs::CliScope obs_scope(args);
 
-    const long domains = args.getInt("domains");
-    if (domains < 0)
-        util::fatal("--domains must be >= 0, got %ld", domains);
-    const long stop_after = args.getInt("stop-after");
-    if (stop_after < 0)
-        util::fatal("--stop-after must be >= 0, got %ld", stop_after);
-    const long shard = args.getInt("shard");
-    if (shard < 0)
-        util::fatal("--shard must be >= 0, got %ld", shard);
+    const long domains = args.getIntInRange("domains", 0, LONG_MAX);
+    const long stop_after =
+        args.getIntInRange("stop-after", 0, LONG_MAX);
+    const long shard = args.getIntInRange("shard", 0, LONG_MAX);
     if (args.getFlag("resume") && args.get("checkpoint").empty())
         util::fatal("--resume needs --checkpoint <path>");
 
@@ -125,7 +109,8 @@ main(int argc, char **argv)
                         : 100000);
     }
     if (!args.get("seed").empty())
-        spec.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+        spec.seed = static_cast<std::uint64_t>(
+            args.getIntInRange("seed", 0, LONG_MAX));
 
     util::inform("suit_fleet: '%s', %llu domains in %zu racks on %s",
                  spec.name.c_str(),
@@ -134,20 +119,22 @@ main(int argc, char **argv)
                  args.get("jobs") == "1" ? "1 worker (serial)"
                                          : "parallel workers");
 
-    std::signal(SIGINT, onSigint);
+    // First Ctrl-C: graceful stop; second: immediate kill.
+    util::SigintGuard sigint;
     std::atomic<std::uint64_t> completed{0};
 
     fleet::FleetOptions options;
-    options.jobs = static_cast<int>(args.getInt("jobs"));
+    options.jobs =
+        static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX));
     options.shardSize = static_cast<std::uint64_t>(shard);
     options.checkpointPath = args.get("checkpoint");
     options.resume = args.getFlag("resume");
-    options.stop = &g_interrupted;
+    options.stop = sigint.flag();
     if (stop_after > 0) {
         options.onShardDone = [&, stop_after](std::uint64_t) {
             if (completed.fetch_add(1) + 1 >=
                 static_cast<std::uint64_t>(stop_after))
-                g_interrupted.store(true);
+                sigint.request();
         };
     }
 

@@ -11,6 +11,7 @@
  *   suit_sim --workload spec --jobs 4      # whole suite, 4 workers
  */
 
+#include <climits>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -226,10 +227,11 @@ main(int argc, char **argv)
 
     sim::EvalConfig cfg;
     cfg.cpu = &cpu;
-    cfg.cores = static_cast<int>(args.getInt("cores"));
+    cfg.cores = static_cast<int>(args.getIntInRange("cores", 1, 1024));
     cfg.offsetMv = args.getDouble("offset");
     cfg.params = core::optimalParams(cpu);
-    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.seed = static_cast<std::uint64_t>(
+        args.getIntInRange("seed", 0, LONG_MAX));
     cfg.mode = args.getFlag("nosimd") ? sim::RunMode::NoSimdCompile
                                       : sim::RunMode::Suit;
 
@@ -246,10 +248,8 @@ main(int argc, char **argv)
             exec::RunPolicy policy;
             policy.checkpointPath = args.get("checkpoint");
             policy.resume = args.getFlag("resume");
-            const long retries = args.getInt("retries");
-            if (retries < 0)
-                util::fatal("--retries must be >= 0, got %ld",
-                            retries);
+            const long retries =
+                args.getIntInRange("retries", 0, INT_MAX);
             policy.retries = static_cast<int>(retries);
             policy.strict = args.getFlag("strict");
             if (policy.resume && policy.checkpointPath.empty())
@@ -258,7 +258,8 @@ main(int argc, char **argv)
                         wl.c_str(), cpu.name().c_str(),
                         core::toString(cfg.strategy), cfg.offsetMv);
             return runSuiteMode(cfg, workloadsByName(wl),
-                                static_cast<int>(args.getInt("jobs")),
+                                static_cast<int>(
+                    args.getIntInRange("jobs", 0, INT_MAX)),
                                 policy, args.getFlag("verbose"));
         }
     }

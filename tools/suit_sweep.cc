@@ -31,7 +31,7 @@
  */
 
 #include <atomic>
-#include <csignal>
+#include <climits>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -48,24 +48,13 @@
 #include "util/args.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
+#include "util/sigint.hh"
 
 namespace {
 
 using namespace suit;
 using exec::SweepEngine;
 using exec::SweepJob;
-
-/** Raised by the first SIGINT; the sweep then stops gracefully. */
-std::atomic<bool> g_interrupted{false};
-
-extern "C" void
-onSigint(int)
-{
-    g_interrupted.store(true);
-    // A second Ctrl-C terminates immediately.  The journal survives
-    // that too: appends are atomic rename()s.
-    std::signal(SIGINT, SIG_DFL);
-}
 
 /** Split a comma-separated option value into its items. */
 std::vector<std::string>
@@ -237,19 +226,16 @@ main(int argc, char **argv)
     std::vector<double> offset_list;
     for (const std::string &value : splitList(args.get("offset")))
         offset_list.push_back(offsetByName(value));
-    const long reps = args.getInt("reps");
-    const std::uint64_t root =
-        static_cast<std::uint64_t>(args.getInt("seed"));
+    const long reps = args.getIntInRange("reps", 1, INT_MAX);
+    const std::uint64_t root = static_cast<std::uint64_t>(
+        args.getIntInRange("seed", 0, LONG_MAX));
     if (cpus.empty() || profiles.empty() || core_list.empty() ||
         strategy_list.empty() || offset_list.empty() || reps < 1)
         util::fatal("every grid axis needs at least one value");
 
-    const long retries = args.getInt("retries");
-    if (retries < 0)
-        util::fatal("--retries must be >= 0, got %ld", retries);
-    const long stop_after = args.getInt("stop-after");
-    if (stop_after < 0)
-        util::fatal("--stop-after must be >= 0, got %ld", stop_after);
+    const long retries = args.getIntInRange("retries", 0, INT_MAX);
+    const long stop_after =
+        args.getIntInRange("stop-after", 0, LONG_MAX);
     if (args.getFlag("resume") && args.get("checkpoint").empty())
         util::fatal("--resume needs --checkpoint <path>");
 
@@ -293,7 +279,8 @@ main(int argc, char **argv)
                  args.get("jobs") == "1" ? "1 worker (serial)"
                                          : "parallel workers");
 
-    std::signal(SIGINT, onSigint);
+    // First Ctrl-C: graceful stop; second: immediate kill.
+    util::SigintGuard sigint;
     std::atomic<std::size_t> completed{0};
 
     exec::RunPolicy policy;
@@ -301,17 +288,18 @@ main(int argc, char **argv)
     policy.resume = args.getFlag("resume");
     policy.retries = static_cast<int>(retries);
     policy.strict = args.getFlag("strict");
-    policy.stop = &g_interrupted;
+    policy.stop = sigint.flag();
     if (stop_after > 0) {
         policy.onCellDone = [&, stop_after](std::size_t) {
             if (completed.fetch_add(1) + 1 >=
                 static_cast<std::size_t>(stop_after))
-                g_interrupted.store(true);
+                sigint.request();
         };
     }
 
     SweepEngine engine(
-        {static_cast<int>(args.getInt("jobs")), 0});
+        {static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX)),
+         0});
     exec::SweepOutcome outcome;
     try {
         outcome = engine.run(jobs, policy);

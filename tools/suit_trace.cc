@@ -13,6 +13,7 @@
  *   suit_trace convert nginx.sfb nginx.sft
  */
 
+#include <climits>
 #include <cstdio>
 
 #include "trace/generator.hh"
@@ -31,9 +32,11 @@ cmdGen(const util::ArgParser &args)
     const auto &profile = trace::profileByName(args.get("workload"));
     const trace::Trace t =
         trace::TraceGenerator(
-            static_cast<std::uint64_t>(args.getInt("seed")))
+            static_cast<std::uint64_t>(
+                args.getIntInRange("seed", 0, LONG_MAX)))
             .generate(profile,
-                      static_cast<int>(args.getInt("stream")));
+                      static_cast<int>(
+                          args.getIntInRange("stream", 0, INT_MAX)));
     const std::string &out = args.get("out");
     if (out.empty())
         util::fatal("gen needs --out <file.sft|file.sfb>");
