@@ -21,6 +21,7 @@
 
 #include "core/params.hh"
 #include "exec/sweep.hh"
+#include "runtime/session.hh"
 #include "sim/evaluation.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
@@ -198,8 +199,9 @@ main(int argc, char **argv)
         return 0;
 
     std::printf("SUIT reproduction — ablation of design choices\n\n");
-    exec::SweepEngine engine(
+    runtime::Session session(
         {static_cast<int>(args.getInt("jobs")), 0});
+    exec::SweepEngine engine(session);
     strategyAblation(engine);
     thrashAblation(engine);
     imulAblation(engine);

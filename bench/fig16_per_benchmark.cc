@@ -14,6 +14,7 @@
 
 #include "core/params.hh"
 #include "exec/sweep.hh"
+#include "runtime/session.hh"
 #include "sim/evaluation.hh"
 #include "trace/profile.hh"
 #include "util/args.hh"
@@ -58,8 +59,9 @@ main(int argc, char **argv)
         jobs.push_back({p.name, c97, &p});
     }
 
-    SweepEngine engine(
+    runtime::Session session(
         {static_cast<int>(args.getInt("jobs")), 0});
+    SweepEngine engine(session);
     const std::vector<sim::DomainResult> results = engine.run(jobs);
 
     util::TablePrinter t({"Benchmark", "Perf -70", "Eff -70",

@@ -16,6 +16,7 @@
 #include "emu/dispatcher.hh"
 #include "emu/simd_ops.hh"
 #include "exec/sweep.hh"
+#include "runtime/session.hh"
 #include "exec/thread_pool.hh"
 #include "sim/domain_sim.hh"
 #include "trace/generator.hh"
@@ -272,7 +273,8 @@ BM_SweepEngineScaling(benchmark::State &state)
         }
     }
 
-    exec::SweepEngine engine({static_cast<int>(state.range(0)), 0});
+    runtime::Session session({static_cast<int>(state.range(0)), 0});
+    exec::SweepEngine engine(session);
     benchmark::DoNotOptimize(engine.run(jobs).size()); // warm cache
     for (auto _ : state) {
         benchmark::DoNotOptimize(engine.run(jobs).size());

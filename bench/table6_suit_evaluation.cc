@@ -19,6 +19,7 @@
 #include "core/params.hh"
 #include "core/strategy.hh"
 #include "exec/sweep.hh"
+#include "runtime/session.hh"
 #include "power/cpu_model.hh"
 #include "sim/evaluation.hh"
 #include "trace/profile.hh"
@@ -211,8 +212,9 @@ main(int argc, char **argv)
         }
     }
 
-    SweepEngine engine(
+    runtime::Session session(
         {static_cast<int>(args.getInt("jobs")), 0});
+    SweepEngine engine(session);
     const std::vector<DomainResult> results = engine.run(jobs);
 
     for (std::size_t o = 0; o < 2; ++o)

@@ -19,6 +19,7 @@
 
 #include "core/params.hh"
 #include "exec/sweep.hh"
+#include "runtime/session.hh"
 #include "sim/evaluation.hh"
 #include "trace/profile.hh"
 #include "util/args.hh"
@@ -132,8 +133,9 @@ main(int argc, char **argv)
     for (const SweepPoint &point : points)
         appendPoint(jobs, point);
 
-    SweepEngine engine(
+    runtime::Session session(
         {static_cast<int>(args.getInt("jobs")), 0});
+    SweepEngine engine(session);
     const std::vector<DomainResult> results = engine.run(jobs);
 
     std::printf("\nDeadline sweep on CPU C (fV, -97 mV, mean "

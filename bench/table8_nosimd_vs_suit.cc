@@ -15,6 +15,7 @@
 
 #include "core/params.hh"
 #include "exec/sweep.hh"
+#include "runtime/session.hh"
 #include "sim/evaluation.hh"
 #include "trace/profile.hh"
 #include "util/args.hh"
@@ -100,8 +101,9 @@ main(int argc, char **argv)
         jobs.push_back({"namd nosimd", nosimd, &namd});
     }
 
-    SweepEngine engine(
+    runtime::Session session(
         {static_cast<int>(args.getInt("jobs")), 0});
+    SweepEngine engine(session);
     const std::vector<DomainResult> results = engine.run(jobs);
 
     util::TablePrinter t({"Config", "No SIMD wins", "SUIT wins"});

@@ -18,6 +18,7 @@
 #include "fleet/engine.hh"
 #include "fleet/report.hh"
 #include "fleet/spec.hh"
+#include "runtime/session.hh"
 
 int
 main()
@@ -27,11 +28,12 @@ main()
     std::printf("SUIT example — data-center fleet\n\n");
 
     fleet::FleetSpec spec = fleet::FleetSpec::demo(1000);
-    fleet::FleetEngine engine(spec);
+    // Serial reference session; suit_fleet scales the same engine
+    // out across worker threads.
+    runtime::Session session({1, 0});
+    fleet::FleetEngine engine(session, spec);
 
-    fleet::FleetOptions options;
-    options.jobs = 1; // serial reference path; suit_fleet scales out
-    const fleet::FleetOutcome outcome = engine.run(options);
+    const fleet::FleetOutcome outcome = engine.run();
 
     const std::string report =
         fleet::renderReportTable(engine.spec(), outcome.totals);

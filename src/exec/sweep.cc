@@ -10,7 +10,6 @@
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
-#include "util/table.hh"
 
 namespace suit::exec {
 
@@ -33,17 +32,9 @@ describeException(const std::exception_ptr &err)
 
 } // namespace
 
-SweepEngine::SweepEngine(SweepOptions options) : opts_(options)
+SweepEngine::SweepEngine(suit::runtime::Session &session)
+    : session_(session)
 {
-    const int requested = opts_.jobs == 0
-                              ? ThreadPool::hardwareConcurrency()
-                              : opts_.jobs;
-    SUIT_ASSERT(requested >= 1, "worker count must be >= 1, got %d",
-                requested);
-    if (requested > 1) {
-        pool_ = std::make_unique<ThreadPool>(requested,
-                                             opts_.queueCapacity);
-    }
 }
 
 SweepEngine::~SweepEngine() = default;
@@ -51,19 +42,21 @@ SweepEngine::~SweepEngine() = default;
 int
 SweepEngine::jobs() const
 {
-    return pool_ ? pool_->workers() : 1;
+    return session_.jobs();
 }
 
 std::vector<DomainResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
+    suit::runtime::RunContext ctx;
     RunPolicy fail_fast;
     fail_fast.strict = true;
-    return run(jobs, fail_fast).results;
+    return run(jobs, ctx, fail_fast).results;
 }
 
 SweepOutcome
 SweepEngine::run(const std::vector<SweepJob> &jobs,
+                 suit::runtime::RunContext &ctx,
                  const RunPolicy &policy)
 {
     const auto cell = [&](std::size_t i) {
@@ -71,11 +64,13 @@ SweepEngine::run(const std::vector<SweepJob> &jobs,
         SUIT_ASSERT(job.profile != nullptr,
                     "sweep job %zu ('%s') has no workload", i,
                     job.label.c_str());
-        return suit::sim::runWorkload(job.config, *job.profile,
-                                      traces_);
+        EvalConfig config = job.config;
+        config.cancel = &ctx.token();
+        return suit::sim::runWorkload(config, *job.profile,
+                                      session_.traceCache());
     };
-    SweepOutcome outcome =
-        runCells(jobs.size(), cell, policy, fingerprintJobs(jobs));
+    SweepOutcome outcome = runCells(jobs.size(), cell, ctx, policy,
+                                    fingerprintJobs(jobs));
     for (CellFailure &failure : outcome.failures)
         failure.label = jobs[failure.index].label;
     return outcome;
@@ -85,11 +80,13 @@ SweepOutcome
 SweepEngine::runCells(
     std::size_t n,
     const std::function<suit::sim::DomainResult(std::size_t)> &cell,
-    const RunPolicy &policy, const GridFingerprint &fingerprint)
+    suit::runtime::RunContext &ctx, const RunPolicy &policy,
+    const GridFingerprint &fingerprint)
 {
     SUIT_ASSERT(policy.retries >= 0, "negative retry count %d",
                 policy.retries);
-    if (policy.resume && policy.checkpointPath.empty())
+    const suit::runtime::CheckpointPolicy &ckpt = ctx.checkpoint;
+    if (ckpt.resume && ckpt.path.empty())
         throw JournalError("resume requires a checkpoint path");
 
     SweepOutcome out;
@@ -97,18 +94,18 @@ SweepEngine::runCells(
     out.done.assign(n, 0);
 
     CheckpointJournal journal;
-    if (!policy.checkpointPath.empty()) {
+    if (!ckpt.path.empty()) {
         std::vector<CellRecord> seed;
-        if (policy.resume) {
+        if (ckpt.resume) {
             JournalContents loaded =
-                CheckpointJournal::load(policy.checkpointPath);
+                CheckpointJournal::load(ckpt.path);
             if (!(loaded.fingerprint == fingerprint))
                 throw JournalError(suit::util::sformat(
                     "checkpoint '%s' belongs to a different grid "
                     "(journal: %llu cells, fingerprint %016llx; this "
                     "run: %llu cells, fingerprint %016llx) — "
                     "refusing to mix results",
-                    policy.checkpointPath.c_str(),
+                    ckpt.path.c_str(),
                     static_cast<unsigned long long>(
                         loaded.fingerprint.cells),
                     static_cast<unsigned long long>(
@@ -119,8 +116,7 @@ SweepEngine::runCells(
                 suit::util::warn(
                     "checkpoint '%s': dropped %zu trailing bytes of "
                     "a torn record; the affected cell will re-run",
-                    policy.checkpointPath.c_str(),
-                    loaded.droppedBytes);
+                    ckpt.path.c_str(), loaded.droppedBytes);
             // Completed cells seed the results; failed records are
             // dropped so the resume re-attempts those cells.
             for (CellRecord &record : loaded.records) {
@@ -136,8 +132,7 @@ SweepEngine::runCells(
                     seed.push_back({i, false, "", out.results[i], false, ""});
             }
         }
-        journal.start(policy.checkpointPath, fingerprint,
-                      std::move(seed));
+        journal.start(ckpt.path, fingerprint, std::move(seed));
     }
 
     std::atomic<std::size_t> executed{0};
@@ -146,15 +141,15 @@ SweepEngine::runCells(
     std::mutex failures_mu;
     std::vector<CellFailure> failures;
 
-    // Latched once per runCells(): workers latch the same session at
-    // thread start, so pool and serial mode trace identically.
-    obs::TraceSession *const trace = obs::activeTrace();
+    // Latched by the RunContext at its construction: workers observe
+    // the same session, so pool and serial mode trace identically.
+    obs::TraceSession *const trace = ctx.trace();
+    const suit::runtime::CancelToken &token = ctx.token();
 
     const auto runOne = [&](std::size_t i) {
         if (out.done[i])
             return; // restored from the journal
-        if (policy.stop != nullptr &&
-            policy.stop->load(std::memory_order_relaxed)) {
+        if (token.cancelled()) {
             skipped.fetch_add(1, std::memory_order_relaxed);
             return;
         }
@@ -173,6 +168,12 @@ SweepEngine::runCells(
                 journal.append({i, false, "", out.results[i], false, ""});
                 error = nullptr;
                 break;
+            } catch (const suit::runtime::Cancelled &) {
+                // The token tripped mid-cell: the cell never ran as
+                // far as the journal and the outcome are concerned —
+                // a resume recomputes it from scratch, bit-identical.
+                skipped.fetch_add(1, std::memory_order_relaxed);
+                return;
             } catch (...) {
                 error = std::current_exception();
             }
@@ -201,8 +202,8 @@ SweepEngine::runCells(
             policy.onCellDone(i);
     };
 
-    if (pool_) {
-        pool_->parallelFor(n, runOne);
+    if (ThreadPool *pool = session_.pool()) {
+        pool->parallelFor(n, runOne);
     } else {
         for (std::size_t i = 0; i < n; ++i)
             runOne(i);
@@ -210,7 +211,7 @@ SweepEngine::runCells(
 
     out.executed = executed.load();
     out.skipped = skipped.load();
-    out.interrupted = policy.stop != nullptr && policy.stop->load();
+    out.interrupted = token.cancelled();
     std::sort(failures.begin(), failures.end(),
               [](const CellFailure &a, const CellFailure &b) {
                   return a.index < b.index;
@@ -227,42 +228,6 @@ SweepEngine::runCells(
         reg.add(reg.counter("sweep.cells.retries"), retried.load());
     }
     return out;
-}
-
-std::vector<WorkerStats>
-SweepEngine::workerStats() const
-{
-    return pool_ ? pool_->stats() : std::vector<WorkerStats>{};
-}
-
-std::string
-SweepEngine::workerFooter() const
-{
-    if (!pool_)
-        return "sweep: serial reference path (1 job)\n";
-
-    suit::util::TablePrinter t(
-        {"worker", "jobs", "queue wait", "busy"});
-    const std::vector<WorkerStats> stats = pool_->stats();
-    std::uint64_t total_jobs = 0;
-    double total_busy = 0.0;
-    for (std::size_t i = 0; i < stats.size(); ++i) {
-        const WorkerStats &s = stats[i];
-        t.addRow({suit::util::sformat("#%zu", i),
-                  suit::util::sformat(
-                      "%llu",
-                      static_cast<unsigned long long>(s.jobsRun)),
-                  suit::util::sformat("%.3f s", s.queueWaitS),
-                  suit::util::sformat("%.3f s", s.busyS)});
-        total_jobs += s.jobsRun;
-        total_busy += s.busyS;
-    }
-    t.addSeparator();
-    t.addRow({"all",
-              suit::util::sformat(
-                  "%llu", static_cast<unsigned long long>(total_jobs)),
-              "", suit::util::sformat("%.3f s", total_busy)});
-    return t.render();
 }
 
 GridFingerprint
@@ -341,7 +306,8 @@ runSuiteParallel(const EvalConfig &config,
                  const std::vector<trace::WorkloadProfile> &profiles,
                  int jobs)
 {
-    suit::exec::SweepEngine engine({jobs, 0});
+    suit::runtime::Session session({jobs, 0});
+    suit::exec::SweepEngine engine(session);
     return runSuiteParallel(config, profiles, engine);
 }
 

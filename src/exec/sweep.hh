@@ -5,36 +5,42 @@
  * Every headline experiment (Table 6, Table 7, Table 8, Fig. 16, the
  * ablations) is a Cartesian sweep of CPU x cores x strategy x offset
  * x workload cells, each cell an independent runWorkload() call.
- * SweepEngine executes such a job list across a ThreadPool and
- * returns the results *in job order*, so the output of a parallel
- * sweep is bit-identical to running the same list serially:
+ * SweepEngine executes such a job list across the borrowed
+ * runtime::Session's ThreadPool and returns the results *in job
+ * order*, so the output of a parallel sweep is bit-identical to
+ * running the same list serially:
  *
  *  - every job is a pure function of its SweepJob (trace generation
  *    and simulation jitter derive only from EvalConfig::seed), so no
  *    job observes another job's scheduling;
  *  - results are written into index-addressed slots, never into a
  *    completion-ordered container;
- *  - the shared TraceCache is keyed by value, not by arrival order —
- *    whichever worker generates a trace first, every worker reads
- *    the same bytes.
+ *  - the session's shared TraceCache is keyed by value, not by
+ *    arrival order — whichever worker generates a trace first, every
+ *    worker reads the same bytes (and an LRU-evicted trace
+ *    regenerates to the same bytes, being a pure function of its
+ *    key).
  *
- * `--jobs 1` (SweepOptions::jobs == 1) bypasses the pool entirely
- * and runs the jobs inline: the serial reference path used by the
- * determinism tests.
+ * A serial Session (jobs == 1, no pool) runs the jobs inline: the
+ * serial reference path used by the determinism tests.  Per-run
+ * state — cancellation, deadline, journal policy — arrives through a
+ * runtime::RunContext; a tripped token skips unstarted cells and
+ * aborts in-flight cells mid-simulation (runtime::Cancelled), which
+ * the engine accounts as skipped, never as failed or journaled.
  */
 
 #ifndef SUIT_EXEC_SWEEP_HH
 #define SUIT_EXEC_SWEEP_HH
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/checkpoint.hh"
 #include "exec/thread_pool.hh"
+#include "runtime/run_context.hh"
+#include "runtime/session.hh"
 #include "sim/evaluation.hh"
 #include "sim/trace_cache.hh"
 
@@ -51,37 +57,16 @@ struct SweepJob
     const suit::trace::WorkloadProfile *profile = nullptr;
 };
 
-/** Engine configuration. */
-struct SweepOptions
-{
-    /**
-     * Worker count: 0 = ThreadPool::hardwareConcurrency(),
-     * 1 = serial in-line execution (reference path), n > 1 = pool of
-     * n workers.
-     */
-    int jobs = 0;
-    /** Task queue bound; 0 = 2 x workers. */
-    std::size_t queueCapacity = 0;
-};
-
 /**
- * Fault-tolerance and checkpointing policy of one run() invocation.
+ * Fault-tolerance policy of one run() invocation.
  *
  * The default policy matches PR-1 semantics minus fail-fast: no
- * journal, no retries, failures recorded instead of thrown.  Set
- * `strict` to restore exception propagation.
+ * retries, failures recorded instead of thrown.  Set `strict` to
+ * restore exception propagation.  Checkpointing and interruption
+ * moved to runtime::RunContext (checkpoint policy + cancel token).
  */
 struct RunPolicy
 {
-    /** Journal file; empty = no checkpointing. */
-    std::string checkpointPath;
-    /**
-     * Load an existing journal first and only run the cells it does
-     * not cover.  Requires checkpointPath; refuses (JournalError) a
-     * journal whose grid fingerprint differs.  Previously *failed*
-     * cells are re-attempted.
-     */
-    bool resume = false;
     /** Extra attempts for a throwing cell before giving up on it. */
     int retries = 0;
     /**
@@ -90,14 +75,9 @@ struct RunPolicy
      */
     bool strict = false;
     /**
-     * Cooperative interrupt: once *stop is true, cells that have not
-     * started are skipped (in-flight cells finish and are journaled).
-     * Used for SIGINT-safe shutdown in suit_sweep.
-     */
-    const std::atomic<bool> *stop = nullptr;
-    /**
      * Called after each cell settles (completed or failed), with the
      * cell index.  Runs on worker threads; must be thread-safe.
+     * Not called for skipped/cancelled cells.
      */
     std::function<void(std::size_t)> onCellDone;
 };
@@ -128,9 +108,9 @@ struct SweepOutcome
     std::size_t executed = 0;
     /** Cells restored from the journal (resume only). */
     std::size_t restored = 0;
-    /** Cells skipped because the stop flag was raised. */
+    /** Cells skipped or aborted because the token tripped. */
     std::size_t skipped = 0;
-    /** True if the stop flag ended the run early. */
+    /** True if the cancel token ended the run early. */
     bool interrupted = false;
 
     /** Every cell completed. */
@@ -144,7 +124,8 @@ struct SweepOutcome
 class SweepEngine
 {
   public:
-    explicit SweepEngine(SweepOptions options = {});
+    /** Borrow @p session's pool and trace cache (must outlive us). */
+    explicit SweepEngine(suit::runtime::Session &session);
     ~SweepEngine();
 
     SweepEngine(const SweepEngine &) = delete;
@@ -153,13 +134,15 @@ class SweepEngine
     /**
      * Run every job and return results in job order.  Bit-identical
      * for any worker count.  Exceptions out of a job propagate
-     * (lowest job index first).
+     * (lowest job index first).  Uses a throwaway RunContext: no
+     * journal, no cancellation.
      */
     std::vector<suit::sim::DomainResult>
     run(const std::vector<SweepJob> &jobs);
 
     /**
-     * Run every job under @p policy: optional checkpoint journal,
+     * Run every job under @p ctx (journal policy + cancellation) and
+     * @p policy (retries / strictness): optional checkpoint journal,
      * resume, per-cell retries and graceful failure recording.
      * Completed slots are bit-identical to a serial fail-fast run for
      * any worker count and any number of prior interruptions.
@@ -168,47 +151,53 @@ class SweepEngine
      *         rethrows cell exceptions only when policy.strict.
      */
     SweepOutcome run(const std::vector<SweepJob> &jobs,
-                     const RunPolicy &policy);
+                     suit::runtime::RunContext &ctx,
+                     const RunPolicy &policy = {});
 
     /**
      * Policy-driven execution of @p n abstract cells (the core of
-     * run(jobs, policy), exposed for tests and non-SweepJob grids).
-     * @p fingerprint identifies the grid in the journal.
+     * run(jobs, ctx, policy), exposed for tests and non-SweepJob
+     * grids).  @p fingerprint identifies the grid in the journal.
      */
     SweepOutcome
     runCells(std::size_t n,
              const std::function<suit::sim::DomainResult(std::size_t)>
                  &cell,
+             suit::runtime::RunContext &ctx,
              const RunPolicy &policy,
              const GridFingerprint &fingerprint);
 
     /** Effective worker count (1 when running serially). */
     int jobs() const;
 
+    /** The borrowed session. */
+    suit::runtime::Session &session() { return session_; }
+
     /**
-     * The engine's trace cache, shared by all jobs of all run()
+     * The session's trace cache, shared by all jobs of all run()
      * calls: repeated (cpu, workload, seed) cells — e.g. Table 6's
-     * strategy x offset grid — generate each trace once.
+     * strategy x offset grid — generate each trace once (modulo LRU
+     * eviction, which regenerates identically).
      */
-    suit::sim::TraceCache &traceCache() { return traces_; }
+    suit::sim::TraceCache &traceCache()
+    {
+        return session_.traceCache();
+    }
 
-    /**
-     * Per-worker counters accumulated over every run() so far
-     * (empty in serial mode).
-     */
-    std::vector<WorkerStats> workerStats() const;
+    /** Per-worker counters (empty in serial mode). */
+    std::vector<WorkerStats> workerStats() const
+    {
+        return session_.workerStats();
+    }
 
-    /**
-     * Render the per-worker counters as a footer table
-     * ("worker | jobs | queue wait | busy"), or a one-line serial
-     * notice in serial mode.
-     */
-    std::string workerFooter() const;
+    /** Worker counter footer table / serial notice. */
+    std::string workerFooter() const
+    {
+        return session_.workerFooter();
+    }
 
   private:
-    SweepOptions opts_;
-    suit::sim::TraceCache traces_;
-    std::unique_ptr<ThreadPool> pool_; //!< null in serial mode
+    suit::runtime::Session &session_;
 };
 
 /**
@@ -238,15 +227,15 @@ namespace suit::sim {
  * runSuite() for any worker count (verified by tests/exec).
  *
  * Declared in the sim namespace next to runSuite but defined in the
- * suit_exec library, which layers above suit_sim — callers link
- * suit_exec.
+ * suit_runtime library, which layers above suit_sim — callers link
+ * suit_runtime.
  */
 std::vector<WorkloadRow>
 runSuiteParallel(const EvalConfig &config,
                  const std::vector<suit::trace::WorkloadProfile> &profiles,
                  suit::exec::SweepEngine &engine);
 
-/** Convenience overload running on a throwaway engine. */
+/** Convenience overload running on a throwaway session. */
 std::vector<WorkloadRow>
 runSuiteParallel(const EvalConfig &config,
                  const std::vector<suit::trace::WorkloadProfile> &profiles,

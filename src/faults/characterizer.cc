@@ -41,6 +41,11 @@ Characterizer::run()
             for (double off = cfg_.offsetStepMv;
                  off <= cfg_.maxOffsetMv && !crashed;
                  off += cfg_.offsetStepMv) {
+                if (cfg_.cancel != nullptr &&
+                    cfg_.cancel->cancelled()) {
+                    result.interrupted = true;
+                    return result;
+                }
                 const double supply = nominal - off;
                 if (supply < model_->crashVoltageMv(core, freq) +
                                  early_crash_mv) {

@@ -20,6 +20,7 @@
 
 #include "faults/injector.hh"
 #include "faults/vmin_model.hh"
+#include "runtime/cancel.hh"
 
 namespace suit::faults {
 
@@ -44,6 +45,13 @@ struct CharacterizerConfig
     double crashJitterSigmaMv = 25.0;
     /** RNG seed for operands and fault sampling. */
     std::uint64_t seed = 99;
+    /**
+     * Cooperative cancellation, polled once per offset step.  A
+     * tripped token ends the campaign early with
+     * CharacterizationResult::interrupted set; the counts gathered
+     * so far are returned as-is.
+     */
+    const suit::runtime::CancelToken *cancel = nullptr;
 };
 
 /** Results of a campaign. */
@@ -60,6 +68,8 @@ struct CharacterizationResult
     std::uint64_t totalExecutions = 0;
     /** Points skipped because the core had crashed. */
     int crashedPoints = 0;
+    /** True if the cancel token ended the campaign early. */
+    bool interrupted = false;
 };
 
 /** Runs Minefield-style undervolting sweeps against a fault model. */

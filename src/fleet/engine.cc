@@ -1,8 +1,10 @@
 #include "fleet/engine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <optional>
+#include <string>
 
 #include "core/params.hh"
 #include "exec/checkpoint.hh"
@@ -33,8 +35,9 @@ cpuModelByName(const std::string &name)
 
 } // namespace
 
-FleetEngine::FleetEngine(FleetSpec spec)
-    : spec_(std::move(spec))
+FleetEngine::FleetEngine(suit::runtime::Session &session,
+                         FleetSpec spec)
+    : session_(session), spec_(std::move(spec))
 {
     SUIT_ASSERT(!spec_.racks.empty(), "fleet spec has no racks");
     SUIT_ASSERT(spec_.traceScale > 0.0 && spec_.traceScale <= 1.0,
@@ -97,18 +100,29 @@ FleetEngine::journalFingerprint(std::uint64_t shard_size) const
 
 void
 FleetEngine::simulateDomain(const DomainConfig &config,
-                            FleetAccumulator &acc)
+                            FleetAccumulator &acc,
+                            const suit::runtime::CancelToken *cancel)
 {
     const ResolvedRack &rack = racks_[config.rack];
     const RackSpec &rack_spec = spec_.racks[config.rack];
     const suit::trace::WorkloadProfile &profile =
         rack.profiles[config.workload];
 
-    std::vector<suit::sim::CoreWork> work;
+    // Reused per worker so the steady-state domain loop allocates
+    // nothing; the pins keep evicted traces alive for this domain.
+    thread_local std::vector<
+        std::shared_ptr<const suit::trace::Trace>>
+        pinned;
+    thread_local std::vector<suit::sim::CoreWork> work;
+    pinned.clear();
+    work.clear();
+    pinned.reserve(static_cast<std::size_t>(rack.streams));
     work.reserve(static_cast<std::size_t>(rack.streams));
-    for (int s = 0; s < rack.streams; ++s)
-        work.push_back(
-            {&traces_.get(profile, config.traceSeed, s), &profile});
+    for (int s = 0; s < rack.streams; ++s) {
+        pinned.push_back(session_.traceCache().get(
+            profile, config.traceSeed, s));
+        work.push_back({pinned.back().get(), &profile});
+    }
 
     suit::sim::SimConfig sim_cfg;
     sim_cfg.cpu = rack.cpu;
@@ -117,6 +131,7 @@ FleetEngine::simulateDomain(const DomainConfig &config,
     sim_cfg.strategy = rack_spec.strategies[config.strategy];
     sim_cfg.params = rack.params;
     sim_cfg.seed = config.simSeed;
+    sim_cfg.cancel = cancel;
 
     suit::sim::DomainSimulator sim(sim_cfg, std::move(work));
     acc.addDomain(config.rack, rack.basePowerW, sim.run());
@@ -124,6 +139,14 @@ FleetEngine::simulateDomain(const DomainConfig &config,
 
 FleetOutcome
 FleetEngine::run(const FleetOptions &options)
+{
+    suit::runtime::RunContext ctx;
+    return run(ctx, options);
+}
+
+FleetOutcome
+FleetEngine::run(suit::runtime::RunContext &ctx,
+                 const FleetOptions &options)
 {
     const std::uint64_t shard_size =
         options.shardSize == 0 ? kDefaultShardSize
@@ -142,19 +165,19 @@ FleetEngine::run(const FleetOptions &options)
     const suit::exec::GridFingerprint fingerprint{
         shards, journalFingerprint(shard_size)};
 
+    const suit::runtime::CheckpointPolicy &ckpt = ctx.checkpoint;
     suit::exec::CheckpointJournal journal;
-    if (!options.checkpointPath.empty()) {
+    if (!ckpt.path.empty()) {
         std::vector<suit::exec::CellRecord> seed;
-        if (options.resume) {
+        if (ckpt.resume) {
             const suit::exec::JournalContents loaded =
-                suit::exec::CheckpointJournal::load(
-                    options.checkpointPath);
+                suit::exec::CheckpointJournal::load(ckpt.path);
             if (loaded.fingerprint != fingerprint) {
                 throw suit::exec::JournalError(suit::util::sformat(
                     "checkpoint '%s' belongs to a different fleet "
                     "(fingerprint %016llx/%llu cells, expected "
                     "%016llx/%llu)",
-                    options.checkpointPath.c_str(),
+                    ckpt.path.c_str(),
                     static_cast<unsigned long long>(
                         loaded.fingerprint.hash),
                     static_cast<unsigned long long>(
@@ -167,8 +190,7 @@ FleetEngine::run(const FleetOptions &options)
                 suit::util::warn(
                     "checkpoint '%s': dropped %zu trailing bytes of "
                     "a torn record; the affected shard will re-run",
-                    options.checkpointPath.c_str(),
-                    loaded.droppedBytes);
+                    ckpt.path.c_str(), loaded.droppedBytes);
             for (const suit::exec::CellRecord &record :
                  loaded.records) {
                 if (!record.isBlob || record.index >= shards ||
@@ -183,7 +205,7 @@ FleetEngine::run(const FleetOptions &options)
                     suit::util::warn(
                         "checkpoint '%s': shard %llu record is "
                         "malformed; the shard will re-run",
-                        options.checkpointPath.c_str(),
+                        ckpt.path.c_str(),
                         static_cast<unsigned long long>(
                             record.index));
                     continue;
@@ -193,16 +215,16 @@ FleetEngine::run(const FleetOptions &options)
                 seed.push_back(record);
             }
         }
-        journal.start(options.checkpointPath, fingerprint,
-                      std::move(seed));
+        journal.start(ckpt.path, fingerprint, std::move(seed));
     }
 
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> skipped{0};
     std::atomic<std::uint64_t> domains_simulated{0};
 
-    // Latched once per run(): workers trace into the same session.
-    suit::obs::TraceSession *const trace = suit::obs::activeTrace();
+    // Latched by the RunContext: workers trace into the same session.
+    suit::obs::TraceSession *const trace = ctx.trace();
+    const suit::runtime::CancelToken &token = ctx.token();
     suit::obs::Registry &reg = suit::obs::metrics();
     static const std::vector<double> kShardMsBounds{
         1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
@@ -210,8 +232,7 @@ FleetEngine::run(const FleetOptions &options)
     const auto runOne = [&](std::size_t shard) {
         if (slots[shard].has_value())
             return; // restored from the journal
-        if (options.stop != nullptr &&
-            options.stop->load(std::memory_order_relaxed)) {
+        if (token.cancelled()) {
             skipped.fetch_add(1, std::memory_order_relaxed);
             return;
         }
@@ -233,8 +254,16 @@ FleetEngine::run(const FleetOptions &options)
             block.push_back(spec_.domainAt(first + i));
 
         FleetAccumulator acc(spec_.racks.size());
-        for (const DomainConfig &config : block)
-            simulateDomain(config, acc);
+        try {
+            for (const DomainConfig &config : block)
+                simulateDomain(config, acc, &token);
+        } catch (const suit::runtime::Cancelled &) {
+            // The token tripped mid-shard: the partial accumulator
+            // is discarded and the shard accounted as skipped, so a
+            // resume recomputes it whole, bit-identical.
+            skipped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
 
         if (journal.active()) {
             std::string bytes;
@@ -267,18 +296,16 @@ FleetEngine::run(const FleetOptions &options)
             options.onShardDone(shard);
     };
 
-    if (options.jobs == 1) {
+    if (suit::exec::ThreadPool *pool = session_.pool()) {
+        pool->parallelFor(static_cast<std::size_t>(shards), runOne);
+    } else {
         for (std::size_t shard = 0; shard < shards; ++shard)
             runOne(shard);
-    } else {
-        suit::exec::ThreadPool pool(options.jobs);
-        pool.parallelFor(static_cast<std::size_t>(shards), runOne);
     }
 
     out.shardsRun = executed.load();
     out.shardsSkipped = skipped.load();
-    out.interrupted =
-        options.stop != nullptr && options.stop->load();
+    out.interrupted = token.cancelled();
 
     // Merge in shard order.  ExactSum makes the value() bits
     // independent of the grouping anyway; the fixed order makes even

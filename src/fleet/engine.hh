@@ -3,13 +3,14 @@
  * FleetEngine: one process simulating up to a million SUIT domains.
  *
  * The engine shards the fleet's global domain index space into
- * fixed-size contiguous blocks and runs the shards across an
- * exec::ThreadPool.  Each shard expands its domain configurations
- * into a contiguous block (reused per worker — no per-domain heap
- * churn in the expansion), simulates every domain through the shared
- * TraceCache, and streams the DomainResults into one per-shard
- * FleetAccumulator — per-domain results are never stored, so memory
- * scales with shards, not domains.
+ * fixed-size contiguous blocks and runs the shards across the
+ * borrowed runtime::Session's ThreadPool.  Each shard expands its
+ * domain configurations into a contiguous block (reused per worker —
+ * no per-domain heap churn in the expansion), simulates every domain
+ * through the session's shared TraceCache, and streams the
+ * DomainResults into one per-shard FleetAccumulator — per-domain
+ * results are never stored, so memory scales with shards, not
+ * domains.
  *
  * Determinism contract, mirroring exec::SweepEngine:
  *  - every domain is a pure function of (spec, global index)
@@ -25,23 +26,26 @@
  * accumulator, fingerprinted by (spec fingerprint, shard size).  A
  * killed run resumes by restoring finished shards bit-for-bit and
  * running only the rest — the final aggregate is identical to an
- * uninterrupted run.
+ * uninterrupted run.  The journal path/resume flag and cancellation
+ * (SIGINT link, wall-clock deadline) arrive through the same
+ * runtime::RunContext the sweep engine uses; a shard aborted
+ * mid-flight by the token is accounted as skipped, never journaled.
  */
 
 #ifndef SUIT_FLEET_ENGINE_HH
 #define SUIT_FLEET_ENGINE_HH
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "core/params.hh"
 #include "fleet/accumulator.hh"
 #include "fleet/spec.hh"
 #include "power/cpu_model.hh"
+#include "runtime/run_context.hh"
+#include "runtime/session.hh"
 #include "sim/trace_cache.hh"
 #include "trace/profile.hh"
 
@@ -50,31 +54,12 @@ namespace suit::fleet {
 /** One run's execution policy. */
 struct FleetOptions
 {
-    /**
-     * Worker count: 0 = ThreadPool::hardwareConcurrency(),
-     * 1 = serial in-line execution (reference path), n > 1 = pool of
-     * n workers.
-     */
-    int jobs = 0;
     /** Domains per shard; 0 selects the default (4096). */
     std::uint64_t shardSize = 0;
-    /** Journal file; empty = no checkpointing. */
-    std::string checkpointPath;
-    /**
-     * Load an existing journal first and only run the shards it does
-     * not cover.  Requires checkpointPath; refuses (JournalError) a
-     * journal whose fingerprint differs.
-     */
-    bool resume = false;
-    /**
-     * Cooperative interrupt: once *stop is true, shards that have
-     * not started are skipped (in-flight shards finish and are
-     * journaled).
-     */
-    const std::atomic<bool> *stop = nullptr;
     /**
      * Called after each shard completes, with the shard index.  Runs
-     * on worker threads; must be thread-safe.
+     * on worker threads; must be thread-safe.  Not called for
+     * skipped/cancelled shards.
      */
     std::function<void(std::uint64_t)> onShardDone;
 };
@@ -90,9 +75,9 @@ struct FleetOutcome
     std::uint64_t shardsRun = 0;
     /** Shards restored from the journal (resume only). */
     std::uint64_t shardsRestored = 0;
-    /** Shards skipped because the stop flag was raised. */
+    /** Shards skipped or aborted because the token tripped. */
     std::uint64_t shardsSkipped = 0;
-    /** True if the stop flag ended the run early. */
+    /** True if the cancel token ended the run early. */
     bool interrupted = false;
 
     /** Every shard accumulated (run or restored). */
@@ -109,25 +94,34 @@ class FleetEngine
     /**
      * Resolve @p spec: instantiate the racks' CPU models, their
      * Table-7 strategy parameters and the trace-scaled workload
-     * profiles.  @p spec is copied; the engine is self-contained.
+     * profiles.  @p spec is copied; the engine borrows @p session's
+     * pool and trace cache (the session must outlive the engine).
      */
-    explicit FleetEngine(FleetSpec spec);
+    FleetEngine(suit::runtime::Session &session, FleetSpec spec);
 
     FleetEngine(const FleetEngine &) = delete;
     FleetEngine &operator=(const FleetEngine &) = delete;
 
     /**
-     * Simulate the whole fleet under @p options.  The returned
-     * aggregates are bit-identical for any jobs/shardSize combination
-     * and across kill-and-resume cycles.
+     * Simulate the whole fleet under @p ctx (journal policy +
+     * cancellation) and @p options.  The returned aggregates are
+     * bit-identical for any session worker count / shardSize
+     * combination and across kill-and-resume cycles.
      *
      * @throws exec::JournalError on an unusable or mismatching
      *         journal.
      */
+    FleetOutcome run(suit::runtime::RunContext &ctx,
+                     const FleetOptions &options = {});
+
+    /** As above with a throwaway context (no journal, no cancel). */
     FleetOutcome run(const FleetOptions &options = {});
 
     /** The resolved spec (after any scaling the caller did). */
     const FleetSpec &spec() const { return spec_; }
+
+    /** The borrowed session. */
+    suit::runtime::Session &session() { return session_; }
 
     /**
      * Baseline (conservative-curve) package power attributed to one
@@ -137,11 +131,14 @@ class FleetEngine
     double domainBasePowerW(std::size_t rack) const;
 
     /**
-     * The engine's trace cache, shared by every shard of every
+     * The session's trace cache, shared by every shard of every
      * run(): all domains of a (workload, variant) stream read the
      * same generated trace.
      */
-    suit::sim::TraceCache &traceCache() { return traces_; }
+    suit::sim::TraceCache &traceCache()
+    {
+        return session_.traceCache();
+    }
 
     /** Journal identity of this fleet at @p shard_size domains. */
     std::uint64_t journalFingerprint(std::uint64_t shard_size) const;
@@ -162,12 +159,13 @@ class FleetEngine
 
     /** Simulate global domain @p config into @p acc. */
     void simulateDomain(const DomainConfig &config,
-                        FleetAccumulator &acc);
+                        FleetAccumulator &acc,
+                        const suit::runtime::CancelToken *cancel);
 
+    suit::runtime::Session &session_;
     FleetSpec spec_;
     std::vector<std::unique_ptr<suit::power::CpuModel>> cpus_;
     std::vector<ResolvedRack> racks_;
-    suit::sim::TraceCache traces_;
 };
 
 } // namespace suit::fleet

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cooperative cancellation for the runtime layer.
+ *
+ * A CancelToken is a latching one-way switch observed from many
+ * threads.  Three independent sources can trip it:
+ *
+ *   - an explicit cancel() call (tests, RPC teardown),
+ *   - a linked external flag (util::SigintGuard's Ctrl-C latch),
+ *   - a wall-clock deadline (steady_clock, stored as atomic ns).
+ *
+ * cancelled() folds all three and latches, so a deadline that has
+ * tripped once stays tripped even if the clock were to misbehave and
+ * an unlinked external flag cannot "un-cancel" a run.  Everything is
+ * plain atomics — the header is dependency-free on purpose so that
+ * low layers (sim, faults) can poll a token without linking against
+ * suit_runtime.
+ *
+ * Cancellation can never break bit-identity: engines treat a tripped
+ * token as "skip the remaining cells" and a mid-cell Cancelled throw
+ * as "this cell never ran" (not journaled, not counted), so a resume
+ * recomputes exactly the missing pure-function cells.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+
+namespace suit::runtime {
+
+/**
+ * Thrown by cooperative cancellation points (DomainSimulator's event
+ * loop, long per-cell work) when the governing token has tripped.
+ * Engines catch it at the cell/shard boundary and account the unit
+ * of work as skipped — never as failed, never as journaled.
+ */
+class Cancelled : public std::exception
+{
+  public:
+    const char *what() const noexcept override
+    {
+        return "run cancelled";
+    }
+};
+
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Trip the token permanently. */
+    void cancel() noexcept
+    {
+        tripped_.store(true, std::memory_order_release);
+    }
+
+    /**
+     * Observe external cancellation requests (e.g. the SIGINT
+     * latch).  The pointee must outlive the token; pass nullptr to
+     * unlink.  The token latches on the first observed true.
+     */
+    void linkExternal(const std::atomic<bool> *flag) noexcept
+    {
+        external_.store(flag, std::memory_order_release);
+    }
+
+    /** Trip the token once steady_clock reaches @p deadline. */
+    void setDeadline(std::chrono::steady_clock::time_point deadline)
+        noexcept
+    {
+        deadlineNs_.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                deadline.time_since_epoch())
+                .count(),
+            std::memory_order_release);
+    }
+
+    /** Trip the token @p seconds from now (0 trips on next poll). */
+    void setDeadlineAfter(double seconds) noexcept
+    {
+        const auto delta = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+        setDeadline(std::chrono::steady_clock::now() + delta);
+    }
+
+    void clearDeadline() noexcept
+    {
+        deadlineNs_.store(kNoDeadline, std::memory_order_release);
+    }
+
+    bool hasDeadline() const noexcept
+    {
+        return deadlineNs_.load(std::memory_order_acquire) !=
+               kNoDeadline;
+    }
+
+    /**
+     * Poll.  Cheap when untripped (one or two relaxed atomic loads;
+     * the clock is only read when a deadline is armed).  Latches.
+     */
+    bool cancelled() const noexcept
+    {
+        if (tripped_.load(std::memory_order_acquire))
+            return true;
+        const std::atomic<bool> *ext =
+            external_.load(std::memory_order_acquire);
+        if (ext != nullptr && ext->load(std::memory_order_acquire)) {
+            tripped_.store(true, std::memory_order_release);
+            return true;
+        }
+        const std::int64_t deadline =
+            deadlineNs_.load(std::memory_order_acquire);
+        if (deadline != kNoDeadline) {
+            const std::int64_t now =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now()
+                        .time_since_epoch())
+                    .count();
+            if (now >= deadline) {
+                tripped_.store(true, std::memory_order_release);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Throw Cancelled if the token has tripped. */
+    void throwIfCancelled() const
+    {
+        if (cancelled())
+            throw Cancelled{};
+    }
+
+  private:
+    static constexpr std::int64_t kNoDeadline =
+        INT64_MAX;
+
+    /** Latched result; mutable so cancelled() can latch via const. */
+    mutable std::atomic<bool> tripped_{false};
+    std::atomic<const std::atomic<bool> *> external_{nullptr};
+    std::atomic<std::int64_t> deadlineNs_{kNoDeadline};
+};
+
+} // namespace suit::runtime

@@ -1,0 +1,9 @@
+#include "runtime/run_context.hh"
+
+#include "obs/trace.hh"
+
+namespace suit::runtime {
+
+RunContext::RunContext() : trace_(obs::activeTrace()) {}
+
+} // namespace suit::runtime

@@ -29,6 +29,7 @@
 #include "isa/faultable.hh"
 #include "obs/trace.hh"
 #include "power/cpu_model.hh"
+#include "runtime/cancel.hh"
 #include "trace/profile.hh"
 #include "trace/trace.hh"
 #include "util/rng.hh"
@@ -155,6 +156,14 @@ struct SimConfig
      * never feed back into the simulation).
      */
     bool obsBypass = false;
+    /**
+     * Cooperative cancellation: the event loop polls this token
+     * every ~4k outer iterations and throws runtime::Cancelled when
+     * it trips.  A cancelled run produces no DomainResult at all —
+     * the engines treat the cell as never run, so cancellation can
+     * never alter a completed (journaled) result.
+     */
+    const suit::runtime::CancelToken *cancel = nullptr;
 };
 
 /**

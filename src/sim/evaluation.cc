@@ -21,10 +21,17 @@ runWorkload(const EvalConfig &config, const WorkloadProfile &profile,
         config.cpu->domains() == DomainLayout::SharedAll;
     const int streams = shared ? config.cores : 1;
 
+    // Pin the traces for the duration of the run: the cache may
+    // evict them concurrently, but the shared_ptrs keep the bytes
+    // alive until the simulator is done.
+    std::vector<std::shared_ptr<const suit::trace::Trace>> pinned;
     std::vector<CoreWork> work;
-    for (int s = 0; s < streams; ++s)
-        work.push_back({&traces.get(profile, config.seed, s),
-                        &profile});
+    pinned.reserve(static_cast<std::size_t>(streams));
+    work.reserve(static_cast<std::size_t>(streams));
+    for (int s = 0; s < streams; ++s) {
+        pinned.push_back(traces.get(profile, config.seed, s));
+        work.push_back({pinned.back().get(), &profile});
+    }
 
     SimConfig sim_cfg;
     sim_cfg.cpu = config.cpu;
@@ -34,6 +41,7 @@ runWorkload(const EvalConfig &config, const WorkloadProfile &profile,
     sim_cfg.params = config.params;
     sim_cfg.seed = config.seed * 7919 + 17;
     sim_cfg.referencePath = config.referencePath;
+    sim_cfg.cancel = config.cancel;
 
     DomainSimulator sim(sim_cfg, std::move(work));
     return sim.run();

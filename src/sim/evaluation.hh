@@ -45,6 +45,13 @@ struct EvalConfig
      * fingerprint — both paths produce bit-identical results.
      */
     bool referencePath = false;
+    /**
+     * Cooperative cancellation token polled by the simulator's event
+     * loop (runtime::Cancelled is thrown mid-run when it trips).
+     * Like referencePath, deliberately not part of the sweep
+     * fingerprint — cancellation never changes a completed result.
+     */
+    const suit::runtime::CancelToken *cancel = nullptr;
 };
 
 /** Result of one workload under one configuration. */

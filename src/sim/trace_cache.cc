@@ -2,6 +2,7 @@
 
 #include "obs/registry.hh"
 #include "trace/generator.hh"
+#include "util/logging.hh"
 
 namespace suit::sim {
 
@@ -9,57 +10,142 @@ using suit::trace::Trace;
 using suit::trace::TraceGenerator;
 using suit::trace::WorkloadProfile;
 
-const Trace &
+TraceCache::TraceCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes)
+{
+    SUIT_ASSERT(capacity_ > 0, "trace cache capacity must be > 0");
+}
+
+std::shared_ptr<const Trace>
 TraceCache::get(const WorkloadProfile &profile, std::uint64_t seed,
                 int stream)
 {
     const KeyView key{profile.name, seed, stream};
-    Entry *entry;
+    std::shared_ptr<Slot> slot;
     {
         std::lock_guard lock(mu_);
-        const auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            entry = &it->second;
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            Entry &entry = it->second;
+            // Touch: move to the recency front.
+            lru_.splice(lru_.begin(), lru_, entry.lruIt);
+            slot = entry.slot;
         } else {
             // Only a miss pays for materialising the owning key.
-            entry = &entries_
-                         .try_emplace(Key{profile.name, seed, stream})
-                         .first->second;
+            const auto emplaced =
+                map_.try_emplace(Key{profile.name, seed, stream});
+            Entry &entry = emplaced.first->second;
+            entry.slot = std::make_shared<Slot>();
+            lru_.push_front(&emplaced.first->first);
+            entry.lruIt = lru_.begin();
+            slot = entry.slot;
         }
     }
     // Generation happens outside the map lock: distinct traces build
     // concurrently; racing get()s on the *same* key serialise on the
-    // entry's once_flag and generate exactly once.
+    // slot's once_flag and generate exactly once.
     bool generated = false;
-    std::call_once(entry->once, [&] {
-        entry->trace = std::make_unique<Trace>(
+    std::call_once(slot->once, [&] {
+        auto built = std::make_shared<const Trace>(
             TraceGenerator(seed).generate(profile, stream));
+        slot->bytes = built->memoryBytes();
+        slot->trace = std::move(built);
         generated = true;
     });
     static const obs::MetricId hit_id =
         obs::metrics().counter("sim.trace_cache.hits");
     static const obs::MetricId miss_id =
         obs::metrics().counter("sim.trace_cache.misses");
+    static const obs::MetricId evict_id =
+        obs::metrics().counter("sim.trace_cache.evictions");
     if (!generated) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         obs::metrics().add(hit_id);
-    } else {
-        obs::metrics().add(miss_id);
+        return slot->trace;
     }
-    return *entry->trace;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().add(miss_id);
+    std::uint64_t evicted = 0;
+    {
+        std::lock_guard lock(mu_);
+        // Account the new bytes iff the entry is still ours (it may
+        // have been evicted mid-generation, or replaced by a fresh
+        // slot after such an eviction).
+        const auto it = map_.find(key);
+        if (it != map_.end() && it->second.slot == slot &&
+            !it->second.accounted) {
+            it->second.accounted = true;
+            bytes_ += slot->bytes;
+            const std::uint64_t before =
+                evictions_.load(std::memory_order_relaxed);
+            evictLocked();
+            evicted = evictions_.load(std::memory_order_relaxed) -
+                      before;
+        }
+    }
+    if (evicted != 0)
+        obs::metrics().add(evict_id, evicted);
+    return slot->trace;
+}
+
+void
+TraceCache::evictLocked()
+{
+    while (bytes_ > capacity_ && !lru_.empty()) {
+        // Walk from the LRU tail, skipping entries still generating
+        // (unaccounted) — those cannot be costed or safely dropped.
+        bool evicted = false;
+        auto it = lru_.end();
+        do {
+            --it;
+            const auto mit = map_.find((*it)->view());
+            SUIT_ASSERT(mit != map_.end(),
+                        "trace cache LRU list out of sync");
+            Entry &entry = mit->second;
+            if (!entry.accounted)
+                continue;
+            bytes_ -= entry.slot->bytes;
+            lru_.erase(it);
+            map_.erase(mit);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            evicted = true;
+            break;
+        } while (it != lru_.begin());
+        if (!evicted)
+            break; // everything resident is in flight; transient
+    }
 }
 
 std::size_t
 TraceCache::entries() const
 {
     std::lock_guard lock(mu_);
-    return entries_.size();
+    return map_.size();
 }
 
 std::uint64_t
 TraceCache::hits() const
 {
     return hits_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceCache::misses() const
+{
+    return misses_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceCache::evictions() const
+{
+    return evictions_.load(std::memory_order_relaxed);
+}
+
+std::size_t
+TraceCache::residentBytes() const
+{
+    std::lock_guard lock(mu_);
+    return bytes_;
 }
 
 TraceCache &

@@ -1,24 +1,31 @@
 /**
  * @file
- * Thread-safe memoisation of generated traces.
+ * Thread-safe, bounded memoisation of generated traces.
  *
  * Traces are pure functions of (profile, seed, stream); the benchmark
  * harnesses re-run the same workloads under many configurations
  * (Table 6 alone revisits each (CPU, workload, seed) pair once per
- * strategy x offset cell), so generation is memoised.  The previous
- * cache was a function-local static map inside runWorkload() —
- * correct serially, a data race under the parallel sweep engine.
- * This class replaces it: the map is mutex-protected and each entry
- * is generated exactly once via std::call_once, without holding the
- * map lock during generation (so distinct traces generate in
- * parallel).
+ * strategy x offset cell), so generation is memoised.  Each entry is
+ * generated exactly once via std::call_once, without holding the map
+ * lock during generation (so distinct traces generate in parallel).
+ *
+ * The cache is *bounded*: resident bytes (Trace::memoryBytes()) are
+ * capped and the least-recently-used entries are evicted once an
+ * insertion exceeds the cap.  Eviction is safe against concurrent
+ * readers because get() hands out std::shared_ptr<const Trace> —
+ * an evicted trace stays alive until its last user drops the pin —
+ * and it is *deterministic-by-construction*: a trace is a pure
+ * function of its key, so regenerating an evicted entry yields the
+ * same bytes and the simulation output cannot depend on eviction
+ * order.  Entries still generating (slot not yet populated) are
+ * never evicted.
  *
  * Lookups are hit-dominated under the sweep engine (thousands of
  * get() calls against a few dozen distinct traces), so the hot path
- * is kept allocation-free: the map is hashed and uses a transparent
- * key view, so a hit neither copies the profile name nor walks an
- * ordered tree, and the hit counter is a relaxed atomic rather than
- * a second mutex acquisition.
+ * stays allocation-light: the map is hashed and uses a transparent
+ * key view (a hit neither copies the profile name nor walks an
+ * ordered tree), and the hit/miss/eviction counters are relaxed
+ * atomics readable without the mutex.
  */
 
 #ifndef SUIT_SIM_TRACE_CACHE_HH
@@ -26,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,30 +45,46 @@
 
 namespace suit::sim {
 
-/** Keyed store of generated traces, safe for concurrent lookup. */
+/** Keyed LRU store of generated traces, safe for concurrent use. */
 class TraceCache
 {
   public:
-    TraceCache() = default;
+    /** Default capacity: 256 MiB of resident trace data. */
+    static constexpr std::size_t kDefaultCapacityBytes =
+        std::size_t{256} << 20;
+
+    explicit TraceCache(
+        std::size_t capacity_bytes = kDefaultCapacityBytes);
 
     TraceCache(const TraceCache &) = delete;
     TraceCache &operator=(const TraceCache &) = delete;
 
     /**
      * The trace for (@p profile, @p seed, @p stream), generating it
-     * on first use.  The returned reference stays valid for the
-     * cache's lifetime (entries are never evicted; the map is
-     * node-based, so rehashing does not move entries).
+     * on first use.  The returned shared_ptr pins the trace: it
+     * stays valid even if the cache evicts the entry mid-use.  Keep
+     * the pin for the duration of a simulation, not longer.
      */
-    const suit::trace::Trace &get(
-        const suit::trace::WorkloadProfile &profile,
+    std::shared_ptr<const suit::trace::Trace>
+    get(const suit::trace::WorkloadProfile &profile,
         std::uint64_t seed, int stream);
 
-    /** Number of distinct traces generated so far. */
+    /** Distinct traces currently resident (post-eviction). */
     std::size_t entries() const;
 
     /** get() calls answered without generating (telemetry). */
     std::uint64_t hits() const;
+
+    /** get() calls that generated a trace (== total generations). */
+    std::uint64_t misses() const;
+
+    /** Entries evicted to stay under the byte cap. */
+    std::uint64_t evictions() const;
+
+    /** Bytes of resident trace data (accounted entries only). */
+    std::size_t residentBytes() const;
+
+    std::size_t capacityBytes() const { return capacity_; }
 
   private:
     /**
@@ -138,15 +162,42 @@ class TraceCache
         }
     };
 
-    struct Entry
+    /**
+     * Generation slot, shared between the map entry and any get()
+     * caller racing the generator.  Lives on after eviction until
+     * the last pin drops.  `trace` and `bytes` are written once
+     * inside call_once; readers synchronise through the once_flag
+     * (generator races) or the cache mutex (eviction scans, which
+     * only look at accounted entries).
+     */
+    struct Slot
     {
         std::once_flag once;
-        std::unique_ptr<suit::trace::Trace> trace;
+        std::shared_ptr<const suit::trace::Trace> trace;
+        std::size_t bytes = 0;
     };
 
+    struct Entry
+    {
+        std::shared_ptr<Slot> slot;
+        /** Position in lru_ (front = most recently used). */
+        std::list<const Key *>::iterator lruIt;
+        /** True once `bytes_` includes this entry (generation done). */
+        bool accounted = false;
+    };
+
+    /** Evict accounted LRU entries until bytes_ <= capacity_. */
+    void evictLocked();
+
     mutable std::mutex mu_;
-    std::unordered_map<Key, Entry, KeyHash, KeyEq> entries_;
+    std::unordered_map<Key, Entry, KeyHash, KeyEq> map_;
+    /** Recency order; points at map node keys (stable addresses). */
+    std::list<const Key *> lru_;
+    std::size_t capacity_;
+    std::size_t bytes_ = 0;
     std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 /**

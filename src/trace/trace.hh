@@ -88,6 +88,18 @@ class Trace
      */
     std::uint64_t tailInstructions() const;
 
+    /**
+     * Approximate heap footprint of this trace (object header plus
+     * event and prefix-index storage).  Drives the trace cache's LRU
+     * byte accounting.
+     */
+    std::size_t memoryBytes() const
+    {
+        return sizeof(Trace) + name_.capacity() +
+               events_.capacity() * sizeof(FaultableEvent) +
+               prefixIndex_.capacity() * sizeof(std::uint64_t);
+    }
+
   private:
     friend class TraceTestPeer; //!< test-only corruption hook
     std::string name_;

@@ -2,9 +2,11 @@
  * @file
  * RAII SIGINT plumbing for graceful-stop CLIs.
  *
- * The long-running tools (suit_sweep, suit_fleet) share one Ctrl-C
- * contract: the first SIGINT raises a stop flag the engines poll, so
- * in-flight work finishes and is journaled; a second SIGINT
+ * The long-running tools (suit_sweep, suit_fleet, suit_sim suite
+ * mode, suit_characterize) share one Ctrl-C contract: the first
+ * SIGINT raises a stop flag the run's cancellation token observes
+ * (runtime::CancelToken::linkExternal), so in-flight work settles
+ * and journaled state stays valid; a second SIGINT
  * terminates the process immediately (the journals survive that —
  * appends are atomic rename()s).  SigintGuard packages the handler,
  * the flag, and the restore-on-destruct so each CLI stops carrying
@@ -44,9 +46,9 @@ class SigintGuard
     bool requested() const;
 
     /**
-     * The stop flag as the engines consume it
-     * (exec::RunPolicy::stop, fleet::FleetOptions::stop).  Valid for
-     * the guard's lifetime.
+     * The stop flag as the runtime layer consumes it — link it into
+     * a run's token via runtime::CancelToken::linkExternal().  Valid
+     * for the guard's lifetime.
      */
     std::atomic<bool> *flag();
 

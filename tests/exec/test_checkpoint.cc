@@ -18,6 +18,8 @@
 #include "core/params.hh"
 #include "exec/checkpoint.hh"
 #include "exec/sweep.hh"
+#include "runtime/run_context.hh"
+#include "runtime/session.hh"
 #include "power/cpu_model.hh"
 #include "trace/profile.hh"
 
@@ -213,35 +215,37 @@ TEST(SweepEngine, KillAndResumeBitIdenticalToSerialRun)
     ScratchFile file("resume.bin");
 
     // Uninterrupted serial reference.
-    SweepEngine reference({1, 0});
+    runtime::Session ref_session({1, 0});
+    SweepEngine reference(ref_session);
     const std::vector<DomainResult> expected = reference.run(jobs);
 
     // First run: interrupted after two completed cells (the
     // cooperative-stop path SIGINT uses in suit_sweep).
-    std::atomic<bool> stop{false};
+    runtime::Session first_session({1, 0});
+    runtime::RunContext first_ctx;
+    first_ctx.checkpoint.path = file.path();
     std::atomic<int> completed{0};
     RunPolicy first;
-    first.checkpointPath = file.path();
     first.onCellDone = [&](std::size_t) {
         if (completed.fetch_add(1) + 1 >= 2)
-            stop.store(true);
+            first_ctx.token().cancel();
     };
-    first.stop = &stop;
-    SweepEngine interrupted_engine({1, 0});
+    SweepEngine interrupted_engine(first_session);
     const SweepOutcome partial =
-        interrupted_engine.run(jobs, first);
+        interrupted_engine.run(jobs, first_ctx, first);
     EXPECT_TRUE(partial.interrupted);
     EXPECT_EQ(partial.executed, 2u);
     EXPECT_EQ(partial.skipped, 2u);
 
-    // Resume on a fresh engine with a different worker count: only
+    // Resume on a fresh session with a different worker count: only
     // the missing cells run, and every slot matches the serial
     // reference bit for bit.
-    RunPolicy second;
-    second.checkpointPath = file.path();
-    second.resume = true;
-    SweepEngine resumed_engine({4, 0});
-    const SweepOutcome full = resumed_engine.run(jobs, second);
+    runtime::Session resumed_session({4, 0});
+    runtime::RunContext second_ctx;
+    second_ctx.checkpoint.path = file.path();
+    second_ctx.checkpoint.resume = true;
+    SweepEngine resumed_engine(resumed_session);
+    const SweepOutcome full = resumed_engine.run(jobs, second_ctx);
     EXPECT_TRUE(full.complete());
     EXPECT_EQ(full.restored, 2u);
     EXPECT_EQ(full.executed, 2u);
@@ -252,8 +256,12 @@ TEST(SweepEngine, KillAndResumeBitIdenticalToSerialRun)
     }
 
     // A second resume restores everything and runs nothing.
-    SweepEngine idle_engine({2, 0});
-    const SweepOutcome idle = idle_engine.run(jobs, second);
+    runtime::Session idle_session({2, 0});
+    runtime::RunContext idle_ctx;
+    idle_ctx.checkpoint.path = file.path();
+    idle_ctx.checkpoint.resume = true;
+    SweepEngine idle_engine(idle_session);
+    const SweepOutcome idle = idle_engine.run(jobs, idle_ctx);
     EXPECT_EQ(idle.restored, expected.size());
     EXPECT_EQ(idle.executed, 0u);
     for (std::size_t i = 0; i < expected.size(); ++i)
@@ -266,41 +274,48 @@ TEST(SweepEngine, ResumeRefusesMismatchedFingerprint)
     std::vector<SweepJob> jobs = smallGrid(cpu);
     ScratchFile file("mismatch.bin");
 
-    RunPolicy checkpointed;
-    checkpointed.checkpointPath = file.path();
-    SweepEngine engine({1, 0});
+    runtime::Session session({1, 0});
+    runtime::RunContext checkpointed;
+    checkpointed.checkpoint.path = file.path();
+    SweepEngine engine(session);
     engine.run(jobs, checkpointed);
 
     // Same cell count, different offset axis: a different grid.
     std::vector<SweepJob> other = jobs;
     for (SweepJob &job : other)
         job.config.offsetMv = -70.0;
-    RunPolicy resume;
-    resume.checkpointPath = file.path();
-    resume.resume = true;
-    SweepEngine resumed({1, 0});
+    runtime::RunContext resume;
+    resume.checkpoint.path = file.path();
+    resume.checkpoint.resume = true;
+    SweepEngine resumed(session);
     EXPECT_THROW(resumed.run(other, resume), JournalError);
 
     // The unmodified grid still resumes.
-    const SweepOutcome ok = resumed.run(jobs, resume);
+    runtime::RunContext resume2;
+    resume2.checkpoint.path = file.path();
+    resume2.checkpoint.resume = true;
+    const SweepOutcome ok = resumed.run(jobs, resume2);
     EXPECT_EQ(ok.restored, jobs.size());
 }
 
 TEST(SweepEngine, ResumeWithoutPathIsAnError)
 {
-    SweepEngine engine({1, 0});
-    RunPolicy policy;
-    policy.resume = true;
+    runtime::Session session({1, 0});
+    SweepEngine engine(session);
+    runtime::RunContext ctx;
+    ctx.checkpoint.resume = true;
     EXPECT_THROW(engine.runCells(
                      1, [](std::size_t) { return DomainResult{}; },
-                     policy, {1, 1}),
+                     ctx, {}, {1, 1}),
                  JournalError);
 }
 
 TEST(SweepEngine, RetriesEventuallySucceed)
 {
-    SweepEngine engine({1, 0});
+    runtime::Session session({1, 0});
+    SweepEngine engine(session);
     std::atomic<int> attempts{0};
+    runtime::RunContext ctx;
     RunPolicy policy;
     policy.retries = 2;
     const SweepOutcome out = engine.runCells(
@@ -310,7 +325,7 @@ TEST(SweepEngine, RetriesEventuallySucceed)
                 throw std::runtime_error("flaky");
             return makeResult(static_cast<double>(i));
         },
-        policy, {3, 1});
+        ctx, policy, {3, 1});
     EXPECT_TRUE(out.complete());
     EXPECT_EQ(out.executed, 3u);
     EXPECT_EQ(attempts.load(), 3); // two failures + one success
@@ -320,10 +335,12 @@ TEST(SweepEngine, RetriesEventuallySucceed)
 TEST(SweepEngine, FailedCellIsRecordedNotFatal)
 {
     ScratchFile file("failed.bin");
-    SweepEngine engine({1, 0});
+    runtime::Session session({1, 0});
+    SweepEngine engine(session);
+    runtime::RunContext ctx;
+    ctx.checkpoint.path = file.path();
     RunPolicy policy;
     policy.retries = 1;
-    policy.checkpointPath = file.path();
     const SweepOutcome out = engine.runCells(
         3,
         [&](std::size_t i) -> DomainResult {
@@ -331,7 +348,7 @@ TEST(SweepEngine, FailedCellIsRecordedNotFatal)
                 throw std::runtime_error("cell 1 is cursed");
             return makeResult(static_cast<double>(i));
         },
-        policy, {3, 1});
+        ctx, policy, {3, 1});
 
     EXPECT_EQ(out.executed, 2u);
     ASSERT_EQ(out.failures.size(), 1u);
@@ -348,13 +365,13 @@ TEST(SweepEngine, FailedCellIsRecordedNotFatal)
     ASSERT_EQ(loaded.records.size(), 3u);
 
     // ...and a resume re-attempts exactly the failed cell.
-    RunPolicy resume;
-    resume.checkpointPath = file.path();
-    resume.resume = true;
+    runtime::RunContext resume;
+    resume.checkpoint.path = file.path();
+    resume.checkpoint.resume = true;
     const SweepOutcome healed = engine.runCells(
         3,
         [&](std::size_t i) { return makeResult(10.0 + i); },
-        resume, {3, 1});
+        resume, {}, {3, 1});
     EXPECT_TRUE(healed.complete());
     EXPECT_EQ(healed.restored, 2u);
     EXPECT_EQ(healed.executed, 1u);
@@ -364,7 +381,9 @@ TEST(SweepEngine, FailedCellIsRecordedNotFatal)
 
 TEST(SweepEngine, StrictModeRethrowsLowestIndex)
 {
-    SweepEngine engine({4, 0});
+    runtime::Session session({4, 0});
+    SweepEngine engine(session);
+    runtime::RunContext ctx;
     RunPolicy policy;
     policy.strict = true;
     try {
@@ -376,24 +395,24 @@ TEST(SweepEngine, StrictModeRethrowsLowestIndex)
                         "index " + std::to_string(i));
                 return makeResult(static_cast<double>(i));
             },
-            policy, {16, 1});
+            ctx, policy, {16, 1});
         FAIL() << "strict run swallowed the cell exception";
     } catch (const std::runtime_error &e) {
         EXPECT_STREQ(e.what(), "index 3");
     }
 }
 
-TEST(SweepEngine, PresetStopFlagSkipsEverything)
+TEST(SweepEngine, PreTrippedTokenSkipsEverything)
 {
     ScratchFile file("stopped.bin");
-    std::atomic<bool> stop{true};
-    RunPolicy policy;
-    policy.checkpointPath = file.path();
-    policy.stop = &stop;
-    SweepEngine engine({2, 0});
+    runtime::Session session({2, 0});
+    runtime::RunContext ctx;
+    ctx.checkpoint.path = file.path();
+    ctx.token().cancel();
+    SweepEngine engine(session);
     const SweepOutcome out = engine.runCells(
         8, [](std::size_t i) { return makeResult(double(i)); },
-        policy, {8, 1});
+        ctx, {}, {8, 1});
     EXPECT_TRUE(out.interrupted);
     EXPECT_EQ(out.executed, 0u);
     EXPECT_EQ(out.skipped, 8u);

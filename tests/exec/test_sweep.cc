@@ -11,6 +11,7 @@
 
 #include "core/params.hh"
 #include "exec/sweep.hh"
+#include "runtime/session.hh"
 #include "power/cpu_model.hh"
 #include "trace/profile.hh"
 
@@ -93,7 +94,8 @@ TEST(SweepEngine, SerialModeMatchesRunSuiteToo)
     cfg.cpu = &cpu;
     cfg.params = core::optimalParams(cpu);
 
-    exec::SweepEngine engine({1, 0});
+    runtime::Session session({1, 0});
+    exec::SweepEngine engine(session);
     EXPECT_EQ(engine.jobs(), 1);
     const auto serial = sim::runSuite(cfg, profiles);
     const auto inline_rows =
@@ -123,7 +125,8 @@ TEST(SweepEngine, ResultsArriveInJobOrder)
                                   {"heavy2", heavy, &omnetpp},
                                   {"light2", light, &xz}};
 
-    SweepEngine engine({4, 0});
+    runtime::Session session({4, 0});
+    SweepEngine engine(session);
     const std::vector<DomainResult> results = engine.run(jobs);
     ASSERT_EQ(results.size(), 4u);
     // Shared-domain 4-core jobs produce 4 core rows, light ones 1 —
@@ -150,7 +153,8 @@ TEST(SweepEngine, TraceCacheReusedAcrossRepeatedCells)
     EvalConfig off70 = fv;
     off70.offsetMv = -70.0;
 
-    SweepEngine engine({2, 0});
+    runtime::Session session({2, 0});
+    SweepEngine engine(session);
     engine.run({{"fv", fv, &gcc},
                 {"e", emu, &gcc},
                 {"fv70", off70, &gcc}});
@@ -160,13 +164,15 @@ TEST(SweepEngine, TraceCacheReusedAcrossRepeatedCells)
 
 TEST(SweepEngine, WorkerFooterListsEveryWorker)
 {
-    SweepEngine engine({3, 0});
+    runtime::Session session({3, 0});
+    SweepEngine engine(session);
     const std::string footer = engine.workerFooter();
     EXPECT_NE(footer.find("#0"), std::string::npos);
     EXPECT_NE(footer.find("#2"), std::string::npos);
     EXPECT_NE(footer.find("queue wait"), std::string::npos);
 
-    SweepEngine serial({1, 0});
+    runtime::Session serial_session({1, 0});
+    SweepEngine serial(serial_session);
     EXPECT_NE(serial.workerFooter().find("serial"),
               std::string::npos);
 }

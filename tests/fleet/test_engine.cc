@@ -16,6 +16,8 @@
 
 #include "exec/checkpoint.hh"
 #include "fleet/engine.hh"
+#include "runtime/run_context.hh"
+#include "runtime/session.hh"
 #include "fleet/report.hh"
 #include "fleet/spec.hh"
 
@@ -81,9 +83,12 @@ testSpec()
 
 /** Run the spec and render its JSON report (the identity witness). */
 std::string
-reportOf(const FleetSpec &spec, const FleetOptions &options)
+reportOf(const FleetSpec &spec, int jobs, std::uint64_t shard_size)
 {
-    FleetEngine engine(spec);
+    runtime::Session session({jobs, 0});
+    FleetEngine engine(session, spec);
+    FleetOptions options;
+    options.shardSize = shard_size;
     const FleetOutcome outcome = engine.run(options);
     EXPECT_TRUE(outcome.complete());
     return fleet::renderReportJson(engine.spec(), outcome.totals);
@@ -91,72 +96,55 @@ reportOf(const FleetSpec &spec, const FleetOptions &options)
 
 TEST(FleetEngine, WorkerCountDoesNotChangeTheReport)
 {
-    FleetOptions serial;
-    serial.jobs = 1;
-    serial.shardSize = 64;
-    const std::string reference = reportOf(testSpec(), serial);
+    const std::string reference = reportOf(testSpec(), 1, 64);
     ASSERT_FALSE(reference.empty());
 
     for (const int jobs : {2, 4}) {
-        FleetOptions parallel;
-        parallel.jobs = jobs;
-        parallel.shardSize = 64;
-        EXPECT_EQ(reportOf(testSpec(), parallel), reference)
+        EXPECT_EQ(reportOf(testSpec(), jobs, 64), reference)
             << "report diverged at jobs=" << jobs;
     }
 }
 
 TEST(FleetEngine, ShardSizeDoesNotChangeTheReport)
 {
-    FleetOptions a;
-    a.jobs = 2;
-    a.shardSize = 16;
-    FleetOptions b;
-    b.jobs = 2;
-    b.shardSize = 64;
-    FleetOptions c;
-    c.jobs = 2;
-    c.shardSize = 0; // default: one shard covers the whole fleet
-    const std::string ra = reportOf(testSpec(), a);
-    EXPECT_EQ(ra, reportOf(testSpec(), b));
-    EXPECT_EQ(ra, reportOf(testSpec(), c));
+    // Shard size 0 = default: one shard covers the whole fleet.
+    const std::string ra = reportOf(testSpec(), 2, 16);
+    EXPECT_EQ(ra, reportOf(testSpec(), 2, 64));
+    EXPECT_EQ(ra, reportOf(testSpec(), 2, 0));
 }
 
 TEST(FleetEngine, KillAndResumeMatchesUninterruptedRun)
 {
-    FleetOptions serial;
-    serial.jobs = 1;
-    serial.shardSize = 32;
-    const std::string reference = reportOf(testSpec(), serial);
+    const std::string reference = reportOf(testSpec(), 1, 32);
 
     ScratchFile journal("resume.ckpt");
 
-    // First run: stop after 4 completed shards.
-    std::atomic<bool> stop{false};
+    // First run: cancel after 4 completed shards.
+    runtime::Session session_a({2, 0});
+    runtime::RunContext ctx_a;
+    ctx_a.checkpoint.path = journal.path();
     std::atomic<int> done{0};
     FleetOptions first;
-    first.jobs = 2;
     first.shardSize = 32;
-    first.checkpointPath = journal.path();
-    first.stop = &stop;
     first.onShardDone = [&](std::uint64_t) {
         if (done.fetch_add(1) + 1 >= 4)
-            stop.store(true);
+            ctx_a.token().cancel();
     };
-    FleetEngine engine_a(testSpec());
-    const FleetOutcome interrupted = engine_a.run(first);
+    FleetEngine engine_a(session_a, testSpec());
+    const FleetOutcome interrupted = engine_a.run(ctx_a, first);
     ASSERT_TRUE(interrupted.interrupted);
     ASSERT_GT(interrupted.shardsSkipped, 0u);
     ASSERT_GE(interrupted.shardsRun, 4u);
 
     // Second run: resume and finish.
+    runtime::Session session_b({2, 0});
+    runtime::RunContext ctx_b;
+    ctx_b.checkpoint.path = journal.path();
+    ctx_b.checkpoint.resume = true;
     FleetOptions second;
-    second.jobs = 2;
     second.shardSize = 32;
-    second.checkpointPath = journal.path();
-    second.resume = true;
-    FleetEngine engine_b(testSpec());
-    const FleetOutcome resumed = engine_b.run(second);
+    FleetEngine engine_b(session_b, testSpec());
+    const FleetOutcome resumed = engine_b.run(ctx_b, second);
     EXPECT_TRUE(resumed.complete());
     EXPECT_EQ(resumed.shardsRestored, interrupted.shardsRun);
     EXPECT_EQ(fleet::renderReportJson(engine_b.spec(),
@@ -173,16 +161,16 @@ TEST(FleetEngine, KillAndResumeMatchesUninterruptedRun)
  */
 TEST(FleetEngine, TruncatedJournalBlobResumesFromValidPrefix)
 {
-    FleetOptions serial;
-    serial.jobs = 1;
-    serial.shardSize = 32;
-    const std::string reference = reportOf(testSpec(), serial);
+    const std::string reference = reportOf(testSpec(), 1, 32);
 
     ScratchFile journal("trunc_blob.ckpt");
-    FleetOptions checkpointed = serial;
-    checkpointed.checkpointPath = journal.path();
-    FleetEngine engine_a(testSpec());
-    const FleetOutcome full = engine_a.run(checkpointed);
+    runtime::Session session_a({1, 0});
+    runtime::RunContext ctx_a;
+    ctx_a.checkpoint.path = journal.path();
+    FleetOptions checkpointed;
+    checkpointed.shardSize = 32;
+    FleetEngine engine_a(session_a, testSpec());
+    const FleetOutcome full = engine_a.run(ctx_a, checkpointed);
     ASSERT_TRUE(full.complete());
     ASSERT_GT(full.shardsRun, 2u);
 
@@ -196,10 +184,12 @@ TEST(FleetEngine, TruncatedJournalBlobResumesFromValidPrefix)
     ASSERT_EQ(loaded.records.size(), full.shardsRun - 1);
     EXPECT_TRUE(loaded.records.back().isBlob);
 
-    FleetOptions resume = checkpointed;
-    resume.resume = true;
-    FleetEngine engine_b(testSpec());
-    const FleetOutcome resumed = engine_b.run(resume);
+    runtime::Session session_b({1, 0});
+    runtime::RunContext ctx_b;
+    ctx_b.checkpoint.path = journal.path();
+    ctx_b.checkpoint.resume = true;
+    FleetEngine engine_b(session_b, testSpec());
+    const FleetOutcome resumed = engine_b.run(ctx_b, checkpointed);
     EXPECT_TRUE(resumed.complete());
     EXPECT_EQ(resumed.shardsRestored, full.shardsRun - 1);
     EXPECT_EQ(resumed.shardsRun, 1u);
@@ -210,16 +200,16 @@ TEST(FleetEngine, TruncatedJournalBlobResumesFromValidPrefix)
 
 TEST(FleetEngine, ChecksumFlippedBlobResumesFromValidPrefix)
 {
-    FleetOptions serial;
-    serial.jobs = 1;
-    serial.shardSize = 32;
-    const std::string reference = reportOf(testSpec(), serial);
+    const std::string reference = reportOf(testSpec(), 1, 32);
 
     ScratchFile journal("flip_blob.ckpt");
-    FleetOptions checkpointed = serial;
-    checkpointed.checkpointPath = journal.path();
-    FleetEngine engine_a(testSpec());
-    const FleetOutcome full = engine_a.run(checkpointed);
+    runtime::Session session_a({1, 0});
+    runtime::RunContext ctx_a;
+    ctx_a.checkpoint.path = journal.path();
+    FleetOptions checkpointed;
+    checkpointed.shardSize = 32;
+    FleetEngine engine_a(session_a, testSpec());
+    const FleetOutcome full = engine_a.run(ctx_a, checkpointed);
     ASSERT_TRUE(full.complete());
     ASSERT_GT(full.shardsRun, 2u);
 
@@ -234,10 +224,12 @@ TEST(FleetEngine, ChecksumFlippedBlobResumesFromValidPrefix)
     EXPECT_GT(loaded.droppedBytes, 0u);
     ASSERT_EQ(loaded.records.size(), full.shardsRun - 1);
 
-    FleetOptions resume = checkpointed;
-    resume.resume = true;
-    FleetEngine engine_b(testSpec());
-    const FleetOutcome resumed = engine_b.run(resume);
+    runtime::Session session_b({1, 0});
+    runtime::RunContext ctx_b;
+    ctx_b.checkpoint.path = journal.path();
+    ctx_b.checkpoint.resume = true;
+    FleetEngine engine_b(session_b, testSpec());
+    const FleetOutcome resumed = engine_b.run(ctx_b, checkpointed);
     EXPECT_TRUE(resumed.complete());
     EXPECT_EQ(resumed.shardsRestored, full.shardsRun - 1);
     EXPECT_EQ(fleet::renderReportJson(engine_b.spec(),
@@ -248,38 +240,44 @@ TEST(FleetEngine, ChecksumFlippedBlobResumesFromValidPrefix)
 TEST(FleetEngine, RefusesAForeignJournal)
 {
     ScratchFile journal("foreign.ckpt");
+    runtime::Session session({1, 0});
+    runtime::RunContext ctx;
+    ctx.checkpoint.path = journal.path();
     FleetOptions checkpointed;
-    checkpointed.jobs = 1;
     checkpointed.shardSize = 32;
-    checkpointed.checkpointPath = journal.path();
-    FleetEngine original(testSpec());
-    original.run(checkpointed);
+    FleetEngine original(session, testSpec());
+    original.run(ctx, checkpointed);
 
     // Same journal, different seed => different fingerprint.
     FleetSpec other = testSpec();
     other.seed = 6;
-    FleetOptions resume = checkpointed;
-    resume.resume = true;
-    FleetEngine engine(other);
-    EXPECT_THROW(engine.run(resume), exec::JournalError);
+    runtime::RunContext resume_ctx;
+    resume_ctx.checkpoint.path = journal.path();
+    resume_ctx.checkpoint.resume = true;
+    FleetEngine engine(session, other);
+    EXPECT_THROW(engine.run(resume_ctx, checkpointed),
+                 exec::JournalError);
 
     // A different shard size invalidates the journal too.
-    FleetOptions resized = checkpointed;
-    resized.resume = true;
+    runtime::RunContext resized_ctx;
+    resized_ctx.checkpoint.path = journal.path();
+    resized_ctx.checkpoint.resume = true;
+    FleetOptions resized;
     resized.shardSize = 16;
-    FleetEngine engine_b(testSpec());
-    EXPECT_THROW(engine_b.run(resized), exec::JournalError);
+    FleetEngine engine_b(session, testSpec());
+    EXPECT_THROW(engine_b.run(resized_ctx, resized),
+                 exec::JournalError);
 }
 
-TEST(FleetEngine, StopBeforeStartSkipsEverything)
+TEST(FleetEngine, PreTrippedTokenSkipsEverything)
 {
-    std::atomic<bool> stop{true};
+    runtime::Session session({2, 0});
+    runtime::RunContext ctx;
+    ctx.token().cancel();
     FleetOptions options;
-    options.jobs = 2;
     options.shardSize = 32;
-    options.stop = &stop;
-    FleetEngine engine(testSpec());
-    const FleetOutcome outcome = engine.run(options);
+    FleetEngine engine(session, testSpec());
+    const FleetOutcome outcome = engine.run(ctx, options);
     EXPECT_TRUE(outcome.interrupted);
     EXPECT_FALSE(outcome.complete());
     EXPECT_EQ(outcome.shardsRun, 0u);
@@ -288,10 +286,9 @@ TEST(FleetEngine, StopBeforeStartSkipsEverything)
 
 TEST(FleetEngine, ReportJsonValidates)
 {
-    FleetOptions options;
-    options.jobs = 2;
-    FleetEngine engine(testSpec());
-    const FleetOutcome outcome = engine.run(options);
+    runtime::Session session({2, 0});
+    FleetEngine engine(session, testSpec());
+    const FleetOutcome outcome = engine.run();
     const std::string doc =
         fleet::renderReportJson(engine.spec(), outcome.totals);
     const obs::CheckResult check = fleet::checkReportJson(doc);
@@ -304,7 +301,8 @@ TEST(FleetEngine, ReportJsonValidates)
 
 TEST(FleetEngine, DomainBasePowerSplitsPerCoreDomains)
 {
-    FleetEngine engine(testSpec());
+    runtime::Session session({1, 0});
+    FleetEngine engine(session, testSpec());
     // Rack 0 (CPU C, per-core domains): one core's share.  Rack 1
     // (CPU A, shared domain): the whole package.
     EXPECT_GT(engine.domainBasePowerW(1),

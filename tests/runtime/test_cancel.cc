@@ -1,0 +1,130 @@
+/**
+ * @file
+ * CancelToken semantics: latching, external-flag linkage, deadline
+ * arming/tripping, and (under -DSUIT_SANITIZE=thread) race freedom
+ * between concurrent pollers and a thread re-arming the deadline.
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/cancel.hh"
+
+namespace {
+
+using suit::runtime::Cancelled;
+using suit::runtime::CancelToken;
+
+TEST(CancelToken, StartsUntripped)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_FALSE(token.hasDeadline());
+    EXPECT_NO_THROW(token.throwIfCancelled());
+}
+
+TEST(CancelToken, CancelLatchesAndThrows)
+{
+    CancelToken token;
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(token.cancelled()); // still tripped
+    EXPECT_THROW(token.throwIfCancelled(), Cancelled);
+}
+
+TEST(CancelToken, ExternalFlagTripsAndLatches)
+{
+    std::atomic<bool> flag{false};
+    CancelToken token;
+    token.linkExternal(&flag);
+    EXPECT_FALSE(token.cancelled());
+
+    flag.store(true);
+    EXPECT_TRUE(token.cancelled());
+
+    // Unlinking (or even lowering) the flag cannot un-cancel: the
+    // token latched on the first observed true.
+    token.linkExternal(nullptr);
+    flag.store(false);
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, ZeroDeadlineTripsOnNextPoll)
+{
+    CancelToken token;
+    token.setDeadlineAfter(0.0);
+    EXPECT_TRUE(token.hasDeadline());
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, FarDeadlineDoesNotTrip)
+{
+    CancelToken token;
+    token.setDeadlineAfter(3600.0);
+    EXPECT_TRUE(token.hasDeadline());
+    EXPECT_FALSE(token.cancelled());
+    token.clearDeadline();
+    EXPECT_FALSE(token.hasDeadline());
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, ClearingADeadlineAfterTheTripDoesNotUncancel)
+{
+    CancelToken token;
+    token.setDeadlineAfter(0.0);
+    ASSERT_TRUE(token.cancelled()); // latches here
+    token.clearDeadline();
+    EXPECT_TRUE(token.cancelled());
+}
+
+/**
+ * The TSan target of the suite: many threads poll cancelled() and
+ * throwIfCancelled() while one thread re-arms the deadline, links
+ * and unlinks an external flag, and finally cancels outright.  Every
+ * access is an atomic, so the test must pass clean under
+ * -DSUIT_SANITIZE=thread; functionally, every poller must observe
+ * the final cancel.
+ */
+TEST(CancelToken, ConcurrentPollingRacesCleanlyWithArming)
+{
+    CancelToken token;
+    std::atomic<bool> external{false};
+    std::atomic<bool> go{false};
+    constexpr int kPollers = 4;
+
+    std::vector<std::thread> pollers;
+    std::vector<std::uint64_t> polls(kPollers, 0);
+    pollers.reserve(kPollers);
+    for (int p = 0; p < kPollers; ++p) {
+        pollers.emplace_back([&, p] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            // Poll until the trip is visible; count iterations so
+            // the loop cannot be optimised away.
+            while (!token.cancelled())
+                ++polls[static_cast<std::size_t>(p)];
+            try {
+                token.throwIfCancelled();
+                FAIL() << "tripped token did not throw";
+            } catch (const Cancelled &) {
+            }
+        });
+    }
+
+    go.store(true, std::memory_order_release);
+    for (int i = 0; i < 1000; ++i) {
+        token.setDeadlineAfter(3600.0);
+        token.linkExternal(i % 2 == 0 ? &external : nullptr);
+        token.clearDeadline();
+    }
+    token.linkExternal(&external);
+    external.store(true);
+    for (std::thread &t : pollers)
+        t.join();
+    EXPECT_TRUE(token.cancelled());
+}
+
+} // namespace

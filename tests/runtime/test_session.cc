@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Session ownership tests: worker-count resolution, serial mode, the
+ * shared bounded TraceCache — LRU eviction under a tiny capacity,
+ * pinned traces surviving their own eviction, and bit-identical
+ * regeneration of an evicted trace.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/session.hh"
+#include "sim/trace_cache.hh"
+#include "trace/profile.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace suit;
+using runtime::Session;
+
+TEST(Session, SerialModeHasNoPool)
+{
+    Session session({1, 0});
+    EXPECT_EQ(session.jobs(), 1);
+    EXPECT_EQ(session.pool(), nullptr);
+    EXPECT_TRUE(session.workerStats().empty());
+    EXPECT_NE(session.workerFooter().find("serial"),
+              std::string::npos);
+}
+
+TEST(Session, ExplicitWorkerCountBuildsAPool)
+{
+    Session session({3, 0});
+    EXPECT_EQ(session.jobs(), 3);
+    ASSERT_NE(session.pool(), nullptr);
+    EXPECT_EQ(session.pool()->workers(), 3);
+    EXPECT_EQ(session.workerStats().size(), 3u);
+    EXPECT_NE(session.workerFooter().find("#2"), std::string::npos);
+}
+
+TEST(Session, ZeroJobsResolvesToHardwareConcurrency)
+{
+    Session session;
+    EXPECT_EQ(session.jobs(),
+              exec::ThreadPool::hardwareConcurrency());
+    EXPECT_EQ(session.config().traceCacheBytes,
+              sim::TraceCache::kDefaultCapacityBytes);
+}
+
+TEST(Session, TraceCacheCapacityComesFromTheConfig)
+{
+    Session session({1, 0, std::size_t{8} << 20});
+    EXPECT_EQ(session.traceCache().capacityBytes(),
+              std::size_t{8} << 20);
+}
+
+/** Bitwise equality of two traces (the regeneration witness). */
+void
+expectIdenticalTraces(const trace::Trace &a, const trace::Trace &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.totalInstructions(), b.totalInstructions());
+    EXPECT_EQ(a.ipc(), b.ipc());
+    EXPECT_EQ(a.eventWeight(), b.eventWeight());
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].gap, b.events()[i].gap);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    }
+}
+
+TEST(Session, TinyCacheEvictsButPinnedTracesStayValid)
+{
+    // A capacity far below one trace: every insertion evicts the
+    // previous resident, so the cache cycles while the shared_ptr
+    // pins keep every returned trace alive and intact.
+    Session session({1, 0, 4096});
+    sim::TraceCache &cache = session.traceCache();
+
+    const auto &gcc = trace::profileByName("502.gcc");
+    const auto &xz = trace::profileByName("557.xz");
+
+    std::vector<std::shared_ptr<const trace::Trace>> pinned;
+    for (int stream = 0; stream < 4; ++stream) {
+        pinned.push_back(cache.get(gcc, 1, stream));
+        pinned.push_back(cache.get(xz, 1, stream));
+    }
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_LE(cache.entries(), pinned.size());
+    EXPECT_EQ(cache.misses(), 8u);
+
+    // Every pinned trace is still readable after its eviction.
+    for (const auto &t : pinned) {
+        ASSERT_NE(t, nullptr);
+        EXPECT_GT(t->totalInstructions(), 0u);
+    }
+
+    // Regeneration after eviction is bit-identical: traces are pure
+    // functions of (profile, seed, stream).
+    const auto again = cache.get(gcc, 1, 0);
+    expectIdenticalTraces(*pinned[0], *again);
+}
+
+TEST(Session, LargeCacheNeverEvictsAndCountsHits)
+{
+    Session session({1, 0});
+    sim::TraceCache &cache = session.traceCache();
+    const auto &nginx = trace::profileByName("Nginx");
+
+    const auto first = cache.get(nginx, 7, 0);
+    const auto second = cache.get(nginx, 7, 0);
+    EXPECT_EQ(first.get(), second.get()); // same resident object
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_GT(cache.residentBytes(), 0u);
+    EXPECT_LE(cache.residentBytes(), cache.capacityBytes());
+
+    // A different key is a miss, not a hit.
+    cache.get(nginx, 8, 0);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+} // namespace

@@ -55,6 +55,7 @@
 #include "core/params.hh"
 #include "fleet/engine.hh"
 #include "fleet/spec.hh"
+#include "runtime/session.hh"
 #include "sim/domain_sim.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
@@ -236,9 +237,9 @@ struct FleetBench
 
 /**
  * Time the 100k-domain demo fleet through the FleetEngine on all
- * hardware threads.  The engine (and its trace cache) is rebuilt per
- * repetition so every run pays the full cost a fresh suit_fleet
- * invocation would.
+ * hardware threads.  The session (pool and trace cache) and engine
+ * are rebuilt per repetition so every run pays the full cost a fresh
+ * suit_fleet invocation would.
  */
 FleetBench
 timeFleet(int reps)
@@ -248,7 +249,9 @@ timeFleet(int reps)
     times_ms.reserve(static_cast<std::size_t>(reps));
     for (int r = 0; r < reps; ++r) {
         const auto start = std::chrono::steady_clock::now();
-        fleet::FleetEngine engine(fleet::FleetSpec::demo(kDomains));
+        runtime::Session session;
+        fleet::FleetEngine engine(session,
+                                  fleet::FleetSpec::demo(kDomains));
         const fleet::FleetOutcome outcome = engine.run({});
         const auto stop = std::chrono::steady_clock::now();
         SUIT_ASSERT(outcome.complete() &&

@@ -15,8 +15,11 @@
 
 #include "faults/characterizer.hh"
 #include "power/pstate.hh"
+#include "runtime/run_context.hh"
 #include "util/args.hh"
 #include "util/format.hh"
+#include "util/logging.hh"
+#include "util/sigint.hh"
 #include "util/table.hh"
 
 int
@@ -36,6 +39,10 @@ main(int argc, char **argv)
                    "chip seed (process variation instance)");
     args.addFlag("hardened-imul",
                  "characterize a SUIT chip with the 4-cycle IMUL");
+    args.addOption("deadline-s", "0",
+                   "wall-clock budget in seconds; on expiry the "
+                   "campaign stops gracefully like Ctrl-C "
+                   "(0 = none)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -48,11 +55,23 @@ main(int argc, char **argv)
     vcfg.hardenedImul = args.getFlag("hardened-imul");
     const faults::VminModel model(vcfg);
 
+    const double deadline_s = args.getDouble("deadline-s");
+    if (deadline_s < 0.0)
+        util::fatal("--deadline-s must be >= 0, got %g", deadline_s);
+
+    // First Ctrl-C: graceful stop; second: immediate kill.
+    util::SigintGuard sigint;
+    runtime::RunContext ctx;
+    ctx.token().linkExternal(sigint.flag());
+    if (deadline_s > 0.0)
+        ctx.setDeadlineAfter(deadline_s);
+
     faults::CharacterizerConfig ccfg;
     ccfg.offsetStepMv = args.getDouble("step");
     ccfg.maxOffsetMv = args.getDouble("max-offset");
     ccfg.samplesPerPoint =
         static_cast<int>(args.getIntInRange("samples", 1, INT_MAX));
+    ccfg.cancel = &ctx.token();
     faults::Characterizer ch(&model, ccfg);
     const faults::CharacterizationResult r = ch.run();
 
@@ -75,5 +94,11 @@ main(int argc, char **argv)
     std::printf("\n%llu executions, %d crashed sweeps\n",
                 static_cast<unsigned long long>(r.totalExecutions),
                 r.crashedPoints);
+    if (r.interrupted) {
+        std::fprintf(stderr,
+                     "characterization interrupted: counts above "
+                     "cover the sweep up to the stop point only\n");
+        return 130;
+    }
     return 0;
 }

@@ -36,6 +36,8 @@
 #include "fleet/spec.hh"
 #include "obs/registry.hh"
 #include "obs/setup.hh"
+#include "runtime/run_context.hh"
+#include "runtime/session.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/sigint.hh"
@@ -79,6 +81,12 @@ main(int argc, char **argv)
     args.addOption("stop-after", "0",
                    "stop gracefully after N completed shards "
                    "(testing aid; 0 = run to completion)");
+    args.addOption("deadline-s", "0",
+                   "wall-clock budget in seconds; on expiry the run "
+                   "stops gracefully like Ctrl-C (0 = none)");
+    args.addOption("trace-cache-mb", "256",
+                   "trace cache capacity in MiB (LRU eviction above "
+                   "it)");
     obs::addCliOptions(args);
     if (!args.parse(argc, argv))
         return 0;
@@ -91,6 +99,11 @@ main(int argc, char **argv)
     const long stop_after =
         args.getIntInRange("stop-after", 0, LONG_MAX);
     const long shard = args.getIntInRange("shard", 0, LONG_MAX);
+    const double deadline_s = args.getDouble("deadline-s");
+    if (deadline_s < 0.0)
+        util::fatal("--deadline-s must be >= 0, got %g", deadline_s);
+    const long cache_mb =
+        args.getIntInRange("trace-cache-mb", 1, 1 << 20);
     if (args.getFlag("resume") && args.get("checkpoint").empty())
         util::fatal("--resume needs --checkpoint <path>");
 
@@ -124,12 +137,7 @@ main(int argc, char **argv)
     std::atomic<std::uint64_t> completed{0};
 
     fleet::FleetOptions options;
-    options.jobs =
-        static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX));
     options.shardSize = static_cast<std::uint64_t>(shard);
-    options.checkpointPath = args.get("checkpoint");
-    options.resume = args.getFlag("resume");
-    options.stop = sigint.flag();
     if (stop_after > 0) {
         options.onShardDone = [&, stop_after](std::uint64_t) {
             if (completed.fetch_add(1) + 1 >=
@@ -138,10 +146,20 @@ main(int argc, char **argv)
         };
     }
 
-    fleet::FleetEngine engine(spec);
+    runtime::Session session(
+        {static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX)), 0,
+         static_cast<std::size_t>(cache_mb) << 20});
+    runtime::RunContext ctx;
+    ctx.checkpoint.path = args.get("checkpoint");
+    ctx.checkpoint.resume = args.getFlag("resume");
+    ctx.token().linkExternal(sigint.flag());
+    if (deadline_s > 0.0)
+        ctx.setDeadlineAfter(deadline_s);
+
+    fleet::FleetEngine engine(session, spec);
     fleet::FleetOutcome outcome;
     try {
-        outcome = engine.run(options);
+        outcome = engine.run(ctx, options);
     } catch (const exec::JournalError &e) {
         util::fatal("%s", e.what());
     }
@@ -179,13 +197,17 @@ main(int argc, char **argv)
     std::fprintf(
         stderr,
         "fleet execution: %llu shards (%llu run, %llu restored, "
-        "%llu skipped), %zu traces generated, %llu cache hits\n",
+        "%llu skipped), %llu traces generated, %llu cache hits, "
+        "%llu evicted\n",
         static_cast<unsigned long long>(outcome.shards),
         static_cast<unsigned long long>(outcome.shardsRun),
         static_cast<unsigned long long>(outcome.shardsRestored),
         static_cast<unsigned long long>(outcome.shardsSkipped),
-        engine.traceCache().entries(),
-        static_cast<unsigned long long>(engine.traceCache().hits()));
+        static_cast<unsigned long long>(
+            engine.traceCache().misses()),
+        static_cast<unsigned long long>(engine.traceCache().hits()),
+        static_cast<unsigned long long>(
+            engine.traceCache().evictions()));
     if (obs::metrics().enabled()) {
         std::fprintf(stderr, "\nobservability metrics:\n%s",
                      obs::metrics().renderTable().c_str());
@@ -198,9 +220,9 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          outcome.shardsSkipped),
                      outcome.shardsSkipped == 1 ? "" : "s",
-                     options.checkpointPath.empty()
+                     ctx.checkpoint.path.empty()
                          ? "<path>"
-                         : options.checkpointPath.c_str());
+                         : ctx.checkpoint.path.c_str());
         return 130;
     }
     return 0;

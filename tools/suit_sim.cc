@@ -21,6 +21,8 @@
 #include "core/params.hh"
 #include "exec/sweep.hh"
 #include "obs/setup.hh"
+#include "runtime/run_context.hh"
+#include "runtime/session.hh"
 #include "sim/evaluation.hh"
 #include "trace/generator.hh"
 #include "trace/io.hh"
@@ -28,6 +30,7 @@
 #include "util/args.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
+#include "util/sigint.hh"
 #include "util/table.hh"
 
 namespace {
@@ -100,17 +103,18 @@ workloadsByName(const std::string &value)
 int
 runSuiteMode(const sim::EvalConfig &cfg,
              const std::vector<trace::WorkloadProfile> &profiles,
-             int jobs, const exec::RunPolicy &policy, bool verbose)
+             runtime::Session &session, runtime::RunContext &ctx,
+             const exec::RunPolicy &policy, bool verbose)
 {
     std::vector<exec::SweepJob> sweep_jobs;
     sweep_jobs.reserve(profiles.size());
     for (const trace::WorkloadProfile &p : profiles)
         sweep_jobs.push_back({p.name, cfg, &p});
 
-    exec::SweepEngine engine({jobs, 0});
+    exec::SweepEngine engine(session);
     exec::SweepOutcome outcome;
     try {
-        outcome = engine.run(sweep_jobs, policy);
+        outcome = engine.run(sweep_jobs, ctx, policy);
     } catch (const exec::JournalError &e) {
         util::fatal("%s", e.what());
     }
@@ -156,19 +160,35 @@ runSuiteMode(const sim::EvalConfig &cfg,
                     engine.jobs(), engine.jobs() == 1 ? "" : "s",
                     profiles.size(), outcome.executed,
                     outcome.restored, engine.workerFooter().c_str());
-        const std::size_t entries = engine.traceCache().entries();
-        const std::uint64_t hits = engine.traceCache().hits();
-        const std::uint64_t lookups =
-            hits + static_cast<std::uint64_t>(entries);
-        std::printf("Trace cache: %zu trace%s generated, %llu of "
-                    "%llu lookup%s hit (%.1f%% hit rate)\n",
-                    entries, entries == 1 ? "" : "s",
+        const sim::TraceCache &traces = session.traceCache();
+        const std::uint64_t hits = traces.hits();
+        const std::uint64_t misses = traces.misses();
+        const std::uint64_t lookups = hits + misses;
+        std::printf("Trace cache: %llu trace%s generated, %llu of "
+                    "%llu lookup%s hit (%.1f%% hit rate), %llu "
+                    "evicted\n",
+                    static_cast<unsigned long long>(misses),
+                    misses == 1 ? "" : "s",
                     static_cast<unsigned long long>(hits),
                     static_cast<unsigned long long>(lookups),
                     lookups == 1 ? "" : "s",
                     lookups > 0 ? 100.0 * static_cast<double>(hits) /
                                       static_cast<double>(lookups)
-                                : 0.0);
+                                : 0.0,
+                    static_cast<unsigned long long>(
+                        traces.evictions()));
+    }
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "suite interrupted: %zu workload%s not run; "
+                     "re-run with --checkpoint %s --resume to "
+                     "finish\n",
+                     outcome.skipped,
+                     outcome.skipped == 1 ? "" : "s",
+                     ctx.checkpoint.path.empty()
+                         ? "<path>"
+                         : ctx.checkpoint.path.c_str());
+        return 130;
     }
     return outcome.failures.empty() ? 0 : 2;
 }
@@ -207,6 +227,13 @@ main(int argc, char **argv)
     args.addFlag("strict",
                  "fail fast: abort the suite on the first workload "
                  "failure");
+    args.addOption("deadline-s", "0",
+                   "wall-clock budget in seconds for suite runs; on "
+                   "expiry the run stops gracefully like Ctrl-C "
+                   "(0 = none)");
+    args.addOption("trace-cache-mb", "256",
+                   "trace cache capacity in MiB (LRU eviction above "
+                   "it)");
     args.addFlag("nosimd", "model a binary compiled without SIMD");
     args.addFlag("verbose", "also print switch/trap counters");
     obs::addCliOptions(args);
@@ -246,21 +273,38 @@ main(int argc, char **argv)
                 util::fatal("--strategy auto needs a single "
                             "workload");
             exec::RunPolicy policy;
-            policy.checkpointPath = args.get("checkpoint");
-            policy.resume = args.getFlag("resume");
             const long retries =
                 args.getIntInRange("retries", 0, INT_MAX);
             policy.retries = static_cast<int>(retries);
             policy.strict = args.getFlag("strict");
-            if (policy.resume && policy.checkpointPath.empty())
+            const double deadline_s = args.getDouble("deadline-s");
+            if (deadline_s < 0.0)
+                util::fatal("--deadline-s must be >= 0, got %g",
+                            deadline_s);
+            const long cache_mb =
+                args.getIntInRange("trace-cache-mb", 1, 1 << 20);
+            if (args.getFlag("resume") &&
+                args.get("checkpoint").empty())
                 util::fatal("--resume needs --checkpoint <path>");
+
+            // First Ctrl-C: graceful stop; second: immediate kill.
+            util::SigintGuard sigint;
+            runtime::Session session(
+                {static_cast<int>(
+                     args.getIntInRange("jobs", 0, INT_MAX)),
+                 0, static_cast<std::size_t>(cache_mb) << 20});
+            runtime::RunContext ctx;
+            ctx.checkpoint.path = args.get("checkpoint");
+            ctx.checkpoint.resume = args.getFlag("resume");
+            ctx.token().linkExternal(sigint.flag());
+            if (deadline_s > 0.0)
+                ctx.setDeadlineAfter(deadline_s);
+
             std::printf("suite '%s' on %s, strategy %s, %.0f mV:\n",
                         wl.c_str(), cpu.name().c_str(),
                         core::toString(cfg.strategy), cfg.offsetMv);
-            return runSuiteMode(cfg, workloadsByName(wl),
-                                static_cast<int>(
-                    args.getIntInRange("jobs", 0, INT_MAX)),
-                                policy, args.getFlag("verbose"));
+            return runSuiteMode(cfg, workloadsByName(wl), session,
+                                ctx, policy, args.getFlag("verbose"));
         }
     }
     if (!args.get("checkpoint").empty() || args.getFlag("resume"))

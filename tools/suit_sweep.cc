@@ -16,7 +16,11 @@
  * byte-identical to an uninterrupted run.  Ctrl-C requests a
  * graceful stop: in-flight cells finish and are journaled, the rest
  * are skipped, and the exit code is 130 (a second Ctrl-C kills
- * immediately; the journal stays valid).  A throwing cell is retried
+ * immediately; the journal stays valid).  --deadline-s arms a
+ * wall-clock budget with the same graceful-stop semantics, and
+ * --trace-cache-mb bounds the session's trace cache (LRU eviction;
+ * evicted traces regenerate bit-identically).  A throwing cell is
+ * retried
  * --retries times and then recorded as failed instead of aborting
  * the sweep, unless --strict restores fail-fast.
  *
@@ -43,6 +47,8 @@
 #include "obs/registry.hh"
 #include "obs/setup.hh"
 #include "power/cpu_model.hh"
+#include "runtime/run_context.hh"
+#include "runtime/session.hh"
 #include "sim/evaluation.hh"
 #include "trace/profile.hh"
 #include "util/args.hh"
@@ -202,6 +208,12 @@ main(int argc, char **argv)
     args.addOption("stop-after", "0",
                    "stop gracefully after N completed cells (testing "
                    "aid; 0 = run to completion)");
+    args.addOption("deadline-s", "0",
+                   "wall-clock budget in seconds; on expiry the "
+                   "sweep stops gracefully like Ctrl-C (0 = none)");
+    args.addOption("trace-cache-mb", "256",
+                   "trace cache capacity in MiB (LRU eviction above "
+                   "it)");
     args.addFlag("nosimd", "model binaries compiled without SIMD");
     obs::addCliOptions(args);
     if (!args.parse(argc, argv))
@@ -236,6 +248,11 @@ main(int argc, char **argv)
     const long retries = args.getIntInRange("retries", 0, INT_MAX);
     const long stop_after =
         args.getIntInRange("stop-after", 0, LONG_MAX);
+    const double deadline_s = args.getDouble("deadline-s");
+    if (deadline_s < 0.0)
+        util::fatal("--deadline-s must be >= 0, got %g", deadline_s);
+    const long cache_mb =
+        args.getIntInRange("trace-cache-mb", 1, 1 << 20);
     if (args.getFlag("resume") && args.get("checkpoint").empty())
         util::fatal("--resume needs --checkpoint <path>");
 
@@ -284,11 +301,8 @@ main(int argc, char **argv)
     std::atomic<std::size_t> completed{0};
 
     exec::RunPolicy policy;
-    policy.checkpointPath = args.get("checkpoint");
-    policy.resume = args.getFlag("resume");
     policy.retries = static_cast<int>(retries);
     policy.strict = args.getFlag("strict");
-    policy.stop = sigint.flag();
     if (stop_after > 0) {
         policy.onCellDone = [&, stop_after](std::size_t) {
             if (completed.fetch_add(1) + 1 >=
@@ -297,12 +311,20 @@ main(int argc, char **argv)
         };
     }
 
-    SweepEngine engine(
-        {static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX)),
-         0});
+    runtime::Session session(
+        {static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX)), 0,
+         static_cast<std::size_t>(cache_mb) << 20});
+    runtime::RunContext ctx;
+    ctx.checkpoint.path = args.get("checkpoint");
+    ctx.checkpoint.resume = args.getFlag("resume");
+    ctx.token().linkExternal(sigint.flag());
+    if (deadline_s > 0.0)
+        ctx.setDeadlineAfter(deadline_s);
+
+    SweepEngine engine(session);
     exec::SweepOutcome outcome;
     try {
-        outcome = engine.run(jobs, policy);
+        outcome = engine.run(jobs, ctx, policy);
     } catch (const exec::JournalError &e) {
         util::fatal("%s", e.what());
     }
@@ -343,10 +365,13 @@ main(int argc, char **argv)
         std::fclose(out);
 
     // Footer goes to stderr so it never pollutes CSV-on-stdout.
-    const std::size_t trace_entries = engine.traceCache().entries();
-    const std::uint64_t trace_hits = engine.traceCache().hits();
-    const std::uint64_t trace_gets =
-        trace_hits + static_cast<std::uint64_t>(trace_entries);
+    // Hit rate is hits/(hits+misses): misses counts every
+    // generation, so the rate stays correct when LRU eviction makes
+    // a trace regenerate (entries() only counts residents).
+    const sim::TraceCache &cache = engine.traceCache();
+    const std::uint64_t trace_hits = cache.hits();
+    const std::uint64_t trace_misses = cache.misses();
+    const std::uint64_t trace_gets = trace_hits + trace_misses;
     const double hit_rate =
         trace_gets > 0
             ? 100.0 * static_cast<double>(trace_hits) /
@@ -354,13 +379,14 @@ main(int argc, char **argv)
             : 0.0;
     std::fprintf(stderr,
                  "sweep execution (%d worker%s, %zu jobs, %zu run, "
-                 "%zu restored, %zu traces generated, %llu cache "
-                 "hits, %.1f%% hit rate):\n%s",
+                 "%zu restored, %llu traces generated, %llu cache "
+                 "hits, %llu evicted, %.1f%% hit rate):\n%s",
                  engine.jobs(), engine.jobs() == 1 ? "" : "s",
                  jobs.size(), outcome.executed, outcome.restored,
-                 trace_entries,
-                 static_cast<unsigned long long>(trace_hits), hit_rate,
-                 engine.workerFooter().c_str());
+                 static_cast<unsigned long long>(trace_misses),
+                 static_cast<unsigned long long>(trace_hits),
+                 static_cast<unsigned long long>(cache.evictions()),
+                 hit_rate, engine.workerFooter().c_str());
     if (obs::metrics().enabled()) {
         std::fprintf(stderr, "\nobservability metrics:\n%s",
                      obs::metrics().renderTable().c_str());
@@ -382,9 +408,9 @@ main(int argc, char **argv)
                      "re-run with --checkpoint %s --resume to "
                      "finish\n",
                      outcome.skipped, outcome.skipped == 1 ? "" : "s",
-                     policy.checkpointPath.empty()
+                     ctx.checkpoint.path.empty()
                          ? "<path>"
-                         : policy.checkpointPath.c_str());
+                         : ctx.checkpoint.path.c_str());
         return 130;
     }
     return outcome.failures.empty() ? 0 : 2;
