@@ -1,5 +1,7 @@
 #include "core/strategy.hh"
 
+#include <new>
+
 #include "util/logging.hh"
 
 namespace suit::core {
@@ -58,6 +60,15 @@ SwitchingStrategy::onDisabledOpcode(CpuControl &cpu,
         cpu.setTimerInterrupt(params_.deadlineTicks());
     }
     return TrapAction{false}; // re-execute after the switch
+}
+
+void
+SwitchingStrategy::reuse(const StrategyParams &params)
+{
+    OperatingStrategy::reuse(params);
+    params_ = params;
+    thrash_.rebind(params);
+    thrashDetections_ = 0;
 }
 
 void
@@ -124,6 +135,14 @@ HybridStrategy::HybridStrategy(const StrategyParams &params)
 {
 }
 
+void
+HybridStrategy::reuse(const StrategyParams &params)
+{
+    CombinedFvStrategy::reuse(params);
+    burstDetector_.rebind(params);
+    emulatedTraps_ = 0;
+}
+
 TrapAction
 HybridStrategy::onDisabledOpcode(CpuControl &cpu,
                                  const suit::os::TrapFrame &frame)
@@ -162,6 +181,62 @@ makeStrategy(StrategyKind kind, const StrategyParams &params)
         return std::make_unique<HybridStrategy>(params);
     }
     SUIT_PANIC("bad strategy kind %d", static_cast<int>(kind));
+}
+
+namespace {
+
+template <typename T>
+constexpr bool fitsArena =
+    sizeof(T) <= StrategyArena::kSlotBytes &&
+    alignof(T) <= alignof(std::max_align_t);
+
+static_assert(fitsArena<EmulationStrategy> &&
+                  fitsArena<FrequencyStrategy> &&
+                  fitsArena<VoltageStrategy> &&
+                  fitsArena<CombinedFvStrategy> &&
+                  fitsArena<HybridStrategy>,
+              "StrategyArena::kSlotBytes is too small for a strategy");
+
+} // namespace
+
+OperatingStrategy *
+StrategyArena::emplace(StrategyKind kind, const StrategyParams &params)
+{
+    if (active_ != nullptr && active_->kind() == kind) {
+        active_->reuse(params);
+        return active_;
+    }
+    clear();
+    void *const slot = static_cast<void *>(slot_);
+    switch (kind) {
+      case StrategyKind::Emulation:
+        active_ = ::new (slot) EmulationStrategy();
+        break;
+      case StrategyKind::Frequency:
+        active_ = ::new (slot) FrequencyStrategy(params);
+        break;
+      case StrategyKind::Voltage:
+        active_ = ::new (slot) VoltageStrategy(params);
+        break;
+      case StrategyKind::CombinedFv:
+        active_ = ::new (slot) CombinedFvStrategy(params);
+        break;
+      case StrategyKind::Hybrid:
+        active_ = ::new (slot) HybridStrategy(params);
+        break;
+    }
+    SUIT_ASSERT(active_ != nullptr, "bad strategy kind %d",
+                static_cast<int>(kind));
+    return active_;
+}
+
+void
+StrategyArena::clear()
+{
+    if (active_ != nullptr) {
+        active_->~OperatingStrategy();
+        active_ = nullptr;
+    }
 }
 
 } // namespace suit::core

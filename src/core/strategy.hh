@@ -24,6 +24,7 @@
 #ifndef SUIT_CORE_STRATEGY_HH
 #define SUIT_CORE_STRATEGY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -81,6 +82,21 @@ class OperatingStrategy
     /** Which strategy this is. */
     virtual StrategyKind kind() const = 0;
 
+    /**
+     * Re-arm this object for a new run with @p params: afterwards it
+     * is observationally identical to a freshly constructed strategy
+     * of the same kind (counters zeroed, thrash windows empty, the
+     * new parameters active).  Lets StrategyArena recycle a same-kind
+     * occupant without re-running the constructor — the last heap-free
+     * step of domain-evaluation reuse.  Overrides must reset every
+     * member they add and chain to their base.
+     */
+    virtual void reuse(const StrategyParams &params)
+    {
+        (void)params;
+        trapCount_ = 0;
+    }
+
     /** Short name for reports. */
     const char *name() const { return toString(kind()); }
 
@@ -104,6 +120,8 @@ class SwitchingStrategy : public OperatingStrategy
         CpuControl &cpu, const suit::os::TrapFrame &frame) override;
 
     void onTimerInterrupt(CpuControl &cpu) override;
+
+    void reuse(const StrategyParams &params) override;
 
     /** The active parameters. */
     const StrategyParams &params() const { return params_; }
@@ -200,6 +218,8 @@ class HybridStrategy : public CombinedFvStrategy
 
     StrategyKind kind() const override { return StrategyKind::Hybrid; }
 
+    void reuse(const StrategyParams &params) override;
+
     /** Traps resolved by in-place emulation. */
     std::uint64_t emulatedTraps() const { return emulatedTraps_; }
 
@@ -211,6 +231,53 @@ class HybridStrategy : public CombinedFvStrategy
 /** Instantiate a strategy by kind. */
 std::unique_ptr<OperatingStrategy>
 makeStrategy(StrategyKind kind, const StrategyParams &params);
+
+/**
+ * A fixed-size slot that strategies are placement-constructed into,
+ * so a simulator that evaluates many domains back to back re-creates
+ * its strategy without touching the heap.  Semantics are identical to
+ * makeStrategy(): every emplace() yields an object observationally
+ * equal to a freshly constructed one (thrash windows, trap counters
+ * all zeroed) — when the requested kind matches the current occupant
+ * it is recycled via OperatingStrategy::reuse() instead of being
+ * destroyed and re-constructed, which keeps detector buffer capacity
+ * warm across domains.
+ */
+class StrategyArena
+{
+  public:
+    StrategyArena() = default;
+    ~StrategyArena() { clear(); }
+    StrategyArena(const StrategyArena &) = delete;
+    StrategyArena &operator=(const StrategyArena &) = delete;
+
+    /**
+     * Make the slot hold a strategy of @p kind in the state a fresh
+     * construction with @p params would produce: same-kind occupants
+     * are reuse()d in place, otherwise the occupant is destroyed and
+     * a new strategy placement-constructed.  The pointer stays valid
+     * until the next different-kind emplace(), clear(), or the
+     * arena's destruction.
+     */
+    OperatingStrategy *emplace(StrategyKind kind,
+                               const StrategyParams &params);
+
+    /** Destroy the occupant, if any. */
+    void clear();
+
+    /** The current occupant (null when empty). */
+    OperatingStrategy *get() const { return active_; }
+
+    /**
+     * Slot size: large enough for every concrete strategy;
+     * strategy.cc static_asserts the bound against the real sizes.
+     */
+    static constexpr std::size_t kSlotBytes = 320;
+
+  private:
+    alignas(alignof(std::max_align_t)) unsigned char slot_[kSlotBytes];
+    OperatingStrategy *active_ = nullptr;
+};
 
 } // namespace suit::core
 

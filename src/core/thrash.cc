@@ -4,6 +4,15 @@ namespace suit::core {
 
 using suit::util::Tick;
 
+namespace {
+
+// Compact the sliding window once this many expired entries pile up
+// at the front.  The erase is a memmove of the live tail — no
+// allocation — so the buffer's capacity saturates at live + slack.
+constexpr std::size_t kCompactThreshold = 1024;
+
+} // namespace
+
 ThrashDetector::ThrashDetector(const StrategyParams &params)
     : params_(params)
 {
@@ -14,8 +23,17 @@ ThrashDetector::expire(Tick now) const
 {
     const Tick window = params_.timeSpanTicks();
     const Tick cutoff = now > window ? now - window : 0;
-    while (!events_.empty() && events_.front() < cutoff)
-        events_.pop_front();
+    while (start_ < events_.size() && events_[start_] < cutoff)
+        ++start_;
+    if (start_ == events_.size()) {
+        events_.clear();
+        start_ = 0;
+    } else if (start_ >= kCompactThreshold) {
+        events_.erase(events_.begin(),
+                      events_.begin() +
+                          static_cast<std::ptrdiff_t>(start_));
+        start_ = 0;
+    }
 }
 
 void
@@ -35,13 +53,22 @@ int
 ThrashDetector::exceptionsInWindow(Tick now) const
 {
     expire(now);
-    return static_cast<int>(events_.size());
+    return static_cast<int>(events_.size() - start_);
 }
 
 void
 ThrashDetector::reset()
 {
     events_.clear();
+    start_ = 0;
+}
+
+void
+ThrashDetector::rebind(const StrategyParams &params)
+{
+    params_ = params;
+    events_.clear();
+    start_ = 0;
 }
 
 } // namespace suit::core

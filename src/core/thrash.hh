@@ -12,14 +12,23 @@
 #ifndef SUIT_CORE_THRASH_HH
 #define SUIT_CORE_THRASH_HH
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
 #include "core/params.hh"
 #include "util/ticks.hh"
 
 namespace suit::core {
 
-/** Sliding-window #DO exception counter. */
+/**
+ * Sliding-window #DO exception counter.
+ *
+ * The window is a vector used as a sliding array (`start_` marks the
+ * oldest live entry) rather than a deque: expiry advances the start
+ * index, and the buffer is compacted in place — so a warm detector
+ * records and expires exceptions without ever touching the heap,
+ * which the allocation-free domain-evaluation loop relies on.
+ */
 class ThrashDetector
 {
   public:
@@ -41,9 +50,17 @@ class ThrashDetector
     /** Drop all recorded exceptions. */
     void reset();
 
+    /**
+     * Re-arm for a new run with @p params: exactly the state a fresh
+     * ThrashDetector(params) would have, but the event buffer keeps
+     * its capacity (the StrategyArena reuse path).
+     */
+    void rebind(const StrategyParams &params);
+
   private:
     StrategyParams params_;
-    mutable std::deque<suit::util::Tick> events_;
+    mutable std::vector<suit::util::Tick> events_;
+    mutable std::size_t start_ = 0; //!< oldest live entry in events_
 
     void expire(suit::util::Tick now) const;
 };

@@ -141,6 +141,28 @@ fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
     return hash;
 }
 
+CheckpointJournal::~CheckpointJournal()
+{
+    // Destruction is the last chance for a batched journal to land
+    // its tail; a write failure here must not throw out of a
+    // destructor (the engine may already be unwinding an exception).
+    try {
+        flush();
+    } catch (const JournalError &e) {
+        suit::util::warn("checkpoint flush on close failed: %s",
+                         e.what());
+    }
+}
+
+void
+CheckpointJournal::setFlushInterval(int every)
+{
+    SUIT_ASSERT(every >= 1, "flush interval must be >= 1, got %d",
+                every);
+    std::lock_guard lock(mu_);
+    flushEvery_ = every;
+}
+
 void
 CheckpointJournal::start(const std::string &path,
                          const GridFingerprint &fp,
@@ -156,7 +178,11 @@ CheckpointJournal::start(const std::string &path,
     putU64(fp.cells, image_);
     for (const CellRecord &record : seed)
         encodeRecord(encodePayload(record), image_);
+    // The header (and any resume seed) always hits the disk before
+    // the run starts, whatever the flush interval: a crash during
+    // the first batch must recover the restored cells.
     writeImage();
+    pending_ = 0;
 }
 
 void
@@ -166,7 +192,20 @@ CheckpointJournal::append(const CellRecord &record)
     if (path_.empty())
         return;
     encodeRecord(encodePayload(record), image_);
+    if (++pending_ < flushEvery_)
+        return; // buffered; durable at the next interval boundary
     writeImage();
+    pending_ = 0;
+}
+
+void
+CheckpointJournal::flush()
+{
+    std::lock_guard lock(mu_);
+    if (path_.empty() || pending_ == 0)
+        return;
+    writeImage();
+    pending_ = 0;
 }
 
 void

@@ -18,11 +18,14 @@
  *                               the encoding (the fleet engine stores
  *                               serialized shard accumulators)
  *
- * Durability: every append() rewrites the journal image to
- * `<path>.tmp`, flushes it to the kernel (fflush + fsync) and
- * atomically rename()s it over `<path>`.  A kill at *any* instant —
- * including mid-record — therefore leaves either the previous or the
- * new journal on disk, never a torn one.  The loader is nevertheless
+ * Durability: a flush rewrites the journal image to `<path>.tmp`,
+ * flushes it to the kernel (fflush + fsync) and atomically rename()s
+ * it over `<path>`.  A kill at *any* instant — including mid-record —
+ * therefore leaves either the previous or the new journal on disk,
+ * never a torn one.  By default every append() flushes; a batched
+ * flush interval (setFlushInterval / --checkpoint-flush) amortises
+ * the cycle over N records, bounding the loss after a crash to the
+ * last unflushed batch.  The loader is nevertheless
  * defensive: records are length- and checksum-framed, and load()
  * keeps the longest valid prefix of a truncated or corrupted file
  * (reporting the dropped byte count) instead of refusing it, so even
@@ -133,11 +136,25 @@ class CheckpointJournal
   public:
     CheckpointJournal() = default;
 
+    /** Best-effort flush of buffered records (never throws). */
+    ~CheckpointJournal();
+
     CheckpointJournal(const CheckpointJournal &) = delete;
     CheckpointJournal &operator=(const CheckpointJournal &) = delete;
 
     /** True once start() bound the journal to a file. */
     bool active() const { return !path_.empty(); }
+
+    /**
+     * Flush to disk every @p every appends (>= 1).  The default, 1,
+     * writes each record as it completes; larger intervals batch the
+     * rewrite + fsync + rename cycle, trading at most `every - 1`
+     * re-run cells after a crash for far fewer synchronous writes.
+     * Buffered records are strictly ordered after flushed ones, so
+     * recovery still yields the longest valid record prefix.  Set
+     * before appending (typically right after start()).
+     */
+    void setFlushInterval(int every);
 
     /**
      * Bind to @p path and write a fresh header (plus @p seed records
@@ -146,8 +163,21 @@ class CheckpointJournal
     void start(const std::string &path, const GridFingerprint &fp,
                std::vector<CellRecord> seed = {});
 
-    /** Append one record and flush it to disk (thread-safe). */
+    /**
+     * Append one record (thread-safe).  With the default flush
+     * interval the record is durable on return; with a batched
+     * interval it becomes durable at the next interval boundary, an
+     * explicit flush(), or journal destruction.
+     */
     void append(const CellRecord &record);
+
+    /**
+     * Write any buffered records to disk now (thread-safe, no-op on
+     * an inactive or fully flushed journal).  Engines call this when
+     * a run ends — normally or cancelled — so the journal on disk
+     * reflects every completed cell regardless of flush interval.
+     */
+    void flush();
 
     /**
      * Parse the journal at @p path.
@@ -166,6 +196,8 @@ class CheckpointJournal
     std::mutex mu_;
     std::string path_;
     std::string image_; //!< serialized header + records
+    int flushEvery_ = 1; //!< appends per synchronous flush
+    int pending_ = 0; //!< records appended since the last flush
 };
 
 } // namespace suit::exec

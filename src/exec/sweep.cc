@@ -66,8 +66,13 @@ SweepEngine::run(const std::vector<SweepJob> &jobs,
                     job.label.c_str());
         EvalConfig config = job.config;
         config.cancel = &ctx.token();
-        return suit::sim::runWorkload(config, *job.profile,
-                                      session_.traceCache());
+        // Evaluate in the worker's session workspace (simulator and
+        // scratch reused across cells); the copy out is the cell's
+        // only steady-state allocation, and the journal/outcome need
+        // an owning result anyway.
+        return DomainResult(suit::sim::runWorkload(
+            config, *job.profile, session_.traceCache(),
+            session_.workspace()));
     };
     SweepOutcome outcome = runCells(jobs.size(), cell, ctx, policy,
                                     fingerprintJobs(jobs));
@@ -133,6 +138,7 @@ SweepEngine::runCells(
             }
         }
         journal.start(ckpt.path, fingerprint, std::move(seed));
+        journal.setFlushInterval(ckpt.flushInterval);
     }
 
     std::atomic<std::size_t> executed{0};
@@ -208,6 +214,9 @@ SweepEngine::runCells(
         for (std::size_t i = 0; i < n; ++i)
             runOne(i);
     }
+    // Land any batch tail now (including after a cancellation), so
+    // every completed cell is on disk for a resume.
+    journal.flush();
 
     out.executed = executed.load();
     out.skipped = skipped.load();

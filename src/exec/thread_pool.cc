@@ -5,6 +5,11 @@
 #include <memory>
 #include <mutex>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "util/format.hh"
@@ -24,6 +29,13 @@ using Clock = std::chrono::steady_clock;
  */
 thread_local const ThreadPool *tls_worker_pool = nullptr;
 
+/**
+ * Index of the current thread within its pool (-1 off-pool).  Read
+ * through ThreadPool::currentWorkerIndex() to address per-worker
+ * state such as the Session's simulation workspaces.
+ */
+thread_local int tls_worker_index = -1;
+
 std::uint64_t
 elapsedNs(Clock::time_point from, Clock::time_point to)
 {
@@ -41,12 +53,55 @@ ThreadPool::hardwareConcurrency()
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-ThreadPool::ThreadPool(int workers, std::size_t queue_capacity)
+int
+ThreadPool::currentWorkerIndex()
+{
+    return tls_worker_index;
+}
+
+bool
+ThreadPool::pinCurrentThread(std::size_t index)
+{
+#if defined(__linux__)
+    const int ncpus = hardwareConcurrency();
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(index) % ncpus, &set);
+    const int rc = pthread_setaffinity_np(pthread_self(),
+                                          sizeof(set), &set);
+    if (rc != 0) {
+        // Once per pool is enough: if one affinity call is refused
+        // (cgroup cpuset, restricted mask), they all will be.
+        static std::once_flag warned;
+        std::call_once(warned, [rc] {
+            suit::util::warn(
+                "worker pinning requested but "
+                "pthread_setaffinity_np failed (errno %d); "
+                "continuing unpinned",
+                rc);
+        });
+        return false;
+    }
+    return true;
+#else
+    (void)index;
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+        suit::util::warn("worker pinning is not supported on this "
+                         "platform; continuing unpinned");
+    });
+    return false;
+#endif
+}
+
+ThreadPool::ThreadPool(int workers, std::size_t queue_capacity,
+                       bool pin_workers)
     : queue_(queue_capacity != 0
                  ? queue_capacity
                  : 2 * static_cast<std::size_t>(
                            workers > 0 ? workers
-                                       : hardwareConcurrency()))
+                                       : hardwareConcurrency())),
+      pinWorkers_(pin_workers)
 {
     const int count = workers > 0 ? workers : hardwareConcurrency();
     cells_.reserve(static_cast<std::size_t>(count));
@@ -78,6 +133,9 @@ void
 ThreadPool::workerMain(std::size_t index)
 {
     tls_worker_pool = this;
+    tls_worker_index = static_cast<int>(index);
+    if (pinWorkers_ && pinCurrentThread(index))
+        pinned_.fetch_add(1, std::memory_order_relaxed);
     WorkerCell &cell = *cells_[index];
 
     // Latched once per worker: the session (installed before the pool

@@ -57,8 +57,11 @@ class ThreadPool
      *        hardwareConcurrency().
      * @param queue_capacity task queue bound; 0 selects
      *        2 x workers.
+     * @param pin_workers pin worker i to CPU i mod
+     *        hardwareConcurrency() (opt-in; see pinnedWorkers()).
      */
-    explicit ThreadPool(int workers = 0, std::size_t queue_capacity = 0);
+    explicit ThreadPool(int workers = 0, std::size_t queue_capacity = 0,
+                        bool pin_workers = false);
 
     /** Joins all workers; queued jobs are drained first. */
     ~ThreadPool();
@@ -77,6 +80,28 @@ class ThreadPool
 
     /** Number of worker threads. */
     int workers() const { return static_cast<int>(threads_.size()); }
+
+    /**
+     * Workers successfully pinned to a CPU.  0 unless pinning was
+     * requested; may be < workers() where the platform refuses the
+     * affinity call (pinning degrades gracefully — the worker keeps
+     * running unpinned and a single warning is emitted).
+     */
+    int pinnedWorkers() const
+    {
+        return pinned_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Index of the pool worker running the current thread, or -1 on
+     * any thread that is not a pool worker (including the thread
+     * that constructed the pool).  Lets per-worker state — e.g. the
+     * Session's SimWorkspace slots — be addressed without plumbing
+     * the index through every job signature.  Indices of different
+     * pools overlap; with more than one live pool, combine with a
+     * pool identity check.
+     */
+    static int currentWorkerIndex();
 
     /**
      * Enqueue @p job; blocks while the queue is full.  The returned
@@ -145,9 +170,14 @@ class ThreadPool
 
     void workerMain(std::size_t index);
 
+    /** Pin the calling worker to a CPU; true on success. */
+    static bool pinCurrentThread(std::size_t index);
+
     BoundedQueue<Task> queue_;
     std::vector<std::unique_ptr<WorkerCell>> cells_;
     std::vector<std::thread> threads_;
+    bool pinWorkers_ = false; //!< pin workers to CPUs at startup
+    std::atomic<int> pinned_{0}; //!< workers successfully pinned
     bool joined_ = false; //!< shutdown() already ran
 };
 

@@ -108,21 +108,18 @@ FleetEngine::simulateDomain(const DomainConfig &config,
     const suit::trace::WorkloadProfile &profile =
         rack.profiles[config.workload];
 
-    // Reused per worker so the steady-state domain loop allocates
-    // nothing; the pins keep evicted traces alive for this domain.
-    thread_local std::vector<
-        std::shared_ptr<const suit::trace::Trace>>
-        pinned;
-    thread_local std::vector<suit::sim::CoreWork> work;
-    pinned.clear();
-    work.clear();
-    pinned.reserve(static_cast<std::size_t>(rack.streams));
-    work.reserve(static_cast<std::size_t>(rack.streams));
-    for (int s = 0; s < rack.streams; ++s) {
-        pinned.push_back(session_.traceCache().get(
-            profile, config.traceSeed, s));
-        work.push_back({pinned.back().get(), &profile});
-    }
+    // The worker's session workspace: simulator, trace pins and
+    // result scratch all keep their capacity across domains, so the
+    // steady-state domain loop allocates nothing.  The pins keep
+    // evicted traces alive for this domain; one cache lock covers
+    // every stream.
+    suit::sim::SimWorkspace &ws = session_.workspace();
+    session_.traceCache().getMany(profile, config.traceSeed,
+                                  rack.streams, ws.pinned);
+    ws.work.clear();
+    for (int s = 0; s < rack.streams; ++s)
+        ws.work.push_back(
+            {ws.pinned[static_cast<std::size_t>(s)].get(), &profile});
 
     suit::sim::SimConfig sim_cfg;
     sim_cfg.cpu = rack.cpu;
@@ -133,8 +130,9 @@ FleetEngine::simulateDomain(const DomainConfig &config,
     sim_cfg.seed = config.simSeed;
     sim_cfg.cancel = cancel;
 
-    suit::sim::DomainSimulator sim(sim_cfg, std::move(work));
-    acc.addDomain(config.rack, rack.basePowerW, sim.run());
+    ws.sim.reset(sim_cfg, ws.work);
+    ws.sim.runInto(ws.result);
+    acc.addDomain(config.rack, rack.basePowerW, ws.result);
 }
 
 FleetOutcome
@@ -216,6 +214,7 @@ FleetEngine::run(suit::runtime::RunContext &ctx,
             }
         }
         journal.start(ckpt.path, fingerprint, std::move(seed));
+        journal.setFlushInterval(ckpt.flushInterval);
     }
 
     std::atomic<std::uint64_t> executed{0};
@@ -302,6 +301,9 @@ FleetEngine::run(suit::runtime::RunContext &ctx,
         for (std::size_t shard = 0; shard < shards; ++shard)
             runOne(shard);
     }
+    // Land any batch tail now (including after a cancellation), so
+    // every completed shard is on disk for a resume.
+    journal.flush();
 
     out.shardsRun = executed.load();
     out.shardsSkipped = skipped.load();

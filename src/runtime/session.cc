@@ -19,8 +19,28 @@ Session::Session(SessionConfig config)
                 requested);
     if (requested > 1) {
         pool_ = std::make_unique<ThreadPool>(requested,
-                                             cfg_.queueCapacity);
+                                             cfg_.queueCapacity,
+                                             cfg_.pinWorkers);
     }
+    // One workspace per pool worker plus one for the session thread
+    // (slot 0).  unique_ptr slots keep each workspace's address
+    // stable and avoid false sharing between adjacent workers' hot
+    // simulator state.
+    const std::size_t slots = static_cast<std::size_t>(jobs()) + 1;
+    workspaces_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        workspaces_.push_back(
+            std::make_unique<suit::sim::SimWorkspace>());
+}
+
+suit::sim::SimWorkspace &
+Session::workspace()
+{
+    const int worker = ThreadPool::currentWorkerIndex();
+    const std::size_t slot = static_cast<std::size_t>(worker + 1);
+    SUIT_ASSERT(slot < workspaces_.size(),
+                "worker index %d outside this session's pool", worker);
+    return *workspaces_[slot];
 }
 
 Session::~Session() = default;

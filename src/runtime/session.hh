@@ -29,6 +29,7 @@
 
 #include "exec/thread_pool.hh"
 #include "sim/trace_cache.hh"
+#include "sim/workspace.hh"
 
 namespace suit::runtime {
 
@@ -44,6 +45,13 @@ struct SessionConfig {
     /** Trace cache capacity in bytes (LRU eviction above it). */
     std::size_t traceCacheBytes =
         suit::sim::TraceCache::kDefaultCapacityBytes;
+    /**
+     * Pin worker i to CPU i mod hardwareConcurrency() (--pin).
+     * Opt-in: pinning helps cache locality on dedicated machines but
+     * hurts on shared ones; unsupported platforms warn and continue
+     * unpinned.  No effect in serial mode.
+     */
+    bool pinWorkers = false;
 };
 
 class Session
@@ -60,6 +68,19 @@ class Session
 
     /** The shared pool, or nullptr in serial mode. */
     suit::exec::ThreadPool *pool() { return pool_.get(); }
+
+    /**
+     * The calling thread's simulation workspace.
+     *
+     * The Session owns jobs() + 1 workspaces: slot 0 for the thread
+     * that owns the Session (serial runs, engine setup), slots 1..n
+     * for the pool's workers, addressed through
+     * exec::ThreadPool::currentWorkerIndex().  Each thread only ever
+     * sees its own slot, so the returned workspace needs no locking;
+     * its contents are scratch, overwritten by the next evaluation
+     * on the same thread.
+     */
+    suit::sim::SimWorkspace &workspace();
 
     /** The session-wide bounded trace cache. */
     suit::sim::TraceCache &traceCache() { return traces_; }
@@ -87,6 +108,8 @@ class Session
     SessionConfig cfg_;
     suit::sim::TraceCache traces_;
     std::unique_ptr<suit::exec::ThreadPool> pool_;
+    /** Slot 0: session thread; slots 1..jobs(): pool workers. */
+    std::vector<std::unique_ptr<suit::sim::SimWorkspace>> workspaces_;
 };
 
 } // namespace suit::runtime

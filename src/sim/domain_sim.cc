@@ -121,21 +121,57 @@ DomainResult::efficiencyDelta() const
     return (1.0 + perfDelta()) / (1.0 + powerDelta()) - 1.0;
 }
 
+DomainSimulator::DomainSimulator() = default;
+
 DomainSimulator::DomainSimulator(const SimConfig &config,
                                  std::vector<CoreWork> work)
-    : cfg_(config), rng_(config.seed)
 {
+    reset(config, work);
+}
+
+void
+DomainSimulator::reset(const SimConfig &config,
+                       const std::vector<CoreWork> &work)
+{
+    cfg_ = config;
+    rng_ = suit::util::Rng(config.seed);
+
     SUIT_ASSERT(cfg_.cpu != nullptr, "simulation needs a CPU model");
     SUIT_ASSERT(!work.empty(), "simulation needs at least one core");
 
+    // Capacity-reusing re-initialisation: assign()/clear() write the
+    // same values a fresh construction would, into buffers that keep
+    // their allocation across resets.
     nCores_ = work.size();
-    remaining_.resize(nCores_, 0.0);
-    resume_.resize(nCores_, 0);
-    arrival_.resize(nCores_, 0);
-    arrivalStale_.resize(nCores_, 1);
-    doneMask_.resize(nCores_, 0);
-    rates_.resize(static_cast<std::size_t>(kNumSuitPStates) * nCores_,
+    remaining_.assign(nCores_, 0.0);
+    resume_.assign(nCores_, 0);
+    arrival_.assign(nCores_, 0);
+    arrivalStale_.assign(nCores_, 1);
+    doneMask_.assign(nCores_, 0);
+    rates_.assign(static_cast<std::size_t>(kNumSuitPStates) * nCores_,
                   0.0);
+    cores_.clear();
+    cores_.reserve(nCores_);
+
+    now_ = 0;
+    pending_.reset();
+    timer_ = suit::core::DeadlineTimer();
+    trappingCore_ = 0;
+    powerIntegralS_ = 0.0;
+    activeTimeS_ = 0.0;
+    for (double &t : stateTimeS_)
+        t = 0.0;
+    traps_ = 0;
+    emulations_ = 0;
+    switches_ = 0;
+    stateLog_.clear();
+    trace_ = nullptr;
+    track_ = 0;
+    for (std::uint64_t &n : trapsByKind_)
+        n = 0;
+    batchedEvents_ = 0;
+    for (double &p : powerTbl_)
+        p = 1.0;
 
     for (const CoreWork &w : work) {
         SUIT_ASSERT(w.trace && w.profile,
@@ -160,8 +196,22 @@ DomainSimulator::DomainSimulator(const SimConfig &config,
         cores_.push_back(core);
     }
 
+    if (cfg_.recordStateLog) {
+        // Every trap logs one entry and most switches follow a trap,
+        // so twice the event count (plus slack for timer-driven
+        // returns) covers the log without growth reallocations.
+        std::size_t events = 0;
+        for (const CoreWork &w : work)
+            events += w.trace->eventCount();
+        stateLog_.reserve(2 * events + 64);
+    }
+
+    // No arena clear() here: emplace() recycles a same-kind occupant
+    // in place (fresh-constructed state, warm detector buffers), which
+    // is what keeps the steady-state reuse path allocation-free.
+    strategy_ = nullptr;
     if (cfg_.mode == RunMode::Suit) {
-        strategy_ = suit::core::makeStrategy(cfg_.strategy, cfg_.params);
+        strategy_ = strategyArena_.emplace(cfg_.strategy, cfg_.params);
         pstate_ = SuitPState::Efficient;
         disabled_ = true;
     } else if (cfg_.mode == RunMode::NoSimdCompile) {
@@ -821,14 +871,23 @@ DomainSimulator::runNativeWindowMulti(std::uint64_t &budget)
 DomainResult
 DomainSimulator::run()
 {
-    DomainResult result =
-        cfg_.referencePath ? runReference() : runFast();
-    publishObs(result);
+    DomainResult result;
+    runInto(result);
     return result;
 }
 
-DomainResult
-DomainSimulator::runReference()
+void
+DomainSimulator::runInto(DomainResult &out)
+{
+    if (cfg_.referencePath)
+        runReference(out);
+    else
+        runFast(out);
+    publishObs(out);
+}
+
+void
+DomainSimulator::runReference(DomainResult &out)
 {
     std::size_t active = cores_.size();
     // Generous runaway guard: every event can cause only a bounded
@@ -902,11 +961,11 @@ DomainSimulator::runReference()
         }
     }
 
-    return collectResult();
+    collectResultInto(out);
 }
 
-DomainResult
-DomainSimulator::runFast()
+void
+DomainSimulator::runFast(DomainResult &out)
 {
     std::size_t active = cores_.size();
     // Same runaway guard as the reference loop; the batched window
@@ -1002,21 +1061,24 @@ DomainSimulator::runFast()
         }
     }
 
-    return collectResult();
+    collectResultInto(out);
 }
 
-DomainResult
-DomainSimulator::collectResult()
+void
+DomainSimulator::collectResultInto(DomainResult &result)
 {
-    DomainResult result;
-    for (const Core &core : cores_) {
-        CoreResult cr;
+    // Overwrite every field: @p result may carry a previous run.  The
+    // resize() + per-field assignment reuses the cores vector's and
+    // each workload string's capacity.
+    result.cores.resize(cores_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const Core &core = cores_[i];
+        CoreResult &cr = result.cores[i];
         cr.workload = core.work.trace->name();
         cr.durationS = suit::util::ticksToSeconds(core.finishTime);
         cr.baselineDurationS =
             static_cast<double>(core.work.trace->totalInstructions()) /
             (core.work.profile->ipc * cfg_.cpu->baseFreqHz());
-        result.cores.push_back(cr);
     }
     result.powerFactor =
         activeTimeS_ > 0.0 ? powerIntegralS_ / activeTimeS_ : 1.0;
@@ -1024,18 +1086,26 @@ DomainSimulator::collectResult()
         result.efficientShare = stateTimeS_[0] / activeTimeS_;
         result.cfShare = stateTimeS_[1] / activeTimeS_;
         result.cvShare = stateTimeS_[2] / activeTimeS_;
+    } else {
+        result.efficientShare = 0.0;
+        result.cfShare = 0.0;
+        result.cvShare = 0.0;
     }
-    result.stateLog = std::move(stateLog_);
+    // Swap instead of move: the run's log lands in the result and the
+    // result's previous buffer becomes the next run's log capacity.
+    std::swap(result.stateLog, stateLog_);
+    stateLog_.clear();
     result.traps = traps_;
     result.emulations = emulations_;
     result.pstateSwitches = switches_;
-    if (strategy_) {
-        if (const auto *sw = dynamic_cast<suit::core::SwitchingStrategy *>(
-                strategy_.get())) {
+    result.thrashDetections = 0;
+    if (strategy_ != nullptr) {
+        if (const auto *sw =
+                dynamic_cast<suit::core::SwitchingStrategy *>(
+                    strategy_)) {
             result.thrashDetections = sw->thrashDetections();
         }
     }
-    return result;
 }
 
 void

@@ -174,6 +174,19 @@ class DomainSimulator final : public suit::core::CpuControl
 {
   public:
     /**
+     * Empty simulator: every buffer starts unallocated.  Call
+     * reset() before run().  This is the reuse path: a long-lived
+     * simulator (e.g. inside a SimWorkspace) is reset() once per
+     * domain and its buffers, strategy slot and state log retain
+     * their capacity across domains, so steady-state evaluation
+     * performs no heap allocation.
+     */
+    DomainSimulator();
+
+    /**
+     * One-shot construction: equivalent to default construction
+     * followed by reset(config, work).
+     *
      * @param config run configuration.
      * @param work one entry per core sharing this domain.
      */
@@ -183,8 +196,26 @@ class DomainSimulator final : public suit::core::CpuControl
     DomainSimulator(const DomainSimulator &) = delete;
     DomainSimulator &operator=(const DomainSimulator &) = delete;
 
+    /**
+     * Rebind the simulator to a new run, reusing every internal
+     * buffer's capacity.  All state a fresh construction would
+     * establish is re-established here — same values, same order of
+     * computation — so a reset() simulator is bit-identical to a
+     * freshly constructed one (the workspace-reuse golden tests
+     * compare serialized results byte for byte).
+     */
+    void reset(const SimConfig &config,
+               const std::vector<CoreWork> &work);
+
     /** Run the domain to completion and collect the results. */
     DomainResult run();
+
+    /**
+     * Run the domain to completion, writing the results into @p out
+     * and reusing its vectors' and strings' capacity.  @p out may
+     * hold a previous run's result; every field is overwritten.
+     */
+    void runInto(DomainResult &out);
 
     /** @{ CpuControl interface (driven by the strategy). */
     void changePStateWait(suit::power::SuitPState target) override;
@@ -224,7 +255,9 @@ class DomainSimulator final : public suit::core::CpuControl
 
     SimConfig cfg_;
     std::vector<Core> cores_;
-    std::unique_ptr<suit::core::OperatingStrategy> strategy_;
+    /** Strategy storage: placement-constructed per reset(), no heap. */
+    suit::core::StrategyArena strategyArena_;
+    suit::core::OperatingStrategy *strategy_ = nullptr;
     suit::util::Rng rng_;
 
     /**
@@ -296,7 +329,7 @@ class DomainSimulator final : public suit::core::CpuControl
      * arithmetic (per-core instrRate()/powerFactorOf() lookups, no
      * caching, no batching).
      */
-    DomainResult runReference();
+    void runReference(DomainResult &out);
     void advanceToRef(suit::util::Tick t);
     suit::util::Tick coreArrivalRef(std::size_t i) const;
     /** @} */
@@ -309,7 +342,7 @@ class DomainSimulator final : public suit::core::CpuControl
      * reference loop (argued in DESIGN.md, enforced by the
      * golden-identity suite).
      */
-    DomainResult runFast();
+    void runFast(DomainResult &out);
     void advanceToFast(suit::util::Tick t);
     suit::util::Tick coreArrivalFast(std::size_t i) const;
     /** Recompute every stale entry of arrival_. */
@@ -331,8 +364,11 @@ class DomainSimulator final : public suit::core::CpuControl
     void runNativeWindowMulti(std::uint64_t &budget);
     /** @} */
 
-    /** Assemble the DomainResult (shared by both loops). */
-    DomainResult collectResult();
+    /**
+     * Assemble the DomainResult in place (shared by both loops),
+     * overwriting every field of @p out and reusing its capacity.
+     */
+    void collectResultInto(DomainResult &out);
 
     /** Push this run's counters into obs::metrics() (off-run path). */
     void publishObs(const DomainResult &result) const;

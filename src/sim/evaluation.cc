@@ -53,6 +53,40 @@ runWorkload(const EvalConfig &config, const WorkloadProfile &profile)
     return runWorkload(config, profile, globalTraceCache());
 }
 
+const DomainResult &
+runWorkload(const EvalConfig &config, const WorkloadProfile &profile,
+            TraceCache &traces, SimWorkspace &ws)
+{
+    SUIT_ASSERT(config.cpu != nullptr, "evaluation needs a CPU model");
+    SUIT_ASSERT(config.cores >= 1, "need at least one core");
+
+    const bool shared =
+        config.cpu->domains() == DomainLayout::SharedAll;
+    const int streams = shared ? config.cores : 1;
+
+    // One lock acquisition pins every stream; the pins stay in the
+    // workspace until the next domain replaces them.
+    traces.getMany(profile, config.seed, streams, ws.pinned);
+    ws.work.clear();
+    for (int s = 0; s < streams; ++s)
+        ws.work.push_back(
+            {ws.pinned[static_cast<std::size_t>(s)].get(), &profile});
+
+    SimConfig sim_cfg;
+    sim_cfg.cpu = config.cpu;
+    sim_cfg.offsetMv = config.offsetMv;
+    sim_cfg.mode = config.mode;
+    sim_cfg.strategy = config.strategy;
+    sim_cfg.params = config.params;
+    sim_cfg.seed = config.seed * 7919 + 17;
+    sim_cfg.referencePath = config.referencePath;
+    sim_cfg.cancel = config.cancel;
+
+    ws.sim.reset(sim_cfg, ws.work);
+    ws.sim.runInto(ws.result);
+    return ws.result;
+}
+
 std::vector<WorkloadRow>
 runSuite(const EvalConfig &config,
          const std::vector<WorkloadProfile> &profiles)

@@ -17,6 +17,7 @@
 
 #include "sim/domain_sim.hh"
 #include "sim/trace_cache.hh"
+#include "sim/workspace.hh"
 
 namespace suit::sim {
 
@@ -83,6 +84,18 @@ DomainResult runWorkload(const EvalConfig &config,
 /** As above, memoising traces in the process-wide cache. */
 DomainResult runWorkload(const EvalConfig &config,
                          const suit::trace::WorkloadProfile &profile);
+
+/**
+ * Allocation-free variant: evaluates into @p ws, reusing its
+ * simulator, pin/work vectors and result scratch.  Returns a
+ * reference to ws.result, valid until the workspace's next use.
+ * Bit-identical to the allocating overloads (workspace reuse only
+ * rebinds buffers; the golden suite compares the serialized bytes).
+ */
+const DomainResult &
+runWorkload(const EvalConfig &config,
+            const suit::trace::WorkloadProfile &profile,
+            TraceCache &traces, SimWorkspace &ws);
 
 /** Run every profile in @p profiles (serial reference path). */
 std::vector<WorkloadRow>

@@ -1,5 +1,7 @@
 #include "sim/trace_cache.hh"
 
+#include <array>
+
 #include "obs/registry.hh"
 #include "trace/generator.hh"
 #include "util/logging.hh"
@@ -86,6 +88,110 @@ TraceCache::get(const WorkloadProfile &profile, std::uint64_t seed,
     if (evicted != 0)
         obs::metrics().add(evict_id, evicted);
     return slot->trace;
+}
+
+void
+TraceCache::getMany(
+    const WorkloadProfile &profile, std::uint64_t seed, int streams,
+    std::vector<std::shared_ptr<const Trace>> &out)
+{
+    SUIT_ASSERT(streams >= 1 && streams <= kMaxStreams,
+                "getMany() supports 1..%d streams, got %d",
+                kMaxStreams, streams);
+    out.clear();
+    out.resize(static_cast<std::size_t>(streams));
+
+    // Slots of the streams whose trace is not yet built; everything
+    // already accounted is answered directly under the single lock.
+    std::array<std::shared_ptr<Slot>, kMaxStreams> pending;
+    int pending_count = 0;
+    {
+        std::lock_guard lock(mu_);
+        for (int s = 0; s < streams; ++s) {
+            const KeyView key{profile.name, seed, s};
+            auto it = map_.find(key);
+            if (it != map_.end()) {
+                lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            } else {
+                const auto emplaced =
+                    map_.try_emplace(Key{profile.name, seed, s});
+                it = emplaced.first;
+                Entry &entry = it->second;
+                entry.slot = std::make_shared<Slot>();
+                lru_.push_front(&it->first);
+                entry.lruIt = lru_.begin();
+            }
+            Entry &entry = it->second;
+            if (entry.accounted) {
+                out[static_cast<std::size_t>(s)] = entry.slot->trace;
+            } else {
+                pending[static_cast<std::size_t>(s)] = entry.slot;
+                ++pending_count;
+            }
+        }
+    }
+
+    static const obs::MetricId hit_id =
+        obs::metrics().counter("sim.trace_cache.hits");
+    static const obs::MetricId miss_id =
+        obs::metrics().counter("sim.trace_cache.misses");
+    static const obs::MetricId evict_id =
+        obs::metrics().counter("sim.trace_cache.evictions");
+
+    std::uint64_t generated = 0;
+    if (pending_count != 0) {
+        // Build the missing traces outside the lock, like get().
+        for (int s = 0; s < streams; ++s) {
+            const std::shared_ptr<Slot> &slot =
+                pending[static_cast<std::size_t>(s)];
+            if (!slot)
+                continue;
+            std::call_once(slot->once, [&] {
+                auto built = std::make_shared<const Trace>(
+                    TraceGenerator(seed).generate(profile, s));
+                slot->bytes = built->memoryBytes();
+                slot->trace = std::move(built);
+                ++generated;
+            });
+            out[static_cast<std::size_t>(s)] = slot->trace;
+        }
+        // Account every newly generated entry in one lock.
+        std::uint64_t evicted = 0;
+        {
+            std::lock_guard lock(mu_);
+            for (int s = 0; s < streams; ++s) {
+                const std::shared_ptr<Slot> &slot =
+                    pending[static_cast<std::size_t>(s)];
+                if (!slot)
+                    continue;
+                const KeyView key{profile.name, seed, s};
+                const auto it = map_.find(key);
+                if (it != map_.end() && it->second.slot == slot &&
+                    !it->second.accounted) {
+                    it->second.accounted = true;
+                    bytes_ += slot->bytes;
+                }
+            }
+            const std::uint64_t before =
+                evictions_.load(std::memory_order_relaxed);
+            evictLocked();
+            evicted = evictions_.load(std::memory_order_relaxed) -
+                      before;
+        }
+        if (evicted != 0)
+            obs::metrics().add(evict_id, evicted);
+    }
+
+    const std::uint64_t hit_count =
+        static_cast<std::uint64_t>(streams) - generated;
+    if (hit_count != 0) {
+        hits_.fetch_add(hit_count, std::memory_order_relaxed);
+        obs::metrics().add(hit_id, hit_count);
+    }
+    if (generated != 0) {
+        misses_.fetch_add(generated, std::memory_order_relaxed);
+        obs::metrics().add(miss_id, generated);
+    }
 }
 
 void

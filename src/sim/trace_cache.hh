@@ -69,6 +69,25 @@ class TraceCache
     get(const suit::trace::WorkloadProfile &profile,
         std::uint64_t seed, int stream);
 
+    /**
+     * Streams a domain can hold; bounds getMany()'s stack scratch.
+     * Matches the fleet spec's per-domain core cap.
+     */
+    static constexpr int kMaxStreams = 64;
+
+    /**
+     * Pin streams [0, @p streams) of (@p profile, @p seed) into
+     * @p out (cleared first, capacity reused), taking the map lock
+     * once for the whole batch instead of once per stream — the
+     * multi-stream domain hot path.  Each pin is exactly what get()
+     * would return; generation of missing entries still happens
+     * outside the lock.
+     */
+    void getMany(const suit::trace::WorkloadProfile &profile,
+                 std::uint64_t seed, int streams,
+                 std::vector<std::shared_ptr<const suit::trace::Trace>>
+                     &out);
+
     /** Distinct traces currently resident (post-eviction). */
     std::size_t entries() const;
 

@@ -1,0 +1,223 @@
+#include "util/alloc_count.hh"
+
+#include <atomic>
+
+#if defined(SUIT_ALLOC_COUNT)
+#include <cstdlib>
+#include <new>
+#endif
+
+namespace suit::util {
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+bool
+allocCountEnabled()
+{
+#if defined(SUIT_ALLOC_COUNT)
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::uint64_t
+allocCount()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+} // namespace suit::util
+
+#if defined(SUIT_ALLOC_COUNT)
+
+namespace {
+
+/**
+ * malloc with the standard new-handler retry loop.  Counting happens
+ * on success only, so the counter equals the number of live-or-freed
+ * allocations ever made, not failed attempts.
+ */
+void *
+countedAlloc(std::size_t size)
+{
+    if (size == 0)
+        size = 1;
+    for (;;) {
+        void *p = std::malloc(size);
+        if (p != nullptr) {
+            suit::util::g_allocs.fetch_add(1,
+                                           std::memory_order_relaxed);
+            return p;
+        }
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr)
+            throw std::bad_alloc();
+        handler();
+    }
+}
+
+void *
+countedAllocAligned(std::size_t size, std::size_t align)
+{
+    if (size == 0)
+        size = 1;
+    // aligned_alloc requires the size to be a multiple of the
+    // alignment.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    for (;;) {
+        void *p = std::aligned_alloc(align, rounded);
+        if (p != nullptr) {
+            suit::util::g_allocs.fetch_add(1,
+                                           std::memory_order_relaxed);
+            return p;
+        }
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr)
+            throw std::bad_alloc();
+        handler();
+    }
+}
+
+} // namespace
+
+// Replaceable global allocation functions ([new.delete]).  malloc
+// and free satisfy every alignment the unaligned forms require;
+// glibc's free releases aligned_alloc memory too, so one delete
+// family covers both.
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAlloc(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAlloc(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAllocAligned(size,
+                               static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAllocAligned(size,
+                               static_cast<std::size_t>(align));
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAllocAligned(size,
+                                   static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAllocAligned(size,
+                                   static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // SUIT_ALLOC_COUNT

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Global allocation counter for the benchmark harnesses.
+ *
+ * When the SUIT_ALLOC_COUNT CMake option is on, alloc_count.cc
+ * replaces the global operator new/delete family with thin wrappers
+ * over malloc/free that bump a relaxed atomic counter per
+ * allocation.  suit_bench_json uses the counter to measure — and
+ * assert — that the steady-state domain-evaluation loop performs
+ * zero heap allocations per domain once a SimWorkspace is warm.
+ *
+ * The replacement only takes effect in binaries that pull in this
+ * translation unit (i.e. reference allocCount()/allocCountEnabled()),
+ * so ordinary tools and tests keep the stock allocator path.  The
+ * counter is process-global and monotonically increasing; callers
+ * measure deltas.  Cost when compiled in: one relaxed fetch_add per
+ * allocation — unmeasurable next to malloc itself.
+ */
+
+#ifndef SUIT_UTIL_ALLOC_COUNT_HH
+#define SUIT_UTIL_ALLOC_COUNT_HH
+
+#include <cstdint>
+
+namespace suit::util {
+
+/** True when the operator-new hook is compiled in. */
+bool allocCountEnabled();
+
+/**
+ * Allocations observed since process start (0 when the hook is
+ * compiled out).  Monotonic; take deltas around the region of
+ * interest.
+ */
+std::uint64_t allocCount();
+
+} // namespace suit::util
+
+#endif // SUIT_UTIL_ALLOC_COUNT_HH

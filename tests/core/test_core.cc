@@ -119,6 +119,58 @@ TEST(ThrashDetectorTest, ResetClears)
     EXPECT_EQ(d.exceptionsInWindow(10), 0);
 }
 
+TEST(ThrashDetectorTest, RebindEqualsFreshDetector)
+{
+    // A rebound detector must answer exactly like one freshly
+    // constructed with the new parameters — including when the
+    // parameters change the window length.
+    ThrashDetector reused(fastSwitchParams());
+    const Tick us = suit::util::kTicksPerUs;
+    for (int i = 0; i < 40; ++i)
+        reused.recordException(static_cast<Tick>(i) * 20 * us);
+
+    reused.rebind(slowSwitchParams());
+    ThrashDetector fresh(slowSwitchParams());
+    EXPECT_EQ(reused.exceptionsInWindow(0), 0);
+    for (int i = 0; i < 200; ++i) {
+        const Tick t = static_cast<Tick>(i) * 37 * us;
+        reused.recordException(t);
+        fresh.recordException(t);
+        ASSERT_EQ(reused.exceptionsInWindow(t),
+                  fresh.exceptionsInWindow(t))
+            << "diverged at event " << i;
+        ASSERT_EQ(reused.isThrashing(t), fresh.isThrashing(t));
+    }
+}
+
+TEST(ThrashDetectorTest, LongSlidingWindowMatchesNaiveCount)
+{
+    // Drive the window far past the in-place compaction threshold
+    // and check every count against a naive recount of the recorded
+    // history.  Catches off-by-ones in the start-index bookkeeping.
+    const StrategyParams p = fastSwitchParams(); // window 450 us
+    ThrashDetector d(p);
+    const Tick us = suit::util::kTicksPerUs;
+    const Tick window = p.timeSpanTicks();
+
+    std::vector<Tick> history;
+    Tick t = 0;
+    for (int i = 0; i < 5000; ++i) {
+        // Irregular stride, sometimes jumping a whole window ahead.
+        t += (i % 7 == 0) ? 500 * us
+                          : static_cast<Tick>(30 + i % 90) * us;
+        d.recordException(t);
+        history.push_back(t);
+
+        const Tick cutoff = t > window ? t - window : 0;
+        int naive = 0;
+        for (const Tick e : history)
+            naive += e >= cutoff ? 1 : 0;
+        ASSERT_EQ(d.exceptionsInWindow(t), naive)
+            << "diverged at event " << i;
+    }
+}
+
 /** Scripted CpuControl recording every strategy action. */
 class MockCpu : public CpuControl
 {
@@ -271,6 +323,71 @@ TEST(StrategyNames, Table6Labels)
     EXPECT_STREQ(toString(StrategyKind::Frequency), "f");
     EXPECT_STREQ(toString(StrategyKind::Voltage), "V");
     EXPECT_STREQ(toString(StrategyKind::CombinedFv), "fV");
+}
+
+/** Drive @p s through a fixed trap/timer script; return the log. */
+std::vector<std::string>
+driveScript(OperatingStrategy &s, MockCpu &cpu)
+{
+    const Tick us = suit::util::kTicksPerUs;
+    for (int i = 0; i < 4; ++i) {
+        cpu.time = static_cast<Tick>(i) * 50 * us;
+        s.onDisabledOpcode(cpu, frameAt(cpu.time));
+    }
+    if (s.kind() != StrategyKind::Emulation)
+        s.onTimerInterrupt(cpu);
+    return cpu.log;
+}
+
+TEST(StrategyArenaTest, SameKindEmplaceRecyclesInFreshState)
+{
+    // A same-kind emplace() reuses the occupant in place; the reused
+    // object must behave exactly like a freshly constructed one —
+    // zero counters, empty thrash window, the new parameters active.
+    StrategyArena arena;
+    OperatingStrategy *first =
+        arena.emplace(StrategyKind::Hybrid, fastSwitchParams());
+    MockCpu warmup;
+    driveScript(*first, warmup);
+    EXPECT_GT(first->trapCount(), 0u);
+
+    OperatingStrategy *second =
+        arena.emplace(StrategyKind::Hybrid, slowSwitchParams());
+    EXPECT_EQ(second, first); // recycled, not reconstructed
+    EXPECT_EQ(second->trapCount(), 0u);
+    auto *sw = dynamic_cast<SwitchingStrategy *>(second);
+    ASSERT_NE(sw, nullptr);
+    EXPECT_EQ(sw->thrashDetections(), 0u);
+    EXPECT_DOUBLE_EQ(sw->params().deadlineUs,
+                     slowSwitchParams().deadlineUs);
+
+    // Behavioural identity: reused and fresh produce the same action
+    // log, reload values and counters for the same script.
+    MockCpu reused_cpu;
+    driveScript(*second, reused_cpu);
+    HybridStrategy fresh(slowSwitchParams());
+    MockCpu fresh_cpu;
+    driveScript(fresh, fresh_cpu);
+    EXPECT_EQ(reused_cpu.log, fresh_cpu.log);
+    EXPECT_EQ(reused_cpu.lastReload, fresh_cpu.lastReload);
+    EXPECT_EQ(second->trapCount(), fresh.trapCount());
+    auto *hybrid = dynamic_cast<HybridStrategy *>(second);
+    ASSERT_NE(hybrid, nullptr);
+    EXPECT_EQ(hybrid->emulatedTraps(), fresh.emulatedTraps());
+}
+
+TEST(StrategyArenaTest, KindChangeReconstructs)
+{
+    StrategyArena arena;
+    for (const StrategyKind k :
+         {StrategyKind::CombinedFv, StrategyKind::Emulation,
+          StrategyKind::Hybrid, StrategyKind::Frequency,
+          StrategyKind::Voltage, StrategyKind::CombinedFv}) {
+        OperatingStrategy *s = arena.emplace(k, fastSwitchParams());
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->kind(), k);
+        EXPECT_EQ(s->trapCount(), 0u);
+    }
 }
 
 TEST(Controller, EnableProgramsMsrsAndHardware)

@@ -152,6 +152,68 @@ TEST(FleetEngine, KillAndResumeMatchesUninterruptedRun)
               reference);
 }
 
+TEST(FleetEngine, PinnedWorkersDoNotChangeTheReport)
+{
+    // --pin only moves threads onto CPUs; the work distribution and
+    // the exact accumulation order are unchanged, so the report must
+    // be byte-identical with pinning on, off, or unsupported (where
+    // the pool warns and continues unpinned).
+    const std::string reference = reportOf(testSpec(), 2, 32);
+
+    runtime::Session pinned_session({.jobs = 2, .pinWorkers = true});
+    FleetEngine engine(pinned_session, testSpec());
+    FleetOptions options;
+    options.shardSize = 32;
+    const FleetOutcome outcome = engine.run(options);
+    ASSERT_TRUE(outcome.complete());
+    EXPECT_EQ(fleet::renderReportJson(engine.spec(), outcome.totals),
+              reference);
+}
+
+TEST(FleetEngine, BatchedCheckpointResumeMatchesUninterruptedRun)
+{
+    const std::string reference = reportOf(testSpec(), 1, 32);
+
+    ScratchFile journal("batched_resume.ckpt");
+
+    // Interrupt after 4 shards under a flush interval that leaves a
+    // partial batch pending: the engine's end-of-run flush lands it,
+    // so the resume completes to the byte-identical report.
+    runtime::Session session_a({2, 0});
+    runtime::RunContext ctx_a;
+    ctx_a.checkpoint.path = journal.path();
+    ctx_a.checkpoint.flushInterval = 3;
+    std::atomic<int> done{0};
+    FleetOptions first;
+    first.shardSize = 32;
+    first.onShardDone = [&](std::uint64_t) {
+        if (done.fetch_add(1) + 1 >= 4)
+            ctx_a.token().cancel();
+    };
+    FleetEngine engine_a(session_a, testSpec());
+    const FleetOutcome interrupted = engine_a.run(ctx_a, first);
+    ASSERT_TRUE(interrupted.interrupted);
+    ASSERT_GE(interrupted.shardsRun, 4u);
+    EXPECT_EQ(
+        exec::CheckpointJournal::load(journal.path()).records.size(),
+        interrupted.shardsRun);
+
+    runtime::Session session_b({2, 0});
+    runtime::RunContext ctx_b;
+    ctx_b.checkpoint.path = journal.path();
+    ctx_b.checkpoint.resume = true;
+    ctx_b.checkpoint.flushInterval = 5;
+    FleetOptions second;
+    second.shardSize = 32;
+    FleetEngine engine_b(session_b, testSpec());
+    const FleetOutcome resumed = engine_b.run(ctx_b, second);
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(resumed.shardsRestored, interrupted.shardsRun);
+    EXPECT_EQ(fleet::renderReportJson(engine_b.spec(),
+                                      resumed.totals),
+              reference);
+}
+
 /**
  * The fleet journal's records are opaque blobs (serialized shard
  * accumulators), so the longest-valid-prefix recovery must work on

@@ -1,18 +1,22 @@
 /**
  * @file
  * Session ownership tests: worker-count resolution, serial mode, the
- * shared bounded TraceCache — LRU eviction under a tiny capacity,
- * pinned traces surviving their own eviction, and bit-identical
- * regeneration of an evicted trace.
+ * per-worker SimWorkspace slots, the opt-in worker pinning option,
+ * and the shared bounded TraceCache — LRU eviction under a tiny
+ * capacity, pinned traces surviving their own eviction, and
+ * bit-identical regeneration of an evicted trace.
  */
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "exec/thread_pool.hh"
 #include "runtime/session.hh"
 #include "sim/trace_cache.hh"
+#include "sim/workspace.hh"
 #include "trace/profile.hh"
 #include "trace/trace.hh"
 
@@ -102,6 +106,75 @@ TEST(Session, TinyCacheEvictsButPinnedTracesStayValid)
     // functions of (profile, seed, stream).
     const auto again = cache.get(gcc, 1, 0);
     expectIdenticalTraces(*pinned[0], *again);
+}
+
+TEST(Session, WorkspaceIsStablePerThread)
+{
+    // The session thread always gets slot 0; repeated calls hand back
+    // the same object so warmed buffers survive across domains.
+    Session session({1, 0});
+    sim::SimWorkspace &first = session.workspace();
+    EXPECT_EQ(&first, &session.workspace());
+}
+
+TEST(Session, EachPoolWorkerGetsItsOwnWorkspace)
+{
+    Session session({3, 0});
+    ASSERT_NE(session.pool(), nullptr);
+
+    // One slot per worker plus the session thread's; parallelFor
+    // lands each index on some worker, and two tasks on the same
+    // worker must see the same workspace while distinct workers see
+    // distinct ones.
+    sim::SimWorkspace *const session_ws = &session.workspace();
+    std::vector<sim::SimWorkspace *> seen(3, nullptr);
+    std::mutex mu;
+    session.pool()->parallelFor(64, [&](std::size_t) {
+        const int worker = exec::ThreadPool::currentWorkerIndex();
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, 3);
+        sim::SimWorkspace *ws = &session.workspace();
+        EXPECT_NE(ws, session_ws);
+        std::lock_guard<std::mutex> lock(mu);
+        if (seen[static_cast<std::size_t>(worker)] == nullptr)
+            seen[static_cast<std::size_t>(worker)] = ws;
+        EXPECT_EQ(seen[static_cast<std::size_t>(worker)], ws);
+    });
+
+    // Distinct workers -> distinct workspaces.
+    std::vector<sim::SimWorkspace *> unique;
+    for (sim::SimWorkspace *ws : seen) {
+        if (ws == nullptr)
+            continue;
+        for (sim::SimWorkspace *other : unique)
+            EXPECT_NE(ws, other);
+        unique.push_back(ws);
+    }
+    EXPECT_GE(unique.size(), 1u);
+}
+
+TEST(Session, CurrentWorkerIndexIsMinusOneOffPool)
+{
+    EXPECT_EQ(exec::ThreadPool::currentWorkerIndex(), -1);
+}
+
+TEST(Session, PinWorkersOptionIsAcceptedAndCounted)
+{
+    // Pinning is opt-in and best-effort: the session must come up
+    // either way, and the pinned count never exceeds the worker
+    // count.  (On platforms without affinity support the pool warns
+    // once and reports zero pinned workers.)
+    Session session({.jobs = 2, .pinWorkers = true});
+    ASSERT_NE(session.pool(), nullptr);
+    EXPECT_TRUE(session.config().pinWorkers);
+    const int pinned = session.pool()->pinnedWorkers();
+    EXPECT_GE(pinned, 0);
+    EXPECT_LE(pinned, 2);
+
+    // And off by default.
+    Session plain({2, 0});
+    EXPECT_FALSE(plain.config().pinWorkers);
+    EXPECT_EQ(plain.pool()->pinnedWorkers(), 0);
 }
 
 TEST(Session, LargeCacheNeverEvictsAndCountsHits)

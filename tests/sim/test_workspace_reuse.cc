@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Workspace-reuse bit-identity suite.
+ *
+ * The allocation-free evaluation path — one SimWorkspace whose
+ * simulator, strategy slot and result scratch are reused across
+ * domains — must produce byte-for-byte the same serialized
+ * DomainResult as the allocating overload that builds everything
+ * fresh.  One workspace is threaded through the whole configuration
+ * matrix, so every reset() crosses CPU models, core counts, run
+ * modes and strategy kinds (exercising both the StrategyArena
+ * same-kind recycle and the kind-change reconstruct).
+ *
+ * Carries the `exec` ctest label (via the golden test binary) so the
+ * reuse path also runs under -DSUIT_SANITIZE=thread.
+ */
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/params.hh"
+#include "sim/evaluation.hh"
+#include "sim/result_io.hh"
+#include "sim/trace_cache.hh"
+#include "sim/workspace.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace suit;
+using sim::EvalConfig;
+using sim::RunMode;
+
+/** Small synthetic workload (same shape as the golden suite's). */
+trace::WorkloadProfile
+reuseProfile(const std::string &name, bool dense)
+{
+    trace::WorkloadProfile p;
+    p.name = name;
+    p.suite = trace::Suite::SpecFp;
+    p.totalInstructions = 400'000'000;
+    p.ipc = 1.4;
+    p.bursts.meanBurstEvents = dense ? 60 : 5;
+    p.bursts.meanWithinBurstGap = dense ? 400 : 1500;
+    p.bursts.interBurstGapLogMean = std::log(dense ? 4e6 : 2e7);
+    p.bursts.interBurstGapLogSigma = 0.4;
+    p.imulFraction = 0.0006;
+    p.noSimdDelta = -0.18;
+    p.noSimdDeltaAmd = -0.12;
+    p.eventWeight = dense ? 3.0 : 1.0;
+    p.kindMix[static_cast<std::size_t>(isa::FaultableKind::VOR)] = 0.7;
+    p.kindMix[static_cast<std::size_t>(isa::FaultableKind::AESENC)] =
+        0.3;
+    return p;
+}
+
+/** Every (mode, strategy) combination the simulator dispatches on. */
+struct ModeCase
+{
+    const char *label;
+    RunMode mode;
+    core::StrategyKind strategy;
+};
+
+const std::vector<ModeCase> &
+modeCases()
+{
+    static const std::vector<ModeCase> cases = {
+        {"baseline", RunMode::Baseline, core::StrategyKind::CombinedFv},
+        {"nosimd", RunMode::NoSimdCompile,
+         core::StrategyKind::CombinedFv},
+        {"suit-e", RunMode::Suit, core::StrategyKind::Emulation},
+        {"suit-f", RunMode::Suit, core::StrategyKind::Frequency},
+        {"suit-V", RunMode::Suit, core::StrategyKind::Voltage},
+        {"suit-fV", RunMode::Suit, core::StrategyKind::CombinedFv},
+        {"suit-e+fV", RunMode::Suit, core::StrategyKind::Hybrid},
+    };
+    return cases;
+}
+
+TEST(WorkspaceReuse, ReusedWorkspaceMatchesFreshEvaluationAcrossMatrix)
+{
+    const std::vector<power::CpuModel> cpus = {
+        power::cpuA_i9_9900k(), power::cpuC_xeon4208()};
+    const std::vector<trace::WorkloadProfile> profiles = {
+        reuseProfile("reuse-dense", true),
+        reuseProfile("reuse-sparse", false)};
+
+    sim::TraceCache traces;
+    sim::SimWorkspace ws; // ONE workspace across the whole matrix
+    int checked = 0;
+    for (const power::CpuModel &cpu : cpus) {
+        for (const int cores : {1, 4}) {
+            for (const ModeCase &mc : modeCases()) {
+                for (const trace::WorkloadProfile &p : profiles) {
+                    EvalConfig cfg;
+                    cfg.cpu = &cpu;
+                    cfg.cores = cores;
+                    cfg.offsetMv = -97.0;
+                    cfg.mode = mc.mode;
+                    cfg.strategy = mc.strategy;
+                    cfg.params = core::optimalParams(cpu);
+                    cfg.seed = 7;
+
+                    std::string fresh_bytes;
+                    sim::serializeResult(
+                        sim::runWorkload(cfg, p, traces),
+                        fresh_bytes);
+                    std::string reused_bytes;
+                    sim::serializeResult(
+                        sim::runWorkload(cfg, p, traces, ws),
+                        reused_bytes);
+                    ASSERT_EQ(reused_bytes, fresh_bytes)
+                        << "CPU " << cpu.label() << " cores=" << cores
+                        << " " << mc.label << " " << p.name;
+                    ++checked;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(checked, 2 * 2 * 7 * 2);
+}
+
+TEST(WorkspaceReuse, RepeatedEvaluationInOneWorkspaceIsDeterministic)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const trace::WorkloadProfile p = reuseProfile("reuse-dense", true);
+
+    EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.params = core::optimalParams(cpu);
+    cfg.seed = 13;
+
+    sim::TraceCache traces;
+    sim::SimWorkspace ws;
+    std::string first;
+    sim::serializeResult(sim::runWorkload(cfg, p, traces, ws), first);
+    ASSERT_FALSE(first.empty());
+    for (int i = 0; i < 5; ++i) {
+        std::string again;
+        sim::serializeResult(sim::runWorkload(cfg, p, traces, ws),
+                             again);
+        ASSERT_EQ(again, first) << "iteration " << i;
+    }
+}
+
+TEST(WorkspaceReuse, StateLogBitIdenticalThroughResetAndResultReuse)
+{
+    // The p-state timeline is swapped (not copied) into the result,
+    // so the reset()/runInto() reuse path must hand back the full
+    // timeline every run even when both the simulator and the result
+    // struct are recycled.
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const trace::WorkloadProfile p = reuseProfile("reuse-dense", true);
+    const trace::Trace trace = trace::TraceGenerator(11).generate(p, 0);
+    const std::vector<sim::CoreWork> work = {{&trace, &p}};
+
+    sim::SimConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.offsetMv = -97.0;
+    cfg.mode = RunMode::Suit;
+    cfg.strategy = core::StrategyKind::CombinedFv;
+    cfg.params = core::optimalParams(cpu);
+    cfg.seed = 23;
+    cfg.recordStateLog = true;
+
+    sim::DomainSimulator fresh_sim(cfg, work);
+    const sim::DomainResult fresh = fresh_sim.run();
+    ASSERT_FALSE(fresh.stateLog.empty());
+    std::string fresh_bytes;
+    sim::serializeResult(fresh, fresh_bytes);
+
+    sim::DomainSimulator reused_sim;
+    sim::DomainResult reused;
+    for (int i = 0; i < 3; ++i) {
+        reused_sim.reset(cfg, work);
+        reused_sim.runInto(reused);
+        std::string reused_bytes;
+        sim::serializeResult(reused, reused_bytes);
+        ASSERT_EQ(reused_bytes, fresh_bytes) << "iteration " << i;
+    }
+}
+
+} // namespace

@@ -6,12 +6,13 @@
  * Runs the four simulator scenarios the micro-benchmarks cover
  * (single-core SUIT on 502.gcc, the same run on the reference event
  * loop, the event-dense 525.x264, and CPU A's shared four-core
- * domain) plus the fleet-scale throughput scenario (the 100k-domain
- * demo fleet through FleetEngine on all hardware threads) with
- * wall-clock timing, and emits one JSON document:
+ * domain) plus the engine-scale throughput scenarios (the 100k- and
+ * 1M-domain demo fleets through FleetEngine and a SPEC x offset grid
+ * through SweepEngine, all on all hardware threads) with wall-clock
+ * timing, and emits one JSON document:
  *
  *   {
- *     "schema": "suit-bench-simcore-v3",
+ *     "schema": "suit-bench-simcore-v4",
  *     "reps": 5,
  *     "benchmarks": [
  *       { "name": "domain_sim_single", "events": ...,
@@ -20,9 +21,19 @@
  *     ],
  *     "fleet": { "name": "fleet_100k", "domains": 100000,
  *       "best_ms": ..., "median_ms": ..., "domains_per_sec": ... },
+ *     "fleet_1m": { "name": "fleet_1m", "domains": 1000000, ... },
+ *     "sweep": { "name": "sweep_grid", "cells": ...,
+ *       "best_ms": ..., "median_ms": ..., "cells_per_sec": ... },
+ *     "allocs_per_domain": 0.00,
+ *     "alloc_count_enabled": true,
  *     "speedup_vs_reference": ...,
  *     "obs_overhead_disabled_pct": ...
  *   }
+ *
+ * allocs_per_domain measures the steady-state heap allocations per
+ * domain evaluation on a warm runtime::Session SimWorkspace; with
+ * the SUIT_ALLOC_COUNT hook compiled in (the default build) the
+ * value is asserted to be exactly 0.
  *
  * The obs_overhead_disabled_pct field compares the default single-core
  * scenario (obs compiled in but disabled — the shipping configuration)
@@ -53,12 +64,16 @@
 #include <vector>
 
 #include "core/params.hh"
+#include "exec/sweep.hh"
 #include "fleet/engine.hh"
 #include "fleet/spec.hh"
+#include "runtime/run_context.hh"
 #include "runtime/session.hh"
 #include "sim/domain_sim.hh"
+#include "sim/evaluation.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
+#include "util/alloc_count.hh"
 #include "util/args.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -229,6 +244,7 @@ runScenarios(int reps, double &obs_overhead_pct)
 /** The fleet-scale throughput scenario. */
 struct FleetBench
 {
+    std::string name;
     std::uint64_t domains = 0;
     double bestMs = 0.0;
     double medianMs = 0.0;
@@ -236,26 +252,25 @@ struct FleetBench
 };
 
 /**
- * Time the 100k-domain demo fleet through the FleetEngine on all
- * hardware threads.  The session (pool and trace cache) and engine
- * are rebuilt per repetition so every run pays the full cost a fresh
- * suit_fleet invocation would.
+ * Time the @p domains-sized demo fleet through the FleetEngine on
+ * all hardware threads.  The session (pool and trace cache) and
+ * engine are rebuilt per repetition so every run pays the full cost
+ * a fresh suit_fleet invocation would.
  */
 FleetBench
-timeFleet(int reps)
+timeFleet(const std::string &name, std::uint64_t domains, int reps)
 {
-    constexpr std::uint64_t kDomains = 100'000;
     std::vector<double> times_ms;
     times_ms.reserve(static_cast<std::size_t>(reps));
     for (int r = 0; r < reps; ++r) {
         const auto start = std::chrono::steady_clock::now();
         runtime::Session session;
         fleet::FleetEngine engine(session,
-                                  fleet::FleetSpec::demo(kDomains));
+                                  fleet::FleetSpec::demo(domains));
         const fleet::FleetOutcome outcome = engine.run({});
         const auto stop = std::chrono::steady_clock::now();
         SUIT_ASSERT(outcome.complete() &&
-                        outcome.totals.totalDomains() == kDomains,
+                        outcome.totals.totalDomains() == domains,
                     "fleet benchmark run incomplete");
         times_ms.push_back(
             std::chrono::duration<double, std::milli>(stop - start)
@@ -264,19 +279,145 @@ timeFleet(int reps)
     std::sort(times_ms.begin(), times_ms.end());
 
     FleetBench out;
-    out.domains = kDomains;
+    out.name = name;
+    out.domains = domains;
     out.bestMs = times_ms.front();
     out.medianMs = times_ms[times_ms.size() / 2];
     out.domainsPerSec =
-        out.bestMs > 0.0 ? static_cast<double>(kDomains) /
+        out.bestMs > 0.0 ? static_cast<double>(domains) /
                                (out.bestMs / 1e3)
                          : 0.0;
     return out;
 }
 
+/** The sweep-grid throughput scenario. */
+struct SweepBench
+{
+    std::size_t cells = 0;
+    double bestMs = 0.0;
+    double medianMs = 0.0;
+    double cellsPerSec = 0.0;
+};
+
+/**
+ * Time a representative sweep grid (SPEC workloads x offsets on
+ * CPU C) through the SweepEngine on all hardware threads, session
+ * rebuilt per repetition like the fleet scenario.
+ */
+SweepBench
+timeSweepGrid(int reps)
+{
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const std::vector<trace::WorkloadProfile> profiles =
+        trace::specProfiles();
+    const double offsets[] = {-50.0, -97.0};
+
+    std::vector<exec::SweepJob> jobs;
+    for (const trace::WorkloadProfile &p : profiles) {
+        for (const double offset : offsets) {
+            sim::EvalConfig cfg;
+            cfg.cpu = &cpu;
+            cfg.offsetMv = offset;
+            cfg.params = core::optimalParams(cpu);
+            jobs.push_back({p.name, cfg, &p});
+        }
+    }
+
+    std::vector<double> times_ms;
+    times_ms.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        runtime::Session session;
+        exec::SweepEngine engine(session);
+        const std::vector<sim::DomainResult> results =
+            engine.run(jobs);
+        const auto stop = std::chrono::steady_clock::now();
+        SUIT_ASSERT(results.size() == jobs.size(),
+                    "sweep benchmark run incomplete");
+        times_ms.push_back(
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+    }
+    std::sort(times_ms.begin(), times_ms.end());
+
+    SweepBench out;
+    out.cells = jobs.size();
+    out.bestMs = times_ms.front();
+    out.medianMs = times_ms[times_ms.size() / 2];
+    out.cellsPerSec =
+        out.bestMs > 0.0 ? static_cast<double>(out.cells) /
+                               (out.bestMs / 1e3)
+                         : 0.0;
+    return out;
+}
+
+/**
+ * Allocations per domain evaluation on a warm SimWorkspace.
+ *
+ * Runs the single-core scenario through the workspace overload of
+ * runWorkload() on a serial session: after a short warm-up (which
+ * grows every buffer to its steady-state capacity and memoises the
+ * trace), further domains must perform zero heap allocations — the
+ * tentpole contract of the workspace design.  When the
+ * SUIT_ALLOC_COUNT hook is compiled in, the measured count is
+ * asserted to be exactly zero; when it is compiled out the field
+ * reports 0 and alloc_count_enabled records that nothing was
+ * measured.
+ */
+double
+measureAllocsPerDomain()
+{
+    runtime::Session session({1});
+    sim::SimWorkspace &ws = session.workspace();
+    const power::CpuModel cpu = power::cpuC_xeon4208();
+    const auto &gcc = trace::profileByName("502.gcc");
+
+    sim::EvalConfig cfg;
+    cfg.cpu = &cpu;
+    cfg.params = core::optimalParams(cpu);
+
+    for (int i = 0; i < 8; ++i)
+        sim::runWorkload(cfg, gcc, session.traceCache(), ws);
+
+    constexpr int kMeasured = 64;
+    const std::uint64_t before = util::allocCount();
+    for (int i = 0; i < kMeasured; ++i) {
+        const sim::DomainResult &result =
+            sim::runWorkload(cfg, gcc, session.traceCache(), ws);
+        SUIT_ASSERT(!result.cores.empty(),
+                    "simulation returned no cores");
+    }
+    const std::uint64_t delta = util::allocCount() - before;
+
+    if (util::allocCountEnabled()) {
+        SUIT_ASSERT(delta == 0,
+                    "steady-state domain evaluation allocated %llu "
+                    "times over %d domains; the warm workspace loop "
+                    "must be allocation-free",
+                    static_cast<unsigned long long>(delta),
+                    kMeasured);
+    }
+    return static_cast<double>(delta) /
+           static_cast<double>(kMeasured);
+}
+
+std::string
+renderFleetJson(const FleetBench &bench)
+{
+    return util::sformat(
+        "{ \"name\": \"%s\", "
+        "\"domains\": %llu, \"best_ms\": %.1f, "
+        "\"median_ms\": %.1f, \"domains_per_sec\": %.0f }",
+        bench.name.c_str(),
+        static_cast<unsigned long long>(bench.domains),
+        bench.bestMs, bench.medianMs, bench.domainsPerSec);
+}
+
 std::string
 renderJson(const std::vector<BenchResult> &results,
-           const FleetBench &fleet_bench, int reps, double obs_pct)
+           const FleetBench &fleet_100k, const FleetBench &fleet_1m,
+           const SweepBench &sweep_bench, double allocs_per_domain,
+           int reps, double obs_pct)
 {
     double fast_ms = 0.0;
     double ref_ms = 0.0;
@@ -299,19 +440,25 @@ renderJson(const std::vector<BenchResult> &results,
     const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
     return util::sformat(
         "{\n"
-        "  \"schema\": \"suit-bench-simcore-v3\",\n"
+        "  \"schema\": \"suit-bench-simcore-v4\",\n"
         "  \"reps\": %d,\n"
         "  \"benchmarks\": [\n%s\n  ],\n"
-        "  \"fleet\": { \"name\": \"fleet_100k\", "
-        "\"domains\": %llu, \"best_ms\": %.1f, "
-        "\"median_ms\": %.1f, \"domains_per_sec\": %.0f },\n"
+        "  \"fleet\": %s,\n"
+        "  \"fleet_1m\": %s,\n"
+        "  \"sweep\": { \"name\": \"sweep_grid\", "
+        "\"cells\": %zu, \"best_ms\": %.1f, "
+        "\"median_ms\": %.1f, \"cells_per_sec\": %.1f },\n"
+        "  \"allocs_per_domain\": %.2f,\n"
+        "  \"alloc_count_enabled\": %s,\n"
         "  \"speedup_vs_reference\": %.2f,\n"
         "  \"obs_overhead_disabled_pct\": %.2f\n"
         "}\n",
-        reps, body.c_str(),
-        static_cast<unsigned long long>(fleet_bench.domains),
-        fleet_bench.bestMs, fleet_bench.medianMs,
-        fleet_bench.domainsPerSec, speedup, obs_pct);
+        reps, body.c_str(), renderFleetJson(fleet_100k).c_str(),
+        renderFleetJson(fleet_1m).c_str(), sweep_bench.cells,
+        sweep_bench.bestMs, sweep_bench.medianMs,
+        sweep_bench.cellsPerSec, allocs_per_domain,
+        util::allocCountEnabled() ? "true" : "false", speedup,
+        obs_pct);
 }
 
 /**
@@ -323,7 +470,7 @@ std::string
 validateJson(const std::string &text)
 {
     const char *kRequired[] = {
-        "\"schema\": \"suit-bench-simcore-v3\"",
+        "\"schema\": \"suit-bench-simcore-v4\"",
         "\"reps\":",
         "\"benchmarks\":",
         "\"domain_sim_single\"",
@@ -334,6 +481,10 @@ validateJson(const std::string &text)
         "\"events_per_sec\":",
         "\"fleet\":",
         "\"fleet_100k\"",
+        "\"fleet_1m\"",
+        "\"sweep_grid\"",
+        "\"cells_per_sec\":",
+        "\"allocs_per_domain\":",
         "\"domains_per_sec\":",
         "\"speedup_vs_reference\":",
         "\"obs_overhead_disabled_pct\":",
@@ -392,10 +543,19 @@ main(int argc, char **argv)
     double obs_pct = 0.0;
     const std::vector<BenchResult> results =
         runScenarios(static_cast<int>(reps), obs_pct);
-    const FleetBench fleet_bench =
-        timeFleet(static_cast<int>(reps));
+    const double allocs_per_domain = measureAllocsPerDomain();
+    const FleetBench fleet_100k =
+        timeFleet("fleet_100k", 100'000, static_cast<int>(reps));
+    // The million-domain scenario takes seconds per repetition; cap
+    // it so --reps 25 regenerations stay minutes, not hours.
+    const FleetBench fleet_1m = timeFleet(
+        "fleet_1m", 1'000'000,
+        std::min(static_cast<int>(reps), 3));
+    const SweepBench sweep_bench =
+        timeSweepGrid(static_cast<int>(reps));
     const std::string json = renderJson(
-        results, fleet_bench, static_cast<int>(reps), obs_pct);
+        results, fleet_100k, fleet_1m, sweep_bench,
+        allocs_per_domain, static_cast<int>(reps), obs_pct);
 
     const std::string sanity = validateJson(json);
     SUIT_ASSERT(sanity.empty(), "emitted record fails own schema: %s",
@@ -416,8 +576,19 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%-22s %8.2f ms  %12.0f events/s\n",
                      r.name.c_str(), r.bestMs, r.eventsPerSec);
     std::fprintf(stderr, "%-22s %8.2f ms  %12.0f domains/s\n",
-                 "fleet_100k", fleet_bench.bestMs,
-                 fleet_bench.domainsPerSec);
+                 "fleet_100k", fleet_100k.bestMs,
+                 fleet_100k.domainsPerSec);
+    std::fprintf(stderr, "%-22s %8.2f ms  %12.0f domains/s\n",
+                 "fleet_1m", fleet_1m.bestMs,
+                 fleet_1m.domainsPerSec);
+    std::fprintf(stderr, "%-22s %8.2f ms  %12.1f cells/s\n",
+                 "sweep_grid", sweep_bench.bestMs,
+                 sweep_bench.cellsPerSec);
+    std::fprintf(stderr, "allocs/domain (steady state): %.2f%s\n",
+                 allocs_per_domain,
+                 util::allocCountEnabled()
+                     ? ""
+                     : " (alloc hook compiled out)");
     std::fprintf(stderr, "wrote %s\n", out.c_str());
     return 0;
 }

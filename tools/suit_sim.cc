@@ -215,9 +215,16 @@ main(int argc, char **argv)
     args.addOption("jobs", "0",
                    "parallel workers for multi-workload runs (0 = "
                    "hardware threads, 1 = serial reference)");
+    args.addFlag("pin",
+                 "pin each worker thread to a CPU (cache locality "
+                 "on dedicated machines; unsupported platforms warn "
+                 "and continue unpinned)");
     args.addOption("checkpoint", "",
                    "journal completed suite workloads to this file "
                    "(multi-workload runs only)");
+    args.addOption("checkpoint-flush", "1",
+                   "flush the checkpoint journal every N workloads "
+                   "(1 = after every workload)");
     args.addFlag("resume",
                  "load the --checkpoint journal and run only the "
                  "missing workloads");
@@ -292,10 +299,13 @@ main(int argc, char **argv)
             runtime::Session session(
                 {static_cast<int>(
                      args.getIntInRange("jobs", 0, INT_MAX)),
-                 0, static_cast<std::size_t>(cache_mb) << 20});
+                 0, static_cast<std::size_t>(cache_mb) << 20,
+                 args.getFlag("pin")});
             runtime::RunContext ctx;
             ctx.checkpoint.path = args.get("checkpoint");
             ctx.checkpoint.resume = args.getFlag("resume");
+            ctx.checkpoint.flushInterval = static_cast<int>(
+                args.getIntInRange("checkpoint-flush", 1, INT_MAX));
             ctx.token().linkExternal(sigint.flag());
             if (deadline_s > 0.0)
                 ctx.setDeadlineAfter(deadline_s);

@@ -193,9 +193,18 @@ main(int argc, char **argv)
     args.addOption("jobs", "0",
                    "parallel sweep workers (0 = hardware threads, "
                    "1 = serial reference)");
+    args.addFlag("pin",
+                 "pin each worker thread to a CPU (cache locality "
+                 "on dedicated machines; unsupported platforms warn "
+                 "and continue unpinned)");
     args.addOption("checkpoint", "",
                    "journal completed cells to this file "
                    "(crash-safe)");
+    args.addOption("checkpoint-flush", "1",
+                   "flush the checkpoint journal every N cells "
+                   "(1 = after every cell; larger batches trade "
+                   "re-running at most N-1 cells after a crash for "
+                   "fewer fsyncs)");
     args.addFlag("resume",
                  "load the --checkpoint journal and run only the "
                  "missing cells");
@@ -313,10 +322,13 @@ main(int argc, char **argv)
 
     runtime::Session session(
         {static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX)), 0,
-         static_cast<std::size_t>(cache_mb) << 20});
+         static_cast<std::size_t>(cache_mb) << 20,
+         args.getFlag("pin")});
     runtime::RunContext ctx;
     ctx.checkpoint.path = args.get("checkpoint");
     ctx.checkpoint.resume = args.getFlag("resume");
+    ctx.checkpoint.flushInterval = static_cast<int>(
+        args.getIntInRange("checkpoint-flush", 1, INT_MAX));
     ctx.token().linkExternal(sigint.flag());
     if (deadline_s > 0.0)
         ctx.setDeadlineAfter(deadline_s);
