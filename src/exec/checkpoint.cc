@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include "obs/flight.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/result_io.hh"
@@ -188,6 +189,7 @@ CheckpointJournal::start(const std::string &path,
 void
 CheckpointJournal::append(const CellRecord &record)
 {
+    obs::FlightSpan span("journal.append", "exec");
     std::lock_guard lock(mu_);
     if (path_.empty())
         return;

@@ -5,6 +5,7 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/flight.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "util/format.hh"
@@ -159,6 +160,7 @@ SweepEngine::runCells(
             skipped.fetch_add(1, std::memory_order_relaxed);
             return;
         }
+        obs::FlightSpan span("sweep.cell", "exec");
         const double cell_start = trace ? trace->hostNowUs() : 0.0;
         const int attempts = policy.retries + 1;
         int attempts_made = 0;
@@ -315,7 +317,9 @@ runSuiteParallel(const EvalConfig &config,
                  const std::vector<trace::WorkloadProfile> &profiles,
                  int jobs)
 {
-    suit::runtime::Session session({jobs, 0});
+    suit::runtime::SessionConfig scfg;
+    scfg.jobs = jobs;
+    suit::runtime::Session session(scfg);
     suit::exec::SweepEngine engine(session);
     return runSuiteParallel(config, profiles, engine);
 }

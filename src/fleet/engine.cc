@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "core/params.hh"
 #include "exec/checkpoint.hh"
 #include "exec/thread_pool.hh"
+#include "obs/flight.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/domain_sim.hh"
@@ -228,6 +230,52 @@ FleetEngine::run(suit::runtime::RunContext &ctx,
     static const std::vector<double> kShardMsBounds{
         1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
 
+    // One named host-time track per rack carrying cumulative
+    // counter series ('C' events): domains completed, package
+    // energy, and p-state residency.  Workers fold each finished
+    // shard's per-rack totals into the running sums under one mutex
+    // and emit the new cumulative point; viewers plot the series
+    // over wall-clock time per rack.
+    struct RackTrack
+    {
+        int tid = 0;
+        RackTotals cum;
+    };
+    std::vector<RackTrack> rack_tracks;
+    std::mutex rack_tracks_mu;
+    if (trace) {
+        rack_tracks.resize(spec_.racks.size());
+        for (std::size_t r = 0; r < spec_.racks.size(); ++r)
+            rack_tracks[r].tid = trace->newTrack(
+                suit::obs::TraceSession::kHostPid,
+                "rack " + spec_.racks[r].name);
+    }
+    const auto emitRackCounters = [&](const FleetAccumulator &acc,
+                                      double now_us) {
+        std::lock_guard lock(rack_tracks_mu);
+        for (std::size_t r = 0; r < rack_tracks.size(); ++r) {
+            const RackTotals &shard_totals = acc.rack(r);
+            if (shard_totals.domains == 0)
+                continue;
+            RackTrack &rt = rack_tracks[r];
+            rt.cum.merge(shard_totals);
+            trace->counter(
+                suit::obs::TraceSession::kHostPid, rt.tid, now_us,
+                "domains", {{"count", rt.cum.domains}});
+            trace->counter(
+                suit::obs::TraceSession::kHostPid, rt.tid, now_us,
+                "energy",
+                {{"power_w", rt.cum.wattsAfter.value()}});
+            trace->counter(
+                suit::obs::TraceSession::kHostPid, rt.tid, now_us,
+                "pstate",
+                {{"switches", rt.cum.pstateSwitches},
+                 {"efficient_share",
+                  rt.cum.efficientShareSum.value() /
+                      static_cast<double>(rt.cum.domains)}});
+        }
+    };
+
     const auto runOne = [&](std::size_t shard) {
         if (slots[shard].has_value())
             return; // restored from the journal
@@ -235,6 +283,7 @@ FleetEngine::run(suit::runtime::RunContext &ctx,
             skipped.fetch_add(1, std::memory_order_relaxed);
             return;
         }
+        suit::obs::FlightSpan span("fleet.shard", "fleet");
         const double trace_start =
             trace ? trace->hostNowUs() : 0.0;
         const auto wall_start = std::chrono::steady_clock::now();
@@ -290,6 +339,7 @@ FleetEngine::run(suit::runtime::RunContext &ctx,
                 trace_start, now_us - trace_start, "shard", "fleet",
                 {{"index", static_cast<std::uint64_t>(shard)},
                  {"domains", count}});
+            emitRackCounters(*slots[shard], now_us);
         }
         if (options.onShardDone)
             options.onShardDone(shard);

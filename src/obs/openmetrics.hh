@@ -1,0 +1,92 @@
+/**
+ * @file
+ * OpenMetrics/Prometheus text exposition for the metrics registry.
+ *
+ * renderOpenMetrics() turns a Snapshot into the Prometheus text
+ * format: internal dotted metric names are sanitised to
+ * `suit_<name_with_underscores>`, counters expose as `<name>_total`,
+ * gauges as `<name>`, histograms as the cumulative
+ * `<name>_bucket{le="..."}` series plus `<name>_count`, and the
+ * document terminates with `# EOF` so scrapers can detect
+ * truncation.
+ *
+ * MetricsServer is the minimal blocking exposition endpoint behind
+ * `--listen-metrics PORT`: one background thread, an AF_INET
+ * listener on 127.0.0.1, a single-threaded accept loop that answers
+ * every request with the render callback's current document over
+ * HTTP/1.0 and closes.  Port 0 binds an ephemeral port (port()
+ * reports the bound one) so tests never collide.  For headless CI
+ * the same document is written to a file via `--metrics-series`
+ * instead — no socket needed.
+ */
+
+#ifndef SUIT_OBS_OPENMETRICS_HH
+#define SUIT_OBS_OPENMETRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/registry.hh"
+
+namespace suit::obs {
+
+/**
+ * Sanitise an internal metric name for exposition: every character
+ * outside [a-zA-Z0-9_] becomes '_' and the result is prefixed with
+ * "suit_" ("fleet.domains.simulated" -> "suit_fleet_domains_simulated").
+ */
+std::string openMetricsName(const std::string &name);
+
+/** Render @p snap as OpenMetrics text (terminated by "# EOF"). */
+std::string renderOpenMetrics(const Snapshot &snap);
+
+/** Blocking single-threaded exposition server; see file comment. */
+class MetricsServer
+{
+  public:
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start the accept
+     * loop; every scrape answers with @p render().  On bind failure
+     * ok() is false (with a warning) and no thread runs.
+     */
+    MetricsServer(std::uint16_t port,
+                  std::function<std::string()> render);
+
+    /** Stops the accept loop and closes the listener. */
+    ~MetricsServer();
+
+    MetricsServer(const MetricsServer &) = delete;
+    MetricsServer &operator=(const MetricsServer &) = delete;
+
+    /** True when the listener bound and the loop is serving. */
+    bool ok() const { return listenFd_ >= 0; }
+
+    /** The bound port (the requested one unless it was 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Scrapes answered so far. */
+    std::uint64_t scrapes() const
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+
+    /** Stop serving (idempotent; also called by the destructor). */
+    void stop();
+
+  private:
+    void serve();
+
+    std::function<std::string()> render_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+    std::thread thread_;
+};
+
+} // namespace suit::obs
+
+#endif // SUIT_OBS_OPENMETRICS_HH

@@ -259,6 +259,60 @@ Registry::snapshot() const
 }
 
 void
+Registry::snapshotInto(Snapshot &out) const
+{
+    std::lock_guard lock(mu_);
+
+    // Registration order: infos_ is append-only, so index i always
+    // means the same metric and out's slots can be refilled in
+    // place.  Cells are merged per metric (each cell still read
+    // exactly once), skipping the flat merge buffer snapshot()
+    // allocates.
+    if (out.metrics.size() != infos_.size())
+        out.metrics.resize(infos_.size());
+    std::size_t i = 0;
+    for (const MetricId::Info &info : infos_) {
+        MetricValue &mv = out.metrics[i++];
+        mv.name = info.name;
+        mv.kind = info.kind;
+        mv.count = 0;
+        mv.value = 0.0;
+        switch (info.kind) {
+          case MetricKind::Counter: {
+            std::uint64_t total = 0;
+            for (const auto &[tid, shard] : shards_) {
+                (void)tid;
+                total += shard->cells[info.firstSlot].load(
+                    std::memory_order_relaxed);
+            }
+            mv.count = total;
+            break;
+          }
+          case MetricKind::Gauge:
+            mv.value = gauges_[info.gaugeIndex];
+            break;
+          case MetricKind::Histogram: {
+            if (mv.histogram.bounds() == info.bounds)
+                mv.histogram.resetCounts();
+            else
+                mv.histogram = util::BucketHistogram(info.bounds);
+            for (std::uint32_t b = 0; b < info.slots; ++b) {
+                std::uint64_t total = 0;
+                for (const auto &[tid, shard] : shards_) {
+                    (void)tid;
+                    total += shard->cells[info.firstSlot + b].load(
+                        std::memory_order_relaxed);
+                }
+                mv.histogram.addCount(b, total);
+            }
+            mv.count = mv.histogram.total();
+            break;
+          }
+        }
+    }
+}
+
+void
 Registry::reset()
 {
     std::lock_guard lock(mu_);
@@ -314,13 +368,29 @@ Registry::renderTable() const
 std::string
 Registry::renderJson() const
 {
-    const Snapshot snap = snapshot();
+    return renderMetricsJson(snapshot());
+}
+
+std::string
+renderMetricsJson(const Snapshot &snap)
+{
+    // Sort by name so the registration-order snapshots the telemetry
+    // sampler retains render identically to snapshot()'s name order.
+    std::vector<const MetricValue *> order;
+    order.reserve(snap.metrics.size());
+    for (const MetricValue &m : snap.metrics)
+        order.push_back(&m);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const MetricValue *a, const MetricValue *b) {
+                         return a->name < b->name;
+                     });
+
     std::string out;
     out += "{\n";
     out += "  \"schema\": \"suit-obs-metrics-v1\",\n";
     out += "  \"metrics\": [\n";
-    for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
-        const MetricValue &m = snap.metrics[i];
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const MetricValue &m = *order[i];
         out += "    {";
         out += util::sformat("\"name\": %s, \"kind\": \"%s\"",
                              jsonQuote(m.name).c_str(),
@@ -364,7 +434,7 @@ Registry::renderJson() const
           }
         }
         out += "}";
-        if (i + 1 < snap.metrics.size())
+        if (i + 1 < order.size())
             out += ",";
         out += "\n";
     }

@@ -157,6 +157,17 @@ class Registry
     /** Merge every shard into a point-in-time snapshot. */
     Snapshot snapshot() const;
 
+    /**
+     * Merge every shard into @p out, reusing its buffers.  Metrics
+     * appear in *registration* order (stable indices — the telemetry
+     * ring's series ids), unlike snapshot()'s name order; the
+     * renderers sort by name themselves, so both orders render
+     * identically.  Once @p out has seen this registry's metric set,
+     * refills allocate nothing — the telemetry sampler's
+     * zero-steady-state-allocation contract.
+     */
+    void snapshotInto(Snapshot &out) const;
+
     /** Zero every cell and gauge (metrics stay registered). */
     void reset();
 
@@ -204,6 +215,16 @@ class Registry
     std::map<std::thread::id, std::unique_ptr<Shard, void (*)(Shard *)>>
         shards_;
 };
+
+/**
+ * Render @p snap as the "suit-obs-metrics-v1" JSON document, one
+ * metric object per line, sorted by name regardless of the
+ * snapshot's own order.  Registry::renderJson() and the telemetry
+ * sampler's retained-snapshot dump share this renderer, which is
+ * what keeps `--metrics-interval` dumps and the final dump
+ * byte-compatible.
+ */
+std::string renderMetricsJson(const Snapshot &snap);
 
 /** The process-wide registry the libraries record into. */
 Registry &metrics();

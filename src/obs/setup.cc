@@ -24,6 +24,21 @@ addCliOptions(util::ArgParser &args)
                    "dump the metrics registry every N seconds while "
                    "running (0 = only at exit); implies --obs-level "
                    "metrics");
+    args.addOption("listen-metrics", "0",
+                   "serve OpenMetrics text on 127.0.0.1:PORT while "
+                   "running (0 = off; implies --obs-level metrics)");
+    args.addOption("metrics-series", "",
+                   "write the final OpenMetrics snapshot to this "
+                   "path at exit (file exposition for headless CI; "
+                   "implies --obs-level metrics)");
+    args.addOption("flight-recorder", "",
+                   "on crash, Ctrl-C or --deadline-s expiry dump the "
+                   "last telemetry samples + active spans to this "
+                   "JSONL path (implies --obs-level metrics)");
+    args.addOption("sample-interval-ms", "100",
+                   "telemetry sampler period in milliseconds "
+                   "(used by --listen-metrics/--metrics-series/"
+                   "--flight-recorder)");
 }
 
 CliScope::CliScope(const util::ArgParser &args)
@@ -63,8 +78,29 @@ CliScope::CliScope(const util::ArgParser &args)
                     ">= 0)",
                     interval.c_str());
     }
+    listenPort_ = static_cast<std::uint16_t>(
+        args.getIntInRange("listen-metrics", 0, 65535));
+    seriesPath_ = args.get("metrics-series");
+    flightPath_ = args.get("flight-recorder");
+    const std::string &sampleMs = args.get("sample-interval-ms");
+    if (util::tryParseDouble(sampleMs, sampleIntervalMs_) !=
+            util::ParseStatus::Ok ||
+        sampleIntervalMs_ <= 0.0) {
+        util::fatal("bad --sample-interval-ms '%s' (want ms > 0)",
+                    sampleMs.c_str());
+    }
+
     if (metricsIntervalS_ > 0.0 && level_ == Level::Off)
         level_ = Level::Metrics;
+    if (telemetryConfig().enabled && level_ == Level::Off)
+        level_ = Level::Metrics;
+
+    // Arm the flight recorder immediately (sampler-less: header and
+    // span stacks only) so crash coverage starts before the Session
+    // exists; attachTelemetry() re-arms it against the ring.
+    if (!flightPath_.empty())
+        flight_ = std::make_unique<FlightRecorder>(
+            FlightConfig{flightPath_});
 
     metrics().setEnabled(level_ != Level::Off);
     if (level_ == Level::Full) {
@@ -96,23 +132,17 @@ CliScope::~CliScope()
     finish();
 }
 
+namespace {
+
+/**
+ * Atomic replace: a concurrent reader (a dashboard tailing the file
+ * while the tool runs) sees either the old or the new document,
+ * never a torn one.
+ */
 void
-CliScope::dumpMetrics() const
+writeFileAtomic(const std::string &path, const std::string &doc)
 {
-    const std::string doc = metrics().renderJson();
-    if (metricsPath_.empty()) {
-        const std::string table = metrics().renderTable();
-        std::fwrite(table.data(), 1, table.size(), stderr);
-        return;
-    }
-    if (metricsPath_ == "-") {
-        std::fwrite(doc.data(), 1, doc.size(), stdout);
-        return;
-    }
-    // Atomic replace: a concurrent reader (a dashboard tailing the
-    // file while the tool runs) sees either the old or the new
-    // document, never a torn one.
-    const std::string tmp = metricsPath_ + ".tmp";
+    const std::string tmp = path + ".tmp";
     std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
         util::warn("cannot write metrics to '%s'", tmp.c_str());
@@ -122,10 +152,92 @@ CliScope::dumpMetrics() const
         std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
         std::fflush(f) == 0;
     std::fclose(f);
-    if (!wrote ||
-        std::rename(tmp.c_str(), metricsPath_.c_str()) != 0)
-        util::warn("cannot write metrics to '%s'",
-                   metricsPath_.c_str());
+    if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0)
+        util::warn("cannot write metrics to '%s'", path.c_str());
+}
+
+} // namespace
+
+TelemetryConfig
+CliScope::telemetryConfig() const
+{
+    TelemetryConfig cfg;
+    cfg.enabled = listenPort_ != 0 || !seriesPath_.empty() ||
+                  !flightPath_.empty();
+    cfg.intervalS = sampleIntervalMs_ / 1e3;
+    return cfg;
+}
+
+void
+CliScope::attachTelemetry(std::shared_ptr<TelemetrySampler> sampler)
+{
+    if (!sampler)
+        return;
+    {
+        std::lock_guard lock(samplerMu_);
+        sampler_ = sampler;
+    }
+    if (!flightPath_.empty()) {
+        flight_.reset(); // re-arm against the ring
+        flight_ = std::make_unique<FlightRecorder>(
+            FlightConfig{flightPath_}, sampler);
+    }
+    if (listenPort_ != 0 && !server_) {
+        // Scrape-triggered sampling: every scrape refreshes the
+        // retained snapshot before rendering, like a Prometheus
+        // collect callback.
+        server_ = std::make_unique<MetricsServer>(
+            listenPort_, [sampler] {
+                sampler->sampleOnce();
+                return sampler->renderOpenMetricsText();
+            });
+        if (server_->ok())
+            util::inform("serving OpenMetrics on 127.0.0.1:%u",
+                         static_cast<unsigned>(server_->port()));
+    }
+}
+
+void
+CliScope::startLocalTelemetry()
+{
+    const TelemetryConfig cfg = telemetryConfig();
+    if (!cfg.enabled || telemetry())
+        return;
+    auto sampler = std::make_shared<TelemetrySampler>(metrics(), cfg);
+    sampler->start();
+    ownsSampler_ = true;
+    attachTelemetry(std::move(sampler));
+}
+
+void
+CliScope::noteInterruption(const char *reason)
+{
+    if (auto sampler = telemetry())
+        sampler->sampleOnce(); // capture the end state in the ring
+    if (flight_)
+        flight_->dump(reason);
+}
+
+void
+CliScope::dumpMetrics() const
+{
+    // Reuse the sampler's retained snapshot when one is attached:
+    // periodic dumps then cost one render, not a walk over every
+    // registry shard per interval.
+    const auto sampler = telemetry();
+    const bool sampled = sampler && sampler->samplesTaken() > 0;
+    const std::string doc =
+        sampled ? sampler->renderLatestJson() : metrics().renderJson();
+    if (metricsPath_.empty()) {
+        const std::string table = metrics().renderTable();
+        std::fwrite(table.data(), 1, table.size(), stderr);
+        return;
+    }
+    if (metricsPath_ == "-") {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        return;
+    }
+    writeFileAtomic(metricsPath_, doc);
 }
 
 void
@@ -144,11 +256,35 @@ CliScope::finish()
         dumper_.join();
     }
 
+    // Quiesce the scrape endpoint, then take one final sample so the
+    // retained snapshot (and the ring tail) reflects the end state.
+    if (server_)
+        server_->stop();
+    const auto sampler = telemetry();
+    if (sampler) {
+        if (ownsSampler_)
+            sampler->stop();
+        sampler->sampleOnce();
+    }
+
     if (trace_)
         setActiveTrace(nullptr);
 
     if (!metricsPath_.empty() && metricsEnabled())
         dumpMetrics();
+    if (!seriesPath_.empty() && !sampler)
+        util::warn("--metrics-series: no telemetry sampler was "
+                   "attached; nothing written");
+    if (!seriesPath_.empty() && sampler) {
+        if (seriesPath_ == "-") {
+            const std::string doc =
+                sampler->renderOpenMetricsText();
+            std::fwrite(doc.data(), 1, doc.size(), stdout);
+        } else {
+            writeFileAtomic(seriesPath_,
+                            sampler->renderOpenMetricsText());
+        }
+    }
     if (trace_ && !tracePath_.empty())
         trace_->writeTo(tracePath_);
 

@@ -9,6 +9,10 @@
  *   --trace-out <path|->      write a Chrome trace_event timeline
  *   --obs-level <level>       off | metrics | full | auto
  *   --metrics-interval <s>    also dump the registry every s seconds
+ *   --listen-metrics <port>   serve OpenMetrics on 127.0.0.1:port
+ *   --metrics-series <path>   write the final OpenMetrics snapshot
+ *   --flight-recorder <path>  arm the JSONL post-mortem dumper
+ *   --sample-interval-ms <ms> telemetry sampler period (default 100)
  *
  * "auto" (the default) derives the level from the other two flags:
  * off unless --metrics or --trace-out was given, full when
@@ -21,7 +25,19 @@
  * snapshots the registry — to the --metrics path via an atomic
  * temp-file + rename (so a concurrent reader never sees a torn
  * JSON document), or as a table to stderr when no path was given.
- * A non-zero interval implies at least Level::Metrics.
+ * A non-zero interval implies at least Level::Metrics, as do the
+ * three telemetry flags.
+ *
+ * The telemetry flags need a TelemetrySampler.  The sampler is owned
+ * by runtime::Session (it is per-process execution state, like the
+ * thread pool): CLIs pass telemetryConfig() into their
+ * SessionConfig and hand the resulting sampler back via
+ * attachTelemetry(), which starts the exposition server and arms the
+ * flight recorder.  Tools without a Session call
+ * startLocalTelemetry() instead and the scope owns the sampler
+ * itself.  The shared_ptr matters: the scope outlives the Session
+ * (it is declared first), so it keeps the ring alive for the final
+ * --metrics-series write after the Session stopped the thread.
  *
  * Declare the CliScope *before* any thread pool or engine whose
  * workers may emit events, so the session outlives every emitter.
@@ -31,11 +47,15 @@
 #define SUIT_OBS_SETUP_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "obs/flight.hh"
+#include "obs/openmetrics.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "util/args.hh"
 
@@ -79,6 +99,47 @@ class CliScope
     TraceSession *trace() { return trace_.get(); }
 
     /**
+     * The sampler configuration implied by the telemetry flags
+     * (enabled iff --listen-metrics, --metrics-series or
+     * --flight-recorder was given).  Feed into SessionConfig.
+     */
+    TelemetryConfig telemetryConfig() const;
+
+    /**
+     * Adopt the Session-owned sampler: starts the --listen-metrics
+     * exposition server and (re)arms the --flight-recorder against
+     * the ring.  A null @p sampler is ignored.
+     */
+    void attachTelemetry(std::shared_ptr<TelemetrySampler> sampler);
+
+    /**
+     * For tools without a runtime::Session: create, start and own a
+     * sampler per telemetryConfig() (no-op when telemetry is off or
+     * a sampler is already attached).
+     */
+    void startLocalTelemetry();
+
+    /** The attached sampler, or null. */
+    std::shared_ptr<TelemetrySampler> telemetry() const
+    {
+        std::lock_guard lock(samplerMu_);
+        return sampler_;
+    }
+
+    /** The exposition server, or null (port 0 / bind failure). */
+    MetricsServer *metricsServer() { return server_.get(); }
+
+    /** The armed flight recorder, or null. */
+    FlightRecorder *flightRecorder() { return flight_.get(); }
+
+    /**
+     * The run ended abnormally: take a final telemetry sample and
+     * write the flight-recorder dump tagged @p reason ("sigint",
+     * "deadline", ...).  No-op without --flight-recorder.
+     */
+    void noteInterruption(const char *reason);
+
+    /**
      * Write --metrics and --trace-out outputs, uninstall the active
      * trace and disable the registry.  Idempotent; called by the
      * destructor, but call it explicitly when output ordering
@@ -94,7 +155,19 @@ class CliScope
     std::string metricsPath_;
     std::string tracePath_;
     double metricsIntervalS_ = 0.0;
+    std::uint16_t listenPort_ = 0;
+    std::string seriesPath_;
+    std::string flightPath_;
+    double sampleIntervalMs_ = 100.0;
     std::unique_ptr<TraceSession> trace_;
+    // sampler_ is written once by attachTelemetry() on the main
+    // thread but read by the --metrics-interval dumper thread, so
+    // every access goes through samplerMu_.
+    mutable std::mutex samplerMu_;
+    std::shared_ptr<TelemetrySampler> sampler_;
+    std::unique_ptr<MetricsServer> server_;
+    std::unique_ptr<FlightRecorder> flight_;
+    bool ownsSampler_ = false;
     bool finished_ = false;
 
     // Background dumper (only when --metrics-interval > 0).

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Continuous telemetry: a background sampler over the metrics
+ * registry and a fixed-capacity lock-free time-series ring.
+ *
+ * A TelemetrySampler periodically snapshots a Registry and appends
+ * one sample — every metric's scalar projection plus a monotonic
+ * sample id and a host timestamp — to a ring of seqlock slots.
+ * Readers (the OpenMetrics exposition server, the flight recorder,
+ * the CLI series dump) are lock-free with respect to the sampler:
+ * they re-read a slot whose sequence number changed underfoot and
+ * skip slots that were overwritten mid-scan.  All slot payload words
+ * are relaxed atomics under the per-slot sequence protocol, so the
+ * ring is data-race-free by construction (and TSan-clean), not just
+ * by fences.
+ *
+ * Memory-ordering contract (the classic atomic seqlock):
+ *
+ *   writer: seq.store(odd, relaxed); fence(release);
+ *           payload stores (relaxed);
+ *           seq.store(even, release);
+ *   reader: s1 = seq.load(acquire); payload loads (relaxed);
+ *           fence(acquire); s2 = seq.load(relaxed);
+ *           valid iff s1 == s2 and s1 is even.
+ *
+ * Steady state allocates nothing: the ring is sized at construction,
+ * the registry is re-read through Registry::snapshotInto() into a
+ * pair of reused Snapshot buffers (front = latest published, back =
+ * scratch), and the series table only grows when a *new* metric
+ * registers — which the registry treats as a rare, mutex-protected
+ * event anyway.
+ *
+ * The retained front Snapshot is what makes `--metrics-interval`
+ * cheap: periodic dumps render the sampler's latest snapshot instead
+ * of re-walking every registry shard per interval.
+ */
+
+#ifndef SUIT_OBS_TELEMETRY_HH
+#define SUIT_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hh"
+
+namespace suit::obs {
+
+/** How a Session's telemetry sampler should run. */
+struct TelemetryConfig
+{
+    /** Master switch; a disabled config creates no sampler. */
+    bool enabled = false;
+    /** Sampling period in seconds (--sample-interval-ms / 1e3). */
+    double intervalS = 0.1;
+    /** Ring capacity in samples; fixed once constructed. */
+    std::size_t ringCapacity = 256;
+};
+
+/** Identity of one ring series (a metric's scalar projection). */
+struct SeriesInfo
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+};
+
+/**
+ * One decoded ring sample.  raw[i] belongs to series i: counters and
+ * histograms store their cumulative total (deltas are differences of
+ * consecutive samples), gauges store the double's bit pattern
+ * (decode with seriesValue()).
+ */
+struct TelemetrySample
+{
+    std::uint64_t id = 0;  //!< monotonic, 1-based
+    double hostUs = 0.0;   //!< microseconds since sampler creation
+    std::vector<std::uint64_t> raw;
+};
+
+/** raw word of series @p kind as a double (bit-cast for gauges). */
+double seriesValue(MetricKind kind, std::uint64_t raw);
+
+/** Periodic registry sampler; see the file comment. */
+class TelemetrySampler
+{
+  public:
+    /** Series beyond this many are dropped (seriesDropped()). */
+    static constexpr std::size_t kMaxSeries = 256;
+
+    /** Bind to @p registry; the ring is sized from @p config. */
+    explicit TelemetrySampler(Registry &registry,
+                              TelemetryConfig config = {});
+
+    /** Stops the background thread. */
+    ~TelemetrySampler();
+
+    TelemetrySampler(const TelemetrySampler &) = delete;
+    TelemetrySampler &operator=(const TelemetrySampler &) = delete;
+
+    /** @{ Background thread lifecycle; both are idempotent. */
+    void start();
+    void stop();
+    bool running() const;
+    /** @} */
+
+    /**
+     * Take one sample now (any thread; writers are serialised
+     * internally).  Returns the new sample id.
+     */
+    std::uint64_t sampleOnce();
+
+    /** Samples taken so far (== the latest sample id). */
+    std::uint64_t samplesTaken() const;
+
+    /** Ring capacity in samples. */
+    std::size_t ringCapacity() const { return capacity_; }
+
+    /** Sampling period in seconds. */
+    double intervalS() const { return cfg_.intervalS; }
+
+    /** Metrics that could not fit in kMaxSeries ring series. */
+    std::uint64_t seriesDropped() const;
+
+    /** Copy of the series table (index = ring series id). */
+    std::vector<SeriesInfo> series() const;
+
+    /**
+     * Decode up to the last @p n samples into @p out, oldest first.
+     * Reuses @p out's capacity; slots overwritten mid-scan are
+     * skipped.  Returns the number of samples written.
+     */
+    std::size_t lastSamplesInto(std::vector<TelemetrySample> &out,
+                                std::size_t n) const;
+
+    /** Convenience allocating wrapper around lastSamplesInto(). */
+    std::vector<TelemetrySample> lastSamples(std::size_t n) const;
+
+    /**
+     * Copy of the most recent full registry snapshot (empty before
+     * the first sample).
+     */
+    Snapshot latestSnapshot() const;
+
+    /**
+     * Render the latest snapshot as the suit-obs-metrics-v1 JSON
+     * document — byte-identical to Registry::renderJson() when the
+     * registry is quiescent.  This is the `--metrics-interval` dump
+     * path: no registry shard walk.
+     */
+    std::string renderLatestJson() const;
+
+    /** Render the latest snapshot as OpenMetrics text. */
+    std::string renderOpenMetricsText() const;
+
+  private:
+    void samplerMain();
+    void refreshSeriesLocked(const Snapshot &snap);
+
+    Registry &reg_;
+    const TelemetryConfig cfg_;
+    const std::size_t capacity_;
+
+    // Ring storage: flat per-slot arrays of atomics, fixed at
+    // construction.  values_ is capacity_ * kMaxSeries words.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> seq_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> ids_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> hostUsBits_;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> counts_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> values_;
+
+    std::atomic<std::uint64_t> lastId_{0};
+    std::atomic<std::uint64_t> seriesDropped_{0};
+
+    // Series table: append-only, mutex-protected (rare growth).
+    mutable std::mutex seriesMu_;
+    std::vector<SeriesInfo> series_;
+    std::atomic<std::uint32_t> seriesCount_{0};
+
+    // Writer serialisation + the reused snapshot double buffer.
+    std::mutex sampleMu_;
+    mutable std::mutex snapMu_;
+    Snapshot front_; //!< latest published snapshot
+    Snapshot back_;  //!< sampler scratch
+
+    const std::chrono::steady_clock::time_point start_;
+
+    // Background thread.
+    std::thread thread_;
+    mutable std::mutex threadMu_;
+    std::condition_variable threadCv_;
+    bool threadStop_ = false;
+};
+
+} // namespace suit::obs
+
+#endif // SUIT_OBS_TELEMETRY_HH

@@ -198,6 +198,20 @@ TraceSession::instant(int pid, int tid, double ts,
     push(std::move(e));
 }
 
+void
+TraceSession::counter(int pid, int tid, double ts,
+                      const std::string &name, const TraceArgs &args)
+{
+    Event e;
+    e.ph = 'C';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    e.name = name;
+    e.argsJson = renderArgs(args);
+    push(std::move(e));
+}
+
 double
 TraceSession::hostNowUs() const
 {

@@ -104,6 +104,15 @@ class TraceSession
                   const TraceArgs &args = {});
     void instant(int pid, int tid, double ts, const std::string &name,
                  const std::string &cat, const TraceArgs &args = {});
+    /**
+     * Counter event ('C'): each arg is one series of the named
+     * counter group on the track; viewers plot args over ts as
+     * stacked areas.  The fleet engine emits per-rack cumulative
+     * domains/energy/p-state series this way.  @p args must be
+     * non-empty (a counter without series plots nothing).
+     */
+    void counter(int pid, int tid, double ts, const std::string &name,
+                 const TraceArgs &args);
     /** @} */
 
     /** Simulated-time ticks (ps) as trace microseconds. */

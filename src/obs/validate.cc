@@ -1,8 +1,11 @@
 #include "obs/validate.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/format.hh"
 
@@ -138,7 +141,7 @@ checkChromeTrace(const std::string &doc)
         const std::string pid = fieldToken(line, "pid");
         const std::string tid = fieldToken(line, "tid");
         if (ph.size() != 1 ||
-            std::string("BEXiM").find(ph) == std::string::npos)
+            std::string("BEXiMC").find(ph) == std::string::npos)
             return fail(util::sformat("line %zu: bad phase '%s'",
                                       lineno, ph.c_str()));
         if (pid.empty() || tid.empty())
@@ -152,10 +155,16 @@ checkChromeTrace(const std::string &doc)
                 "line %zu: X event missing dur", lineno));
 
         const std::string name = fieldString(line, "name");
-        if ((ph == "B" || ph == "X" || ph == "i") && name.empty())
+        if ((ph == "B" || ph == "X" || ph == "i" || ph == "C") &&
+            name.empty())
             return fail(util::sformat(
                 "line %zu: %s event missing name", lineno,
                 ph.c_str()));
+        if (ph == "C" && fieldToken(line, "args").empty())
+            return fail(util::sformat(
+                "line %zu: C event '%s' missing args (series "
+                "values)",
+                lineno, name.c_str()));
         if (ph != "M")
             addName(result, name);
 
@@ -241,6 +250,369 @@ checkMetricsJson(const std::string &doc)
     }
     if (result.entries == 0)
         return fail("no metrics found");
+    result.ok = true;
+    return result;
+}
+
+namespace {
+
+/** OpenMetrics metric-name syntax: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+bool
+validOpenMetricsName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_' ||
+                           c == ':';
+        const bool digit = c >= '0' && c <= '9';
+        if (!(alpha || (digit && i > 0)))
+            return false;
+    }
+    return true;
+}
+
+/** Whole-string double parse. */
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+/** Whole-string unsigned parse. */
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || text[0] == '-')
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+/**
+ * The family a sample's metric name belongs to: the name with a
+ * known series suffix stripped when that base is in @p typed,
+ * otherwise the name itself.
+ */
+std::string
+sampleFamily(const std::string &name,
+             const std::map<std::string, std::string> &typed)
+{
+    static const char *kSuffixes[] = {"_total", "_bucket", "_count",
+                                      "_sum"};
+    for (const char *suffix : kSuffixes) {
+        const std::size_t len = std::string(suffix).size();
+        if (name.size() > len &&
+            name.compare(name.size() - len, len, suffix) == 0) {
+            const std::string base =
+                name.substr(0, name.size() - len);
+            if (typed.count(base))
+                return base;
+        }
+    }
+    return name;
+}
+
+/** Split a flat "[a, b, ...]" token body on commas (trimmed). */
+std::vector<std::string>
+splitArray(const std::string &token)
+{
+    std::vector<std::string> out;
+    if (token.size() < 2 || token.front() != '[')
+        return out;
+    const std::string body = token.substr(1, token.size() - 2);
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        std::string item = body.substr(pos, comma - pos);
+        const std::size_t a = item.find_first_not_of(" \t");
+        if (a != std::string::npos) {
+            const std::size_t b = item.find_last_not_of(" \t");
+            out.push_back(item.substr(a, b - a + 1));
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+CheckResult
+checkOpenMetrics(const std::string &doc)
+{
+    CheckResult result;
+    std::map<std::string, std::string> typed; //!< family -> type
+    std::set<std::string> seen;               //!< name{labels} keys
+    std::string lastBucketFamily;
+    std::uint64_t lastBucketCount = 0;
+    bool sawEof = false;
+
+    std::istringstream in(doc);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (sawEof)
+            return fail(util::sformat(
+                "line %zu: content after # EOF", lineno));
+        if (line == "# EOF") {
+            sawEof = true;
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream fields(line.substr(7));
+            std::string family, type;
+            fields >> family >> type;
+            if (!validOpenMetricsName(family))
+                return fail(util::sformat(
+                    "line %zu: bad metric name '%s' in # TYPE",
+                    lineno, family.c_str()));
+            if (type != "counter" && type != "gauge" &&
+                type != "histogram" && type != "summary" &&
+                type != "untyped")
+                return fail(util::sformat(
+                    "line %zu: bad type '%s' for '%s'", lineno,
+                    type.c_str(), family.c_str()));
+            if (!typed.emplace(family, type).second)
+                return fail(util::sformat(
+                    "line %zu: duplicate # TYPE for '%s'", lineno,
+                    family.c_str()));
+            addName(result, family);
+            continue;
+        }
+        if (line[0] == '#')
+            continue; // HELP or comment
+
+        // Sample line: name[{labels}] value [timestamp]
+        std::size_t nameEnd = line.find_first_of(" {");
+        if (nameEnd == std::string::npos)
+            return fail(util::sformat(
+                "line %zu: sample has no value", lineno));
+        const std::string name = line.substr(0, nameEnd);
+        if (!validOpenMetricsName(name))
+            return fail(util::sformat(
+                "line %zu: bad metric name '%s'", lineno,
+                name.c_str()));
+        std::string key = name;
+        std::size_t valueAt = nameEnd;
+        if (line[nameEnd] == '{') {
+            const std::size_t close = line.find('}', nameEnd);
+            if (close == std::string::npos)
+                return fail(util::sformat(
+                    "line %zu: unterminated label set", lineno));
+            key = line.substr(0, close + 1);
+            valueAt = close + 1;
+        }
+        if (!seen.insert(key).second)
+            return fail(util::sformat(
+                "line %zu: duplicate sample for '%s'", lineno,
+                key.c_str()));
+
+        std::istringstream rest(line.substr(valueAt));
+        std::string valueText;
+        if (!(rest >> valueText))
+            return fail(util::sformat(
+                "line %zu: sample '%s' has no value", lineno,
+                name.c_str()));
+        double value = 0.0;
+        if (!parseDouble(valueText, value) && valueText != "+Inf" &&
+            valueText != "-Inf" && valueText != "NaN")
+            return fail(util::sformat(
+                "line %zu: bad sample value '%s'", lineno,
+                valueText.c_str()));
+
+        const std::string family = sampleFamily(name, typed);
+        if (!typed.count(family))
+            return fail(util::sformat(
+                "line %zu: sample '%s' precedes its # TYPE line",
+                lineno, name.c_str()));
+        ++result.entries;
+
+        // Histogram buckets are cumulative in le order; the emitted
+        // order is the bucket order, so within one family's run of
+        // _bucket lines the counts must never decrease.
+        const bool isBucket =
+            name.size() > 7 &&
+            name.compare(name.size() - 7, 7, "_bucket") == 0;
+        if (isBucket && family == lastBucketFamily) {
+            if (value <
+                static_cast<double>(lastBucketCount))
+                return fail(util::sformat(
+                    "line %zu: histogram '%s' bucket count "
+                    "decreased",
+                    lineno, family.c_str()));
+        }
+        if (isBucket) {
+            lastBucketFamily = family;
+            lastBucketCount = static_cast<std::uint64_t>(value);
+        } else {
+            lastBucketFamily.clear();
+            lastBucketCount = 0;
+        }
+    }
+
+    if (!sawEof)
+        return fail("missing # EOF terminator");
+    if (result.entries == 0)
+        return fail("no samples found");
+    result.ok = true;
+    return result;
+}
+
+CheckResult
+checkFlightJsonl(const std::string &doc)
+{
+    CheckResult result;
+    std::vector<std::string> seriesNames;
+    std::vector<std::string> seriesKinds;
+    bool sawHeader = false;
+    std::uint64_t lastSample = 0;
+    double lastHostUs = -1.0;
+    std::vector<std::uint64_t> lastCounts;
+
+    std::istringstream in(doc);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+
+        if (!sawHeader) {
+            if (fieldString(line, "schema") != "suit-flight-v1")
+                return fail(util::sformat(
+                    "line %zu: missing schema \"suit-flight-v1\"",
+                    lineno));
+            if (fieldString(line, "reason").empty())
+                return fail(util::sformat(
+                    "line %zu: header missing reason", lineno));
+            const std::string series = fieldToken(line, "series");
+            if (series.empty() || series.front() != '[')
+                return fail(util::sformat(
+                    "line %zu: header missing series array",
+                    lineno));
+            // Walk the {"name": ..., "kind": ...} objects.
+            std::size_t pos = 0;
+            while ((pos = series.find("{\"name\":", pos)) !=
+                   std::string::npos) {
+                std::size_t close = series.find('}', pos);
+                if (close == std::string::npos)
+                    break;
+                const std::string object =
+                    series.substr(pos, close - pos + 1);
+                const std::string name =
+                    fieldString(object, "name");
+                const std::string kind =
+                    fieldString(object, "kind");
+                if (name.empty())
+                    return fail(util::sformat(
+                        "line %zu: series entry missing name",
+                        lineno));
+                if (kind != "counter" && kind != "gauge" &&
+                    kind != "histogram")
+                    return fail(util::sformat(
+                        "line %zu: series '%s' has bad kind '%s'",
+                        lineno, name.c_str(), kind.c_str()));
+                if (std::find(seriesNames.begin(),
+                              seriesNames.end(),
+                              name) != seriesNames.end())
+                    return fail(util::sformat(
+                        "line %zu: duplicate series '%s'", lineno,
+                        name.c_str()));
+                seriesNames.push_back(name);
+                seriesKinds.push_back(kind);
+                addName(result, name);
+                pos = close + 1;
+            }
+            lastCounts.assign(seriesNames.size(), 0);
+            sawHeader = true;
+            continue;
+        }
+
+        if (line.rfind("{\"sample\":", 0) == 0) {
+            std::uint64_t id = 0;
+            if (!parseU64(fieldToken(line, "sample"), id))
+                return fail(util::sformat(
+                    "line %zu: bad sample id", lineno));
+            if (id <= lastSample)
+                return fail(util::sformat(
+                    "line %zu: sample id %llu not increasing "
+                    "(previous %llu)",
+                    lineno, static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(lastSample)));
+            lastSample = id;
+            double hostUs = 0.0;
+            if (!parseDouble(fieldToken(line, "host_us"), hostUs))
+                return fail(util::sformat(
+                    "line %zu: sample missing host_us", lineno));
+            if (hostUs < lastHostUs)
+                return fail(util::sformat(
+                    "line %zu: host_us went backwards", lineno));
+            lastHostUs = hostUs;
+
+            const std::vector<std::string> values =
+                splitArray(fieldToken(line, "values"));
+            if (values.size() > seriesNames.size())
+                return fail(util::sformat(
+                    "line %zu: %zu values for %zu series", lineno,
+                    values.size(), seriesNames.size()));
+            for (std::size_t i = 0; i < values.size(); ++i) {
+                if (seriesKinds[i] == "gauge") {
+                    double v = 0.0;
+                    if (!parseDouble(values[i], v))
+                        return fail(util::sformat(
+                            "line %zu: bad gauge value '%s'",
+                            lineno, values[i].c_str()));
+                    continue;
+                }
+                std::uint64_t v = 0;
+                if (!parseU64(values[i], v))
+                    return fail(util::sformat(
+                        "line %zu: bad counter value '%s'", lineno,
+                        values[i].c_str()));
+                if (v < lastCounts[i])
+                    return fail(util::sformat(
+                        "line %zu: counter '%s' decreased "
+                        "(%llu -> %llu)",
+                        lineno, seriesNames[i].c_str(),
+                        static_cast<unsigned long long>(
+                            lastCounts[i]),
+                        static_cast<unsigned long long>(v)));
+                lastCounts[i] = v;
+            }
+            ++result.entries;
+            continue;
+        }
+
+        if (line.rfind("{\"span_thread\":", 0) == 0) {
+            if (fieldToken(line, "span_thread").empty() ||
+                fieldString(line, "name").empty())
+                return fail(util::sformat(
+                    "line %zu: span missing thread/name", lineno));
+            addName(result, fieldString(line, "name"));
+            ++result.entries;
+            continue;
+        }
+
+        return fail(util::sformat(
+            "line %zu: unrecognised flight line", lineno));
+    }
+
+    if (!sawHeader)
+        return fail("missing suit-flight-v1 header");
+    if (result.entries == 0)
+        return fail("no samples or spans found");
     result.ok = true;
     return result;
 }

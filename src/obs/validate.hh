@@ -51,6 +51,27 @@ CheckResult checkChromeTrace(const std::string &doc);
  */
 CheckResult checkMetricsJson(const std::string &doc);
 
+/**
+ * Validate an OpenMetrics text document as written by
+ * renderOpenMetrics(): well-formed metric names, every sample value
+ * parseable, every sample family announced by a preceding `# TYPE`
+ * line, no duplicate (metric, label-set) sample lines, histogram
+ * `le` buckets cumulative (non-decreasing counts), and a final
+ * `# EOF` marker.  names collects the exposed families.
+ */
+CheckResult checkOpenMetrics(const std::string &doc);
+
+/**
+ * Validate a flight-recorder JSONL document as written by
+ * FlightRecorder::dump(): a "suit-flight-v1" header carrying reason
+ * and a duplicate-free series table, sample lines with strictly
+ * increasing ids, non-decreasing host timestamps, at most
+ * series-count values and counter/histogram series non-decreasing
+ * across samples, span lines with thread/name fields.  names
+ * collects series then span names.
+ */
+CheckResult checkFlightJsonl(const std::string &doc);
+
 } // namespace suit::obs
 
 #endif // SUIT_OBS_VALIDATE_HH

@@ -136,6 +136,13 @@ BucketHistogram::addCount(std::size_t bucket, std::uint64_t n)
 }
 
 void
+BucketHistogram::resetCounts()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+void
 BucketHistogram::merge(const BucketHistogram &other)
 {
     SUIT_ASSERT(bounds_ == other.bounds_,

@@ -107,6 +107,12 @@ class BucketHistogram
      */
     void merge(const BucketHistogram &other);
 
+    /**
+     * Zero every bucket count while keeping the bounds — the
+     * allocation-free refill path of Registry::snapshotInto().
+     */
+    void resetCounts();
+
     /** Bucket upper bounds (excludes the implicit overflow bucket). */
     const std::vector<double> &bounds() const { return bounds_; }
     /** Number of buckets including the overflow bucket. */

@@ -16,6 +16,9 @@
 
 #include "exec/checkpoint.hh"
 #include "fleet/engine.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "obs/validate.hh"
 #include "runtime/run_context.hh"
 #include "runtime/session.hh"
 #include "fleet/report.hh"
@@ -371,6 +374,64 @@ TEST(FleetEngine, DomainBasePowerSplitsPerCoreDomains)
               engine.domainBasePowerW(0) * 4);
     const fleet::FleetOutcome outcome = engine.run({});
     EXPECT_GT(outcome.totals.rack(0).wattsBefore.value(), 0.0);
+}
+
+TEST(FleetEngine, TracedRunEmitsPerRackCounterTracks)
+{
+    obs::TraceSession trace;
+    obs::setActiveTrace(&trace);
+    {
+        runtime::Session session({2, 0});
+        runtime::RunContext ctx; // latches the active trace
+        FleetOptions options;
+        options.shardSize = 32;
+        FleetEngine engine(session, testSpec());
+        const FleetOutcome outcome = engine.run(ctx, options);
+        EXPECT_TRUE(outcome.complete());
+    }
+    obs::setActiveTrace(nullptr);
+
+    const std::string doc = trace.render();
+    const obs::CheckResult check = obs::checkChromeTrace(doc);
+    EXPECT_TRUE(check.ok) << check.error;
+
+    // One named track per rack...
+    for (const char *rack : {"rack web", "rack build", "rack sim"})
+        EXPECT_NE(doc.find(rack), std::string::npos) << rack;
+    // ...carrying the three cumulative counter series.
+    for (const char *series : {"domains", "energy", "pstate"})
+        EXPECT_TRUE(check.hasName(series)) << series;
+    for (const char *arg :
+         {"\"count\"", "\"power_w\"", "\"switches\"",
+          "\"efficient_share\""})
+        EXPECT_NE(doc.find(arg), std::string::npos) << arg;
+}
+
+// The bit-identity acceptance gate: running the telemetry sampler
+// must not change simulation results — the report of a sampled run
+// is byte-identical to an unsampled one.
+TEST(FleetEngine, TelemetrySamplerDoesNotChangeTheReport)
+{
+    obs::metrics().setEnabled(true);
+    const std::string reference = reportOf(testSpec(), 2, 32);
+
+    runtime::SessionConfig cfg;
+    cfg.jobs = 2;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.intervalS = 0.001; // sample aggressively
+    runtime::Session session(cfg);
+    ASSERT_NE(session.telemetry(), nullptr);
+    EXPECT_TRUE(session.telemetry()->running());
+
+    FleetEngine engine(session, testSpec());
+    FleetOptions options;
+    options.shardSize = 32;
+    const FleetOutcome outcome = engine.run(options);
+    EXPECT_TRUE(outcome.complete());
+    EXPECT_EQ(fleet::renderReportJson(engine.spec(), outcome.totals),
+              reference);
+    EXPECT_GE(session.telemetry()->samplesTaken(), 1u);
+    obs::metrics().setEnabled(false);
 }
 
 } // namespace

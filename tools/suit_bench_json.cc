@@ -12,7 +12,7 @@
  * timing, and emits one JSON document:
  *
  *   {
- *     "schema": "suit-bench-simcore-v4",
+ *     "schema": "suit-bench-simcore-v5",
  *     "reps": 5,
  *     "benchmarks": [
  *       { "name": "domain_sim_single", "events": ...,
@@ -27,7 +27,8 @@
  *     "allocs_per_domain": 0.00,
  *     "alloc_count_enabled": true,
  *     "speedup_vs_reference": ...,
- *     "obs_overhead_disabled_pct": ...
+ *     "obs_overhead_disabled_pct": ...,
+ *     "telemetry_overhead_pct": ...
  *   }
  *
  * allocs_per_domain measures the steady-state heap allocations per
@@ -65,6 +66,8 @@
 
 #include "core/params.hh"
 #include "exec/sweep.hh"
+#include "obs/registry.hh"
+#include "obs/telemetry.hh"
 #include "fleet/engine.hh"
 #include "fleet/spec.hh"
 #include "runtime/run_context.hh"
@@ -134,7 +137,26 @@ timeScenario(const std::string &name, const sim::SimConfig &cfg,
  * slow drift (thermal, scheduler, frequency) cancels within each
  * pair, reduced to the median per-pair delta.  Negative medians are
  * noise around a true near-zero overhead and clamp to 0.
+ * (telemetry_overhead_pct applies the same protocol to a running
+ * TelemetrySampler — see measureTelemetryOverheadPct.)
+ *
+ * One scenario run is only a few milliseconds, which puts a single
+ * timer tick at several percent of the measurement; each timed arm
+ * therefore batches enough back-to-back runs to cover
+ * kMinArmMs (calibrated from the warmup) so per-pair deltas
+ * resolve the sub-percent overhead instead of OS jitter.
  */
+constexpr double kMinArmMs = 20.0;
+
+int
+calibrateBatch(double warm_ms)
+{
+    if (warm_ms <= 0.0)
+        return 1;
+    const double runs = kMinArmMs / warm_ms;
+    return std::max(1, std::min(64, static_cast<int>(runs) + 1));
+}
+
 double
 measureObsOverheadPct(const sim::SimConfig &base,
                       const std::vector<sim::CoreWork> &work, int reps)
@@ -144,7 +166,7 @@ measureObsOverheadPct(const sim::SimConfig &base,
     sim::SimConfig noobs_cfg = base;
     noobs_cfg.obsBypass = true;
 
-    const auto run_once = [&](const sim::SimConfig &cfg) {
+    const auto run_single = [&](const sim::SimConfig &cfg) {
         const auto start = std::chrono::steady_clock::now();
         sim::DomainSimulator simulator(cfg, work);
         const sim::DomainResult result = simulator.run();
@@ -156,9 +178,23 @@ measureObsOverheadPct(const sim::SimConfig &base,
     };
 
     // Untimed warmup so the first pairs do not carry cold-cache
-    // cost on whichever configuration happens to run first.
-    run_once(obs_cfg);
-    run_once(noobs_cfg);
+    // cost on whichever configuration happens to run first; the
+    // warm time also calibrates the batch size.
+    run_single(obs_cfg);
+    const int batch = calibrateBatch(run_single(noobs_cfg));
+
+    const auto run_once = [&](const sim::SimConfig &cfg) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int b = 0; b < batch; ++b) {
+            sim::DomainSimulator simulator(cfg, work);
+            const sim::DomainResult result = simulator.run();
+            SUIT_ASSERT(!result.cores.empty(),
+                        "simulation returned no cores");
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(stop - start)
+            .count();
+    };
 
     std::vector<double> deltas_pct;
     deltas_pct.reserve(static_cast<std::size_t>(reps));
@@ -182,9 +218,95 @@ measureObsOverheadPct(const sim::SimConfig &base,
     return std::max(median, 0.0);
 }
 
+/**
+ * Measure the cost of a *running* telemetry sampler: the same
+ * single-core scenario with the registry recording in both arms,
+ * once with a TelemetrySampler ticking at its default 100 ms period
+ * and once without one.  Same paired-median protocol as
+ * measureObsOverheadPct — the sampler's steady-state cost (one
+ * background thread snapshotting sharded atomics) is far below
+ * drift between independently timed runs.
+ */
+double
+measureTelemetryOverheadPct(const sim::SimConfig &base,
+                            const std::vector<sim::CoreWork> &work,
+                            int reps)
+{
+    obs::Registry &reg = obs::metrics();
+    const bool was_enabled = reg.enabled();
+    reg.setEnabled(true);
+
+    const auto run_single = [&] {
+        const auto start = std::chrono::steady_clock::now();
+        sim::DomainSimulator simulator(base, work);
+        const sim::DomainResult result = simulator.run();
+        const auto stop = std::chrono::steady_clock::now();
+        SUIT_ASSERT(!result.cores.empty(),
+                    "simulation returned no cores");
+        return std::chrono::duration<double, std::milli>(stop - start)
+            .count();
+    };
+
+    obs::TelemetryConfig sampler_cfg;
+    sampler_cfg.enabled = true;
+    sampler_cfg.intervalS = 0.1;
+
+    {
+        // Warmup (sampler thread start/stop included) + batch
+        // calibration, as in measureObsOverheadPct.
+        obs::TelemetrySampler sampler(reg, sampler_cfg);
+        sampler.start();
+        run_single();
+        sampler.stop();
+    }
+    const int batch = calibrateBatch(run_single());
+
+    const auto run_once = [&] {
+        const auto start = std::chrono::steady_clock::now();
+        for (int b = 0; b < batch; ++b) {
+            sim::DomainSimulator simulator(base, work);
+            const sim::DomainResult result = simulator.run();
+            SUIT_ASSERT(!result.cores.empty(),
+                        "simulation returned no cores");
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(stop - start)
+            .count();
+    };
+    const auto run_sampled = [&] {
+        obs::TelemetrySampler sampler(reg, sampler_cfg);
+        sampler.start();
+        const double ms = run_once();
+        sampler.stop();
+        return ms;
+    };
+
+    std::vector<double> deltas_pct;
+    deltas_pct.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        double on_ms = 0.0;
+        double off_ms = 0.0;
+        if (r % 2 == 0) {
+            on_ms = run_sampled();
+            off_ms = run_once();
+        } else {
+            off_ms = run_once();
+            on_ms = run_sampled();
+        }
+        if (off_ms > 0.0)
+            deltas_pct.push_back(100.0 * (on_ms / off_ms - 1.0));
+    }
+    reg.setEnabled(was_enabled);
+    if (deltas_pct.empty())
+        return 0.0;
+    std::sort(deltas_pct.begin(), deltas_pct.end());
+    return std::max(deltas_pct[deltas_pct.size() / 2], 0.0);
+}
+
 /** The tracked scenario set (mirrors bench/micro_benchmarks.cc). */
 std::vector<BenchResult>
-runScenarios(int reps, double &obs_overhead_pct)
+runScenarios(int reps, double &obs_overhead_pct,
+             double &telemetry_overhead_pct)
 {
     std::vector<BenchResult> results;
 
@@ -206,6 +328,8 @@ runScenarios(int reps, double &obs_overhead_pct)
         cfg.obsBypass = false;
         obs_overhead_pct =
             measureObsOverheadPct(cfg, {{&gcc_trace, &gcc}}, reps);
+        telemetry_overhead_pct = measureTelemetryOverheadPct(
+            cfg, {{&gcc_trace, &gcc}}, reps);
         cfg.referencePath = true;
         results.push_back(timeScenario(
             "domain_sim_reference", cfg, {{&gcc_trace, &gcc}}, reps));
@@ -367,7 +491,9 @@ timeSweepGrid(int reps)
 double
 measureAllocsPerDomain()
 {
-    runtime::Session session({1});
+    runtime::SessionConfig serial_cfg;
+    serial_cfg.jobs = 1;
+    runtime::Session session(serial_cfg);
     sim::SimWorkspace &ws = session.workspace();
     const power::CpuModel cpu = power::cpuC_xeon4208();
     const auto &gcc = trace::profileByName("502.gcc");
@@ -417,7 +543,7 @@ std::string
 renderJson(const std::vector<BenchResult> &results,
            const FleetBench &fleet_100k, const FleetBench &fleet_1m,
            const SweepBench &sweep_bench, double allocs_per_domain,
-           int reps, double obs_pct)
+           int reps, double obs_pct, double telemetry_pct)
 {
     double fast_ms = 0.0;
     double ref_ms = 0.0;
@@ -440,7 +566,7 @@ renderJson(const std::vector<BenchResult> &results,
     const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
     return util::sformat(
         "{\n"
-        "  \"schema\": \"suit-bench-simcore-v4\",\n"
+        "  \"schema\": \"suit-bench-simcore-v5\",\n"
         "  \"reps\": %d,\n"
         "  \"benchmarks\": [\n%s\n  ],\n"
         "  \"fleet\": %s,\n"
@@ -451,14 +577,15 @@ renderJson(const std::vector<BenchResult> &results,
         "  \"allocs_per_domain\": %.2f,\n"
         "  \"alloc_count_enabled\": %s,\n"
         "  \"speedup_vs_reference\": %.2f,\n"
-        "  \"obs_overhead_disabled_pct\": %.2f\n"
+        "  \"obs_overhead_disabled_pct\": %.2f,\n"
+        "  \"telemetry_overhead_pct\": %.2f\n"
         "}\n",
         reps, body.c_str(), renderFleetJson(fleet_100k).c_str(),
         renderFleetJson(fleet_1m).c_str(), sweep_bench.cells,
         sweep_bench.bestMs, sweep_bench.medianMs,
         sweep_bench.cellsPerSec, allocs_per_domain,
         util::allocCountEnabled() ? "true" : "false", speedup,
-        obs_pct);
+        obs_pct, telemetry_pct);
 }
 
 /**
@@ -470,7 +597,7 @@ std::string
 validateJson(const std::string &text)
 {
     const char *kRequired[] = {
-        "\"schema\": \"suit-bench-simcore-v4\"",
+        "\"schema\": \"suit-bench-simcore-v5\"",
         "\"reps\":",
         "\"benchmarks\":",
         "\"domain_sim_single\"",
@@ -488,6 +615,7 @@ validateJson(const std::string &text)
         "\"domains_per_sec\":",
         "\"speedup_vs_reference\":",
         "\"obs_overhead_disabled_pct\":",
+        "\"telemetry_overhead_pct\":",
     };
     for (const char *needle : kRequired) {
         if (text.find(needle) == std::string::npos)
@@ -541,8 +669,19 @@ main(int argc, char **argv)
     const long reps = args.getIntInRange("reps", 1, INT_MAX);
 
     double obs_pct = 0.0;
-    const std::vector<BenchResult> results =
-        runScenarios(static_cast<int>(reps), obs_pct);
+    double telemetry_pct = 0.0;
+    const std::vector<BenchResult> results = runScenarios(
+        static_cast<int>(reps), obs_pct, telemetry_pct);
+    // The obs acceptance gate: disabled instrumentation must stay
+    // within 2 % of the bypass path.  Only enforced at the tracked
+    // record's repetition count and above — low-rep smoke runs have
+    // too few pairs for the median to be trustworthy.
+    if (reps >= 5) {
+        SUIT_ASSERT(obs_pct >= 0.0 && obs_pct <= 2.0,
+                    "disabled-obs overhead %.2f %% breaches the "
+                    "0..2 %% acceptance gate",
+                    obs_pct);
+    }
     const double allocs_per_domain = measureAllocsPerDomain();
     const FleetBench fleet_100k =
         timeFleet("fleet_100k", 100'000, static_cast<int>(reps));
@@ -555,7 +694,8 @@ main(int argc, char **argv)
         timeSweepGrid(static_cast<int>(reps));
     const std::string json = renderJson(
         results, fleet_100k, fleet_1m, sweep_bench,
-        allocs_per_domain, static_cast<int>(reps), obs_pct);
+        allocs_per_domain, static_cast<int>(reps), obs_pct,
+        telemetry_pct);
 
     const std::string sanity = validateJson(json);
     SUIT_ASSERT(sanity.empty(), "emitted record fails own schema: %s",

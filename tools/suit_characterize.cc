@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "faults/characterizer.hh"
+#include "obs/setup.hh"
 #include "power/pstate.hh"
 #include "runtime/run_context.hh"
 #include "util/args.hh"
@@ -43,8 +44,13 @@ main(int argc, char **argv)
                    "wall-clock budget in seconds; on expiry the "
                    "campaign stops gracefully like Ctrl-C "
                    "(0 = none)");
+    obs::addCliOptions(args);
     if (!args.parse(argc, argv))
         return 0;
+
+    // No runtime::Session here: the scope owns the sampler itself.
+    obs::CliScope obs_scope(args);
+    obs_scope.startLocalTelemetry();
 
     const power::DvfsCurve curve = power::i9_9900kCurve();
     faults::VminConfig vcfg;
@@ -95,6 +101,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.totalExecutions),
                 r.crashedPoints);
     if (r.interrupted) {
+        obs_scope.noteInterruption(
+            sigint.requested() ? "sigint" : "deadline");
         std::fprintf(stderr,
                      "characterization interrupted: counts above "
                      "cover the sweep up to the stop point only\n");

@@ -7,7 +7,12 @@
  * Checks a Chrome trace_event file (--trace) and/or a metrics JSON
  * file (--metrics) with the suit::obs validators: known phase codes,
  * ts/pid/tid on every event, balanced B/E span pairs per track, the
- * metrics schema string, and per-kind required fields.  --require
+ * metrics schema string, and per-kind required fields.  The
+ * telemetry artifacts are covered too: --openmetrics validates an
+ * OpenMetrics text exposition (typed families, no duplicate
+ * metric/label pairs, cumulative histogram buckets, # EOF) and
+ * --flight a flight-recorder JSONL dump (header schema, monotonic
+ * sample ids and timestamps, non-decreasing counters).  --require
  * takes a comma list of event/metric names that must appear in the
  * document(s) — e.g. `--require pstate,do-trap` asserts that a
  * simulator capture actually contains p-state transitions and #DO
@@ -20,6 +25,9 @@
  *   suit_sim --trace-out t.json --metrics m.json
  *   suit_obs_check --trace t.json --metrics m.json \
  *                  --require pstate,do-trap
+ *   suit_fleet --metrics-series s.txt --flight-recorder f.jsonl ...
+ *   suit_obs_check --openmetrics s.txt --require suit_sim_runs
+ *   suit_obs_check --flight f.jsonl --require fleet.shard_ms
  */
 
 #include <cstdio>
@@ -103,6 +111,12 @@ main(int argc, char **argv)
                    "('-' = stdin)");
     args.addOption("metrics", "",
                    "metrics JSON file to validate ('-' = stdin)");
+    args.addOption("openmetrics", "",
+                   "OpenMetrics text exposition to validate "
+                   "('-' = stdin)");
+    args.addOption("flight", "",
+                   "flight-recorder JSONL dump to validate "
+                   "('-' = stdin)");
     args.addOption("require", "",
                    "comma list of event/metric names that must "
                    "appear in the validated document(s)");
@@ -111,10 +125,18 @@ main(int argc, char **argv)
 
     const std::string trace_path = args.get("trace");
     const std::string metrics_path = args.get("metrics");
-    if (trace_path.empty() && metrics_path.empty())
-        util::fatal("nothing to do: pass --trace and/or --metrics");
-    if (trace_path == "-" && metrics_path == "-")
-        util::fatal("only one of --trace/--metrics can read stdin");
+    const std::string openmetrics_path = args.get("openmetrics");
+    const std::string flight_path = args.get("flight");
+    if (trace_path.empty() && metrics_path.empty() &&
+        openmetrics_path.empty() && flight_path.empty())
+        util::fatal("nothing to do: pass --trace, --metrics, "
+                    "--openmetrics and/or --flight");
+    const int stdin_users = (trace_path == "-") +
+                            (metrics_path == "-") +
+                            (openmetrics_path == "-") +
+                            (flight_path == "-");
+    if (stdin_users > 1)
+        util::fatal("only one document can read stdin");
 
     int problems = 0;
     std::vector<obs::CheckResult> results;
@@ -127,6 +149,17 @@ main(int argc, char **argv)
         results.push_back(
             obs::checkMetricsJson(readDocument(metrics_path)));
         problems += checkOne("metrics", metrics_path, results.back());
+    }
+    if (!openmetrics_path.empty()) {
+        results.push_back(
+            obs::checkOpenMetrics(readDocument(openmetrics_path)));
+        problems += checkOne("openmetrics", openmetrics_path,
+                             results.back());
+    }
+    if (!flight_path.empty()) {
+        results.push_back(
+            obs::checkFlightJsonl(readDocument(flight_path)));
+        problems += checkOne("flight", flight_path, results.back());
     }
 
     for (const std::string &name : splitList(args.get("require"))) {

@@ -104,7 +104,8 @@ int
 runSuiteMode(const sim::EvalConfig &cfg,
              const std::vector<trace::WorkloadProfile> &profiles,
              runtime::Session &session, runtime::RunContext &ctx,
-             const exec::RunPolicy &policy, bool verbose)
+             const exec::RunPolicy &policy, bool verbose,
+             obs::CliScope &obs_scope, const util::SigintGuard &sigint)
 {
     std::vector<exec::SweepJob> sweep_jobs;
     sweep_jobs.reserve(profiles.size());
@@ -179,6 +180,8 @@ runSuiteMode(const sim::EvalConfig &cfg,
                         traces.evictions()));
     }
     if (outcome.interrupted) {
+        obs_scope.noteInterruption(
+            sigint.requested() ? "sigint" : "deadline");
         std::fprintf(stderr,
                      "suite interrupted: %zu workload%s not run; "
                      "re-run with --checkpoint %s --resume to "
@@ -296,11 +299,15 @@ main(int argc, char **argv)
 
             // First Ctrl-C: graceful stop; second: immediate kill.
             util::SigintGuard sigint;
-            runtime::Session session(
-                {static_cast<int>(
-                     args.getIntInRange("jobs", 0, INT_MAX)),
-                 0, static_cast<std::size_t>(cache_mb) << 20,
-                 args.getFlag("pin")});
+            runtime::SessionConfig session_cfg;
+            session_cfg.jobs = static_cast<int>(
+                args.getIntInRange("jobs", 0, INT_MAX));
+            session_cfg.traceCacheBytes =
+                static_cast<std::size_t>(cache_mb) << 20;
+            session_cfg.pinWorkers = args.getFlag("pin");
+            session_cfg.telemetry = obs_scope.telemetryConfig();
+            runtime::Session session(session_cfg);
+            obs_scope.attachTelemetry(session.telemetry());
             runtime::RunContext ctx;
             ctx.checkpoint.path = args.get("checkpoint");
             ctx.checkpoint.resume = args.getFlag("resume");
@@ -314,12 +321,16 @@ main(int argc, char **argv)
                         wl.c_str(), cpu.name().c_str(),
                         core::toString(cfg.strategy), cfg.offsetMv);
             return runSuiteMode(cfg, workloadsByName(wl), session,
-                                ctx, policy, args.getFlag("verbose"));
+                                ctx, policy,
+                                args.getFlag("verbose"), obs_scope,
+                                sigint);
         }
     }
     if (!args.get("checkpoint").empty() || args.getFlag("resume"))
         util::fatal("--checkpoint/--resume apply to multi-workload "
                     "suite runs only");
+    // Single-run path: no Session, so the scope owns the sampler.
+    obs_scope.startLocalTelemetry();
 
     sim::DomainResult result;
     std::string workload_name;

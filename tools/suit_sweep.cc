@@ -320,10 +320,15 @@ main(int argc, char **argv)
         };
     }
 
-    runtime::Session session(
-        {static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX)), 0,
-         static_cast<std::size_t>(cache_mb) << 20,
-         args.getFlag("pin")});
+    runtime::SessionConfig session_cfg;
+    session_cfg.jobs =
+        static_cast<int>(args.getIntInRange("jobs", 0, INT_MAX));
+    session_cfg.traceCacheBytes =
+        static_cast<std::size_t>(cache_mb) << 20;
+    session_cfg.pinWorkers = args.getFlag("pin");
+    session_cfg.telemetry = obs_scope.telemetryConfig();
+    runtime::Session session(session_cfg);
+    obs_scope.attachTelemetry(session.telemetry());
     runtime::RunContext ctx;
     ctx.checkpoint.path = args.get("checkpoint");
     ctx.checkpoint.resume = args.getFlag("resume");
@@ -415,6 +420,8 @@ main(int argc, char **argv)
                      f.error.c_str(), f.attempts,
                      f.attempts == 1 ? "" : "s");
     if (outcome.interrupted) {
+        obs_scope.noteInterruption(
+            sigint.requested() ? "sigint" : "deadline");
         std::fprintf(stderr,
                      "sweep interrupted: %zu cell%s not run; "
                      "re-run with --checkpoint %s --resume to "
